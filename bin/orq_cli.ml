@@ -1,0 +1,247 @@
+(* orq_cli — run any registered query of the workload suite under a chosen
+   MPC protocol and deployment profile, print the (opened) result and the
+   protocol costs, and optionally validate against the plaintext engine.
+
+   Examples:
+     orq_cli --list
+     orq_cli -q Q3 -p sh-hm --sf 0.001
+     orq_cli -q Comorbidity -p mal-hm -n 1000 --validate
+     orq_cli -q Q21 -p sh-dm --profile wan
+     orq_cli --sql "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
+                    GROUP BY o_orderpriority" *)
+
+open Orq_proto
+open Orq_workloads
+module Netsim = Orq_net.Netsim
+
+type runnable = {
+  r_name : string;
+  r_run : Ctx.t -> float -> int -> Orq_core.Table.t * (unit -> bool);
+}
+
+let runnables : runnable list =
+  List.map
+    (fun (q : Tpch.query) ->
+      {
+        r_name = q.Tpch.name;
+        r_run =
+          (fun ctx sf _n ->
+            let plain = Tpch_gen.generate sf in
+            let mdb = Tpch_gen.share ctx plain in
+            ( q.Tpch.run mdb,
+              fun () ->
+                let ok, _, _ = Tpch.validate q plain mdb in
+                ok ));
+      })
+    Tpch.all
+  @ List.map
+      (fun (q : Other_queries.query) ->
+        {
+          r_name = q.Other_queries.name;
+          r_run =
+            (fun ctx _sf n ->
+              let plain = Other_gen.generate n in
+              let mdb = Other_gen.share ctx plain in
+              ( q.Other_queries.run mdb,
+                fun () ->
+                  let ok, _, _ = Other_queries.validate q plain mdb in
+                  ok ));
+        })
+      Other_queries.all
+  @ List.map
+      (fun (q : Secretflow_queries.query) ->
+        {
+          r_name = q.Secretflow_queries.name;
+          r_run =
+            (fun ctx sf _n ->
+              let plain = Tpch_gen.generate sf in
+              let mdb = Tpch_gen.share ctx plain in
+              ( q.Secretflow_queries.run mdb,
+                fun () ->
+                  let ok, _, _ = Secretflow_queries.validate q plain mdb in
+                  ok ));
+        })
+      Secretflow_queries.all
+
+let protocol_of_string = function
+  | "sh-dm" | "2pc" -> Ok Ctx.Sh_dm
+  | "sh-hm" | "3pc" -> Ok Ctx.Sh_hm
+  | "mal-hm" | "4pc" -> Ok Ctx.Mal_hm
+  | s -> Error (`Msg ("unknown protocol " ^ s ^ " (sh-dm|sh-hm|mal-hm)"))
+
+let profile_of_string = function
+  | "lan" -> Ok Netsim.lan
+  | "wan" -> Ok Netsim.wan
+  | "geo" -> Ok Netsim.geo
+  | s -> Error (`Msg ("unknown profile " ^ s ^ " (lan|wan|geo)"))
+
+(* --sql: run an ad-hoc SQL query against the TPC-H catalog through the
+   automatic planner (lib/planner). *)
+let tpch_catalog (db : Tpch_gen.mpc) : Orq_planner.Sql.catalog =
+ fun name ->
+  match name with
+  | "region" -> (db.Tpch_gen.m_region, [ [ "r_regionkey" ] ])
+  | "nation" -> (db.Tpch_gen.m_nation, [ [ "n_nationkey" ] ])
+  | "supplier" -> (db.Tpch_gen.m_supplier, [ [ "s_suppkey" ] ])
+  | "customer" -> (db.Tpch_gen.m_customer, [ [ "c_custkey" ] ])
+  | "part" -> (db.Tpch_gen.m_part, [ [ "p_partkey" ] ])
+  | "partsupp" -> (db.Tpch_gen.m_partsupp, [ [ "ps_partkey"; "ps_suppkey" ] ])
+  | "orders" -> (db.Tpch_gen.m_orders, [ [ "o_orderkey" ] ])
+  | "lineitem" -> (db.Tpch_gen.m_lineitem, [])
+  | _ -> raise Not_found
+
+let run_sql sql proto sf profile =
+  let ctx = Ctx.create proto in
+  let db = Tpch_gen.share ctx (Tpch_gen.generate sf) in
+  Printf.printf "planning and running under %s...\n%!" (Ctx.kind_label proto);
+  match Orq_planner.Sql.run (tpch_catalog db) sql with
+  | exception Orq_planner.Sql.Parse_error msg ->
+      Printf.eprintf "SQL error: %s\n" msg;
+      1
+  | t, cols, fallbacks ->
+      let opened = Orq_core.Table.reveal t in
+      let nrows =
+        match opened with (_, c) :: _ -> Array.length c | [] -> 0
+      in
+      Printf.printf "result (%d rows):\n  %s\n" nrows (String.concat " | " cols);
+      for i = 0 to min (nrows - 1) 19 do
+        Printf.printf "  %s\n"
+          (String.concat " | "
+             (List.map
+                (fun c ->
+                  match List.assoc_opt c opened with
+                  | Some v -> string_of_int v.(i)
+                  | None -> "-")
+                cols))
+      done;
+      if fallbacks > 0 then
+        Printf.printf
+          "note: %d join(s) were outside the tractable class and took the \
+           quadratic oblivious fallback\n"
+          fallbacks;
+      let tally = Orq_net.Comm.snapshot ctx.Ctx.comm in
+      Printf.printf "costs: %d rounds | %.2f MiB | estimated %s: %.2fs\n"
+        tally.Orq_net.Comm.t_rounds
+        (float_of_int tally.Orq_net.Comm.t_bits /. 8. /. 1024. /. 1024.)
+        profile.Netsim.label
+        (Netsim.network_time profile tally);
+      0
+
+let run_registered query proto sf n profile validate =
+    match List.find_opt (fun r -> r.r_name = query) runnables with
+    | None ->
+        Printf.eprintf "unknown query %s (try --list)\n" query;
+        1
+    | Some r ->
+        let ctx = Ctx.create proto in
+        Printf.printf "running %s under %s (%d parties)...\n%!" query
+          (Ctx.kind_label proto) ctx.Ctx.parties;
+        let t0 = Unix.gettimeofday () in
+        let result, check = r.r_run ctx sf n in
+        let compute = Unix.gettimeofday () -. t0 in
+        let opened = Orq_core.Table.reveal result in
+        let tally = Orq_net.Comm.snapshot ctx.Ctx.comm in
+        let pre = Orq_net.Comm.snapshot ctx.Ctx.preproc in
+        let nrows =
+          match opened with (_, c) :: _ -> Array.length c | [] -> 0
+        in
+        Printf.printf "\nresult (%d rows, opened to the analyst):\n" nrows;
+        let names = List.map fst opened in
+        Printf.printf "  %s\n" (String.concat " | " names);
+        for i = 0 to min (nrows - 1) 19 do
+          Printf.printf "  %s\n"
+            (String.concat " | "
+               (List.map (fun (_, c) -> string_of_int c.(i)) opened))
+        done;
+        if nrows > 20 then Printf.printf "  ... (%d more)\n" (nrows - 20);
+        Printf.printf
+          "\ncosts: %d online rounds | %.2f MiB online | %.2f MiB preprocessing\n"
+          tally.Orq_net.Comm.t_rounds
+          (float_of_int tally.Orq_net.Comm.t_bits /. 8. /. 1024. /. 1024.)
+          (float_of_int pre.Orq_net.Comm.t_bits /. 8. /. 1024. /. 1024.);
+        Printf.printf "simulation compute: %.2fs | estimated %s end-to-end: %.2fs\n"
+          compute profile.Netsim.label
+          (compute +. Netsim.network_time profile tally);
+        if validate then
+          if check () then begin
+            print_endline "validation against plaintext engine: OK";
+            0
+          end
+          else begin
+            print_endline "validation against plaintext engine: MISMATCH";
+            1
+          end
+        else 0
+
+
+let run list_only query sql proto sf n profile validate =
+  if list_only then begin
+    print_endline "available queries:";
+    List.iter (fun r -> Printf.printf "  %s\n" r.r_name) runnables;
+    0
+  end
+  else
+    match sql with
+    | Some sql -> run_sql sql proto sf profile
+    | None -> run_registered query proto sf n profile validate
+
+open Cmdliner
+
+let list_t =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available queries and exit.")
+
+let query_t =
+  Arg.(
+    value
+    & opt string "Q3"
+    & info [ "q"; "query" ] ~docv:"NAME" ~doc:"Query to run (see --list).")
+
+let sql_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sql" ] ~docv:"QUERY"
+        ~doc:
+          "Run an ad-hoc SQL query against the TPC-H catalog through the \
+           automatic planner, e.g. \"SELECT o_orderpriority, COUNT(*) AS n \
+           FROM orders GROUP BY o_orderpriority\".")
+
+let proto_t =
+  Arg.(
+    value
+    & opt (conv (protocol_of_string, fun ppf k -> Fmt.string ppf (Ctx.kind_label k))) Ctx.Sh_hm
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"MPC protocol: sh-dm (2PC), sh-hm (3PC) or mal-hm (4PC).")
+
+let sf_t =
+  Arg.(
+    value
+    & opt float 0.001
+    & info [ "sf" ] ~docv:"SF" ~doc:"TPC-H scale factor (micro scale).")
+
+let n_t =
+  Arg.(
+    value
+    & opt int 800
+    & info [ "n" ] ~docv:"N" ~doc:"Rows for the non-TPC-H datasets.")
+
+let profile_t =
+  Arg.(
+    value
+    & opt (conv (profile_of_string, fun ppf p -> Fmt.string ppf p.Netsim.label)) Netsim.lan
+    & info [ "profile" ] ~docv:"ENV" ~doc:"Network model: lan, wan or geo.")
+
+let validate_t =
+  Arg.(
+    value & flag
+    & info [ "validate" ] ~doc:"Check the result against the plaintext engine.")
+
+let cmd =
+  let doc = "run ORQ oblivious relational queries under MPC" in
+  Cmd.v
+    (Cmd.info "orq_cli" ~doc)
+    Term.(
+      const run $ list_t $ query_t $ sql_t $ proto_t $ sf_t $ n_t
+      $ profile_t $ validate_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,104 @@
+(* Many-to-many joins without the quadratic blow-up — the paper's Figure 3
+   and Listing 2: a generalization of TPC-H Q3 where *no* PK-FK constraints
+   are public (several owners contributed customer rows, so every join key
+   may be duplicated on both sides).
+
+   ORQ's trick (§3.6): a decomposable aggregation splits around the join —
+   pre-aggregate multiplicities / partial sums on one input, run the
+   one-to-many join-aggregation operator, post-aggregate. Intermediate
+   sizes stay linear; the naive oblivious evaluation would materialize
+   |C| x |O| x |LI| rows.
+
+   Run with:  dune exec examples/many_to_many.exe *)
+
+open Orq_proto
+open Orq_core
+open Orq_workloads
+module D = Dataflow
+module E = Expr
+
+let () =
+  let ctx = Ctx.create Ctx.Sh_hm in
+  (* duplicate keys on purpose: two "hospitals" both contribute customers *)
+  let plain = Tpch_gen.generate 0.0003 in
+  let db = Tpch_gen.share ctx plain in
+  let c = db.Tpch_gen.m_customer in
+  let c = D.concat_tables c c (* duplicated customer keys! *) in
+  let o = db.Tpch_gen.m_orders in
+  let li = db.Tpch_gen.m_lineitem in
+  Printf.printf
+    "inputs: %d customers (with duplicate keys), %d orders, %d line items\n%!"
+    (Table.nrows c) (Table.nrows o) (Table.nrows li);
+
+  (* Listing 2, line by line:
+     pre-aggregate customer multiplicity per CustKey, making keys unique *)
+  let cm =
+    D.aggregate
+      (Table.project c [ "c_custkey" ])
+      ~keys:[ "c_custkey" ]
+      ~aggs:[ { D.src = "c_custkey"; dst = "m"; fn = D.Count } ]
+  in
+  (* first join: (unique) customers x orders, propagating multiplicity *)
+  let co =
+    D.inner_join
+      (Tpch_util.select cm [ ("c_custkey", "o_custkey"); ("m", "m") ])
+      o ~on:[ "o_custkey" ] ~copy:[ "m" ]
+  in
+  (* pre-aggregate line-item revenue per order key *)
+  let li =
+    D.map li ~dst:"revenue"
+      E.(Div_pub (col "l_extendedprice" *! (const 100 -! col "l_discount"), 100))
+  in
+  let lir =
+    D.aggregate li ~keys:[ "l_orderkey" ]
+      ~aggs:[ { D.src = "revenue"; dst = "rev_pre"; fn = D.Sum } ]
+  in
+  (* second join + post-aggregation: TotalR = sum(rev_pre * m) *)
+  let col =
+    D.inner_join
+      (Tpch_util.select lir [ ("l_orderkey", "o_orderkey"); ("rev_pre", "rev_pre") ])
+      co ~on:[ "o_orderkey" ] ~copy:[ "rev_pre" ]
+  in
+  let col = D.map col ~dst:"total_r" E.(col "rev_pre" *! col "m") in
+  let res =
+    D.aggregate col
+      ~keys:[ "o_orderkey"; "o_orderdate"; "o_shippriority" ]
+      ~aggs:[ { D.src = "total_r"; dst = "total_revenue"; fn = D.Sum } ]
+  in
+  let res = D.limit (D.order_by res [ ("total_revenue", D.Desc) ]) 5 in
+
+  let opened = Table.reveal res in
+  let get n = List.assoc n opened in
+  Printf.printf "\ntop orders by revenue (each counted twice — duplicated \
+                 customers):\n";
+  Array.iteri
+    (fun i k ->
+      Printf.printf "  order %4d: revenue %d\n" k (get "total_revenue").(i))
+    (get "o_orderkey");
+
+  (* check against the plaintext engine: the duplicated customers must
+     exactly double each order's revenue *)
+  let module P = Orq_plaintext.Ptable in
+  let li_p =
+    P.map plain.Tpch_gen.lineitem ~dst:"revenue" (fun g r ->
+        g "l_extendedprice" r * (100 - g "l_discount" r) / 100)
+  in
+  let per_order =
+    P.group_by li_p ~keys:[ "l_orderkey" ]
+      ~aggs:[ { P.src = "revenue"; dst = "rev"; fn = P.Sum } ]
+  in
+  let best =
+    P.limit (P.sort per_order [ ("rev", -1) ]) 5
+  in
+  Printf.printf "\nplaintext check (single-counted):\n";
+  List.iter
+    (fun row ->
+      match row with
+      | [ k; r ] -> Printf.printf "  order %4d: revenue %d (x2 = %d)\n" k r (2 * r)
+      | _ -> ())
+    best.P.rows;
+  Printf.printf
+    "\nintermediate sizes stayed linear: the largest table ORQ touched has \
+     %d rows,\nwhile a naive oblivious 3-way join would hold %d rows.\n"
+    (2 * Table.nrows li)
+    (Table.nrows c * Table.nrows o)

@@ -1,0 +1,81 @@
+(* The automatic query planner — the extension the paper names as future
+   work (§7: "future work includes integrating ORQ with an automatic query
+   planner"). Analysts describe *what* to compute as a logical plan; the
+   optimizer decides *how*:
+
+     - filters are pushed below joins;
+     - joins are oriented so a unique-key side feeds the one-to-many
+       join-aggregation operator;
+     - a decomposable aggregation above a many-to-many join is rewritten
+       into the §3.6 pre-aggregation pipeline automatically;
+     - anything still outside the tractable class takes the §2.1
+       quadratic oblivious fallback.
+
+   Run with:  dune exec examples/planner_demo.exe *)
+
+open Orq_proto
+open Orq_core
+open Orq_planner
+
+let () =
+  let ctx = Ctx.create Ctx.Sh_hm in
+  (* two hospitals' visit logs: patient ids are duplicated in BOTH tables,
+     so no PK-FK constraint exists for the join *)
+  let prg = Orq_util.Prg.create 12 in
+  let n = 300 in
+  let visits_a =
+    Table.create ctx "hospital_a"
+      [
+        ("pid", 12, Array.init n (fun _ -> 1 + Orq_util.Prg.int_below prg 60));
+        ("cost_a", 12, Array.init n (fun _ -> Orq_util.Prg.int_below prg 500));
+      ]
+  in
+  let visits_b =
+    Table.create ctx "hospital_b"
+      [
+        ("pid", 12, Array.init n (fun _ -> 1 + Orq_util.Prg.int_below prg 60));
+        ("cost_b", 12, Array.init n (fun _ -> Orq_util.Prg.int_below prg 500));
+      ]
+  in
+
+  (* "total hospital-B cost, weighted over every cross-hospital visit
+     pair, per patient" — a many-to-many join + SUM *)
+  let plan =
+    Plan.aggregate ~keys:[ "pid" ]
+      ~aggs:[ { Dataflow.src = "cost_b"; dst = "total_b"; fn = Dataflow.Sum } ]
+      (Plan.join (Plan.scan visits_a) (Plan.scan visits_b) ~on:[ "pid" ])
+  in
+  print_endline "logical plan:";
+  print_endline ("  " ^ Plan.explain plan);
+  let optimized = Optimize.run plan in
+  print_endline "\nafter optimization (automatic §3.6 pre-aggregation):";
+  print_endline ("  " ^ Plan.explain optimized);
+
+  let t0 = Unix.gettimeofday () in
+  let result, fallbacks = Compile.run plan in
+  Printf.printf
+    "\ncompiled and executed under %s in %.2fs — quadratic fallbacks: %d\n"
+    (Ctx.kind_label ctx.Ctx.kind)
+    (Unix.gettimeofday () -. t0)
+    fallbacks;
+  let rows = Table.valid_rows_sorted result [ "pid"; "total_b" ] in
+  Printf.printf "result: %d patient groups (first 5):\n" (List.length rows);
+  List.iteri
+    (fun i row ->
+      if i < 5 then
+        match row with
+        | [ p; t ] -> Printf.printf "  patient %2d: weighted cost %d\n" p t
+        | _ -> ())
+    rows;
+
+  (* the same query WITHOUT the rewrite would have been quadratic: ask the
+     compiler to skip optimization and watch the fallback counter *)
+  let small_a = Table.take_rows visits_a 40 and small_b = Table.take_rows visits_b 40 in
+  let raw_join = Plan.join (Plan.scan small_a) (Plan.scan small_b) ~on:[ "pid" ] in
+  let _, fb = Compile.run ~optimize:false raw_join in
+  Printf.printf
+    "\nunoptimized raw many-to-many join (40x40 rows): %d quadratic fallback(s)\n"
+    fb;
+  Printf.printf
+    "— exactly the §2.1 story: inside the tractable class ORQ stays\n\
+    \  O(n log n); outside it, it falls back like prior work.\n"

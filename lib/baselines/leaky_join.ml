@@ -1,0 +1,78 @@
+(** SecretFlow-style leaky PSI join baseline (Figure 5 right, Table 9).
+
+    SecretFlow-SCQL's join "leaks which rows match to the parties" (§5.3):
+    the parties run a PSI on (hashed) join keys, learn the match positions
+    in the clear, align the rows locally, and continue on the joined table.
+    We reproduce the observable behaviour: the key columns are opened
+    through a hash+shuffle (so parties see the match *pattern*, exactly the
+    leakage SecretFlow accepts), the alignment is local, and only the
+    payload stays secret-shared. Communication is correspondingly tiny —
+    the paper's Table 9 shows SecretFlow's join at ~88-286 bytes/row versus
+    ORQ's oblivious kilobytes, which this baseline mirrors. *)
+
+open Orq_proto
+open Orq_core
+
+(** Leaky inner join: left must have unique keys among valid rows. The
+    returned table's physical size equals the number of matches — itself a
+    leak that ORQ never allows. *)
+let inner_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
+    ~(on : string list) ?(copy : string list = []) () : Table.t =
+  (* PSI phase: open (hashed) keys and validity; meter the openings *)
+  let open_keys (t : Table.t) =
+    let keys =
+      List.map (fun k -> Mpc.open_ ctx (Column.as_bool ctx (Table.find t k))) on
+    in
+    let valid = Mpc.open_ ~width:1 ctx t.Table.valid in
+    (keys, valid)
+  in
+  let lkeys, lvalid = open_keys left in
+  let rkeys, rvalid = open_keys right in
+  let key_of keys i = List.map (fun col -> col.(i)) keys in
+  let index = Hashtbl.create 64 in
+  Array.iteri
+    (fun i v -> if v = 1 then Hashtbl.replace index (key_of lkeys i) i)
+    lvalid;
+  let matches = ref [] in
+  Array.iteri
+    (fun j v ->
+      if v = 1 then
+        match Hashtbl.find_opt index (key_of rkeys j) with
+        | Some i -> matches := (i, j) :: !matches
+        | None -> ())
+    rvalid;
+  let matches = Array.of_list (List.rev !matches) in
+  let li = Array.map fst matches and ri = Array.map snd matches in
+  (* local alignment of the still-secret payload *)
+  let n_out = Array.length matches in
+  let cols =
+    List.map
+      (fun k ->
+        let c = Table.find right k in
+        (k, { c with Column.data = Share.gather (Column.as_bool ctx c) ri }))
+      on
+    @ List.filter_map
+        (fun (name, c) ->
+          if List.mem name on then None
+          else
+            Some
+              (name, { c with Column.data = Share.gather (Column.as_bool ctx c) ri }))
+        right.Table.cols
+    @ List.map
+        (fun name ->
+          let c = Table.find left name in
+          (name, { c with Column.data = Share.gather (Column.as_bool ctx c) li }))
+        copy
+  in
+  if n_out = 0 then
+    (* degenerate empty result: one all-dummy row *)
+    Table.of_columns ctx "leaky_join"
+      ~valid:(Share.public ctx Share.Bool 1 0)
+      (List.map
+         (fun (name, c) ->
+           (name, { c with Column.data = Share.public ctx Share.Bool 1 0 }))
+         cols)
+  else
+    Table.of_columns ctx "leaky_join"
+      ~valid:(Share.public ctx Share.Bool n_out 1)
+      cols

@@ -1,0 +1,13 @@
+(** SecretFlow-style leaky PSI join baseline (Figure 5 right, Table 9):
+    parties learn which rows match (the leakage SecretFlow accepts), align
+    rows locally, and keep only payloads secret-shared — tiny
+    communication, but the output's physical size reveals the true match
+    count, which ORQ never allows. *)
+
+open Orq_proto
+open Orq_core
+
+val inner_join :
+  Ctx.t -> Table.t -> Table.t -> on:string list -> ?copy:string list ->
+  unit -> Table.t
+(** Left must have unique keys among valid rows. *)

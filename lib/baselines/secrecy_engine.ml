@@ -1,0 +1,264 @@
+(** Secrecy-style baseline operators (Liagouris et al., NSDI'23) — the
+    system the paper compares against in Figure 5 (left) and Table 8.
+
+    Secrecy is fully oblivious like ORQ but pays the worst-case costs ORQ's
+    design avoids: its binary operators materialize the O(n*m) Cartesian
+    product with per-pair equality bits, and its sorting/grouping is the
+    O(n log^2 n) bitonic network. Reimplemented here over the same MPC
+    substrate so the comparison isolates the algorithms (the standard
+    artifact-evaluation substitute for the original single-threaded C
+    codebase). *)
+
+open Orq_proto
+open Orq_core
+module Compare = Orq_circuits.Compare
+
+(* Row-index expansion for the Cartesian product of n x m rows. *)
+let product_indices n m =
+  let li = Array.make (n * m) 0 and ri = Array.make (n * m) 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      li.((i * m) + j) <- i;
+      ri.((i * m) + j) <- j
+    done
+  done;
+  (li, ri)
+
+(** Quadratic oblivious inner join: the output physically holds all n*m
+    pairs; a secret equality bit per pair is its validity. *)
+let nested_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  let n = Table.nrows left and m = Table.nrows right in
+  let li, ri = product_indices n m in
+  let expand_l s = Share.gather s li and expand_r s = Share.gather s ri in
+  let eq =
+    Compare.eq_composite ctx
+      (List.map
+         (fun k ->
+           let w = max (Table.width left k) (Table.width right k) in
+           ( expand_l (Column.as_bool ctx (Table.find left k)),
+             expand_r (Column.as_bool ctx (Table.find right k)),
+             w ))
+         on)
+  in
+  let valid =
+    Mpc.band ~width:1 ctx
+      (Mpc.band ~width:1 ctx (expand_l left.Table.valid)
+         (expand_r right.Table.valid))
+      eq
+  in
+  let cols =
+    List.map
+      (fun k ->
+        let c = Table.find left k in
+        (k, { c with Column.data = expand_l (Column.as_bool ctx c) }))
+      on
+    @ List.filter_map
+        (fun (name, c) ->
+          if List.mem name on then None
+          else
+            Some (name, { c with Column.data = expand_l (Column.as_bool ctx c) }))
+        left.Table.cols
+    @ List.filter_map
+        (fun (name, c) ->
+          if List.mem name on then None
+          else
+            Some (name, { c with Column.data = expand_r (Column.as_bool ctx c) }))
+        right.Table.cols
+  in
+  Table.of_columns ctx "nested_join" ~valid cols
+
+(** Quadratic oblivious semi-join: left rows keep an OR over the m
+    per-pair equality bits. *)
+let nested_semi_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  let n = Table.nrows left and m = Table.nrows right in
+  let li, ri = product_indices n m in
+  let eq =
+    Compare.eq_composite ctx
+      (List.map
+         (fun k ->
+           let w = max (Table.width left k) (Table.width right k) in
+           ( Share.gather (Column.as_bool ctx (Table.find left k)) li,
+             Share.gather (Column.as_bool ctx (Table.find right k)) ri,
+             w ))
+         on)
+  in
+  let eq = Mpc.band ~width:1 ctx eq (Share.gather right.Table.valid ri) in
+  (* OR-reduce each row's m bits in log m rounds; odd stragglers OR with
+     themselves (branchless) *)
+  let rec fold s width =
+    if width = 1 then s
+    else
+      let half = (width + 1) / 2 in
+      let idx_a =
+        Array.init (n * half) (fun t -> ((t / half) * width) + (t mod half))
+      in
+      let idx_b =
+        Array.init (n * half) (fun t ->
+            let i = t / half and j = t mod half in
+            if j + half < width then (i * width) + j + half
+            else (i * width) + j)
+      in
+      let merged =
+        Mpc.bor ~width:1 ctx (Share.gather s idx_a) (Share.gather s idx_b)
+      in
+      fold merged half
+  in
+  let matched = fold eq m in
+  Table.and_valid left matched
+
+(** Bitonic table sort (pads to a power of two with invalid rows; the pad
+    rows sort to the end via a leading validity key). *)
+let bitonic_sort (t : Table.t) (specs : (string * Tablesort.order) list) :
+    Table.t =
+  let ctx = Table.ctx t in
+  let n = Table.nrows t in
+  let n2 = Orq_util.Ring.next_pow2 n in
+  let pad s fill =
+    if n2 = n then s else Share.append s (Share.public ctx s.Share.enc (n2 - n) fill)
+  in
+  let keys =
+    { Orq_sort.Bitonic.col = pad t.Table.valid 0; width = 1; dir = Orq_sort.Bitonic.Desc }
+    :: List.map
+         (fun (name, o) ->
+           let c = Table.find t name in
+           {
+             Orq_sort.Bitonic.col = pad (Column.as_bool ctx c) 0;
+             width = c.Column.width;
+             dir =
+               (match o with
+               | Tablesort.Asc -> Orq_sort.Bitonic.Asc
+               | Tablesort.Desc -> Orq_sort.Bitonic.Desc);
+           })
+         specs
+  in
+  let others =
+    List.filter_map
+      (fun (name, c) ->
+        if List.mem_assoc name specs then None
+        else Some (name, pad (Column.as_bool ctx c) 0))
+      t.Table.cols
+  in
+  let sorted_keys, sorted_others =
+    Orq_sort.Bitonic.sort ctx ~keys (List.map snd others)
+  in
+  let key_cols =
+    List.map2
+      (fun (name, _) s -> (name, Share.sub_range s 0 n))
+      specs (List.tl sorted_keys)
+  in
+  let valid = Share.sub_range (List.hd sorted_keys) 0 n in
+  let cols =
+    List.map
+      (fun (name, c) ->
+        match List.assoc_opt name key_cols with
+        | Some data -> (name, { c with Column.data })
+        | None ->
+            let data =
+              List.assoc name
+                (List.map2
+                   (fun (nme, _) s -> (nme, Share.sub_range s 0 n))
+                   others sorted_others)
+            in
+            (name, { c with Column.data }))
+      t.Table.cols
+  in
+  Table.of_columns ctx t.Table.name ~valid cols
+
+(** Secrecy-style group-by: bitonic sort on the keys, then the aggregation
+    network (odd-even aggregation in the original), keeping group-last
+    rows. *)
+let group_by (t : Table.t) ~(keys : string list) ~(aggs : Dataflow.agg list) :
+    Table.t =
+  let ctx = Table.ctx t in
+  let t = bitonic_sort t (List.map (fun k -> (k, Tablesort.Asc)) keys) in
+  (* after the valid-leading bitonic sort, valid rows are on top but group
+     boundaries still need the validity bit in the key *)
+  let key_shares =
+    (t.Table.valid, 1)
+    :: List.map (fun k -> (Table.column t k, Table.width t k)) keys
+  in
+  let expanded =
+    List.concat_map
+      (fun (a : Dataflow.agg) ->
+        match a.Dataflow.fn with
+        | Dataflow.Sum ->
+            let src = Table.find t a.Dataflow.src in
+            let w = Dataflow.sum_width t src.Column.width in
+            [
+              ( {
+                  Aggnet.col = Column.as_arith ctx src;
+                  func = Aggnet.Sum;
+                  keys = Aggnet.Group;
+                  width = w;
+                },
+                w,
+                a.Dataflow.dst,
+                true )
+            ]
+        | Dataflow.Count ->
+            let w = Dataflow.count_width t in
+            [
+              ( {
+                  Aggnet.col = Share.public ctx Share.Arith (Table.nrows t) 1;
+                  func = Aggnet.Sum;
+                  keys = Aggnet.Group;
+                  width = w;
+                },
+                w,
+                a.Dataflow.dst,
+                true )
+            ]
+        | Dataflow.Min ->
+            let w = Table.width t a.Dataflow.src in
+            [
+              ( {
+                  Aggnet.col = Table.column t a.Dataflow.src;
+                  func = Aggnet.Min w;
+                  keys = Aggnet.Group;
+                  width = w;
+                },
+                w,
+                a.Dataflow.dst,
+                false )
+            ]
+        | Dataflow.Max ->
+            let w = Table.width t a.Dataflow.src in
+            [
+              ( {
+                  Aggnet.col = Table.column t a.Dataflow.src;
+                  func = Aggnet.Max w;
+                  keys = Aggnet.Group;
+                  width = w;
+                },
+                w,
+                a.Dataflow.dst,
+                false )
+            ]
+        | Dataflow.Avg | Dataflow.Custom _ ->
+            invalid_arg "Secrecy baseline group_by: sum/count/min/max only")
+      aggs
+  in
+  let results =
+    Aggnet.run ctx ~keys:key_shares (List.map (fun (sp, _, _, _) -> sp) expanded)
+  in
+  let t =
+    List.fold_left2
+      (fun t (_, w, dst, conv) r ->
+        let data = if conv then Orq_circuits.Convert.a2b ~w ctx r else r in
+        Table.set_col t dst (Column.of_shared ~width:w data))
+      t expanded results
+  in
+  let last = Aggnet.last_of_group_bits ctx ~keys:key_shares in
+  Table.and_valid t last
+
+(** Secrecy-style DISTINCT: bitonic sort + adjacent comparison. *)
+let distinct (t : Table.t) (keys : string list) : Table.t =
+  let ctx = Table.ctx t in
+  let t = bitonic_sort t (List.map (fun k -> (k, Tablesort.Asc)) keys) in
+  let key_shares =
+    (t.Table.valid, 1)
+    :: List.map (fun k -> (Table.column t k, Table.width t k)) keys
+  in
+  Table.and_valid t (Aggnet.distinct_bits ctx ~keys:key_shares)

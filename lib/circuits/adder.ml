@@ -1,0 +1,78 @@
+(** Kogge–Stone addition and subtraction over boolean shares.
+
+    [O(log w)] AND rounds for [w]-bit operands; the two ANDs of each prefix
+    level (generate and propagate updates) are batched into one round. These
+    circuits back A2B conversion, the division circuit, and arithmetic on
+    boolean columns. *)
+
+open Orq_proto
+open Orq_util
+
+(* Prefix (G, P) computation. Inputs are the initial generate/propagate
+   words; returns full-prefix (G, P): G_i = carry-generate of span [0..i],
+   P_i = propagate of span [0..i]. Shifted-in propagate bits must be 1 so
+   that short spans keep their value. *)
+let prefix_gp (ctx : Ctx.t) ~w g p =
+  let n = Share.length g in
+  let rec go g p s =
+    if s >= w then (g, p)
+    else
+      let g_sh = Mpc.lshift g s in
+      let p_sh = Mpc.xor_pub (Mpc.lshift p s) (Ring.mask s) in
+      let both =
+        Mpc.band ~width:w ctx (Share.append p p) (Share.append g_sh p_sh)
+      in
+      let pg, pp = Share.split2 both n in
+      go (Mpc.xor g pg) pp (2 * s)
+  in
+  go g p 1
+
+(* Finish an addition from (x xor y), prefix (G, P) and a public carry-in. *)
+let finish ~w ~cin xy g p =
+  let carries = Mpc.lshift g 1 in
+  let carries =
+    if cin then Mpc.xor_pub (Mpc.xor carries (Mpc.lshift p 1)) 1 else carries
+  in
+  Mpc.and_mask (Mpc.xor xy carries) (Ring.mask w)
+
+(** [add ctx ~w x y]: boolean-shared sum modulo 2^w. *)
+let add ?(cin = false) (ctx : Ctx.t) ~w x y =
+  let mw = Ring.mask w in
+  let x = Mpc.and_mask x mw and y = Mpc.and_mask y mw in
+  let g = Mpc.band ~width:w ctx x y in
+  let p = Mpc.xor x y in
+  let g, p' = prefix_gp ctx ~w g p in
+  finish ~w ~cin p g p'
+
+(** [sub ctx ~w x y]: boolean-shared difference modulo 2^w
+    (x + not y + 1). *)
+let sub (ctx : Ctx.t) ~w x y =
+  let ny = Mpc.and_mask (Mpc.bnot y) (Ring.mask w) in
+  add ~cin:true ctx ~w x ny
+
+(** Addition with a public operand: the initial generate/propagate are
+    local, saving one AND round. *)
+let add_pub ?(cin = false) (ctx : Ctx.t) ~w x (c : Vec.t) =
+  let mw = Ring.mask w in
+  let x = Mpc.and_mask x mw in
+  let c = Vec.and_scalar c mw in
+  let g = Mpc.and_mask_vec x c in
+  let p = Mpc.xor_pub_vec x c in
+  let g, p' = prefix_gp ctx ~w g p in
+  finish ~w ~cin p g p'
+
+(** [sub_pub_minuend ctx ~w c y] computes the boolean sharing of the public
+    vector [c] minus the shared [y]: c + not y + 1. This is the A2B
+    finishing step (x = (x + r) - r with (x + r) opened). *)
+let sub_pub_minuend (ctx : Ctx.t) ~w (c : Vec.t) y =
+  let ny = Mpc.and_mask (Mpc.bnot y) (Ring.mask w) in
+  add_pub ~cin:true ctx ~w ny c
+
+(** Subtract a public vector from a shared value: x - c = x + (not c) + 1. *)
+let sub_pub (ctx : Ctx.t) ~w x (c : Vec.t) =
+  let nc = Vec.map (fun v -> lnot v land Ring.mask w) c in
+  add_pub ~cin:true ctx ~w x nc
+
+(** Two's-complement negation of a boolean sharing: 0 - x. *)
+let neg (ctx : Ctx.t) ~w x =
+  sub_pub_minuend ctx ~w (Vec.zeros (Share.length x)) x

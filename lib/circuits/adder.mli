@@ -1,0 +1,33 @@
+(** Kogge–Stone addition and subtraction over boolean shares: [O(log w)]
+    AND rounds for [w]-bit operands (generate/propagate updates of each
+    prefix level batched into one round). Backs A2B conversion, division,
+    and arithmetic on boolean columns. *)
+
+open Orq_proto
+
+val prefix_gp :
+  Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared * Share.shared
+(** Full-prefix (G, P) from initial generate/propagate words. *)
+
+val add :
+  ?cin:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared
+(** Boolean-shared sum modulo 2^w (optional public carry-in). *)
+
+val sub : Ctx.t -> w:int -> Share.shared -> Share.shared -> Share.shared
+(** x - y = x + not y + 1, modulo 2^w. *)
+
+val add_pub :
+  ?cin:bool -> Ctx.t -> w:int -> Share.shared -> Orq_util.Vec.t ->
+  Share.shared
+(** Addition with a public operand (saves the initial AND round). *)
+
+val sub_pub_minuend :
+  Ctx.t -> w:int -> Orq_util.Vec.t -> Share.shared -> Share.shared
+(** Public vector minus shared value — the A2B finishing step. *)
+
+val sub_pub : Ctx.t -> w:int -> Share.shared -> Orq_util.Vec.t -> Share.shared
+
+val neg : Ctx.t -> w:int -> Share.shared -> Share.shared
+(** Two's-complement negation (0 - x). *)

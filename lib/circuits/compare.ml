@@ -1,0 +1,110 @@
+(** Oblivious comparisons on boolean-shared, bit-packed values.
+
+    Equality is an XOR followed by a logarithmic OR-fold; less-than is the
+    classic divide-and-conquer (lt, eq) block-combination circuit. Both take
+    [O(log w)] AND rounds for [w]-bit values — the costs the paper's sorting
+    analysis (§B) assumes for secure comparisons. All results are single-bit
+    boolean shares in the LSB. *)
+
+open Orq_proto
+
+(** Bit mask with ones at positions [0, s, 2s, ...] below the word size,
+    selecting the summary flag of each combined block at stride [s]. *)
+let stride_mask s =
+  let m = ref 0 in
+  let i = ref 0 in
+  while !i < Orq_util.Ring.word_bits do
+    m := !m lor (1 lsl !i);
+    i := !i + s
+  done;
+  !m
+
+(** [eq ctx ~w x y] returns the single-bit sharing of [x = y] over the low
+    [w] bits. [log2 w] AND rounds. *)
+let eq (ctx : Ctx.t) ~w x y =
+  let z = Mpc.and_mask (Mpc.xor x y) (Orq_util.Ring.mask w) in
+  let rec fold z s =
+    if s = 0 then z
+    else
+      let z = Mpc.bor ~width:(max 1 s) ctx z (Mpc.rshift z s) in
+      fold z (s / 2)
+  in
+  let z = fold z (Orq_util.Ring.next_pow2 w / 2) in
+  Mpc.and_mask (Mpc.xor_pub z 1) 1
+
+(** Pairwise-adjacent equality against a shifted copy, used by DISTINCT. *)
+let neq ctx ~w x y = Mpc.xor_pub (eq ctx ~w x y) 1
+
+(* Core of less-than: maintain per-block (lt, eq) summary flags packed in
+   the word and merge adjacent blocks level by level:
+     lt' = lt_hi xor (eq_hi and lt_lo)   (xor = or: the terms are disjoint)
+     eq' = eq_hi and eq_lo
+   Both ANDs of a level are batched into one round. *)
+let lt_core (ctx : Ctx.t) ~w x y =
+  let mw = Orq_util.Ring.mask w in
+  let xw = Mpc.and_mask x mw and yw = Mpc.and_mask y mw in
+  let ltb =
+    Mpc.band ~width:w ctx (Mpc.and_mask (Mpc.bnot xw) mw) yw
+  in
+  (* bits at positions >= w xor to zero, so eqb is 1 there: padding blocks
+     behave as (lt = 0, eq = 1) and vanish in the combination *)
+  let eqb = Mpc.bnot (Mpc.xor xw yw) in
+  let n = Share.length x in
+  let rec go ltb eqb d =
+    if d >= w then Mpc.and_mask ltb 1
+    else
+      let m = stride_mask (2 * d) in
+      let lt_hi = Mpc.and_mask (Mpc.rshift ltb d) m in
+      (* bits shifted in from beyond the 63-bit word stand for padding
+         positions, which compare as (lt = 0, eq = 1): set them to 1 *)
+      let top = Orq_util.Ring.ones lsl (Orq_util.Ring.word_bits - d) land Orq_util.Ring.ones in
+      let eq_hi = Mpc.and_mask (Mpc.xor_pub (Mpc.rshift eqb d) top) m in
+      let lt_lo = Mpc.and_mask ltb m in
+      let eq_lo = Mpc.and_mask eqb m in
+      let both =
+        Mpc.band
+          ~width:(max 1 (w / (2 * d)))
+          ctx
+          (Share.append eq_hi eq_hi)
+          (Share.append lt_lo eq_lo)
+      in
+      let a, b = Share.split2 both n in
+      go (Mpc.xor lt_hi a) b (2 * d)
+  in
+  go ltb eqb 1
+
+(** [lt ctx ~w x y]: single-bit sharing of [x < y]. Unsigned by default;
+    [~signed:true] compares in two's complement by flipping the sign bit. *)
+let lt ?(signed = false) (ctx : Ctx.t) ~w x y =
+  if signed then
+    let flip = 1 lsl (w - 1) in
+    lt_core ctx ~w (Mpc.xor_pub x flip) (Mpc.xor_pub y flip)
+  else lt_core ctx ~w x y
+
+let gt ?signed ctx ~w x y = lt ?signed ctx ~w y x
+let le ?signed ctx ~w x y = Mpc.xor_pub (lt ?signed ctx ~w y x) 1
+let ge ?signed ctx ~w x y = Mpc.xor_pub (lt ?signed ctx ~w x y) 1
+
+(** Lexicographic less-than over a list of (x, y, width) column pairs —
+    the composite-key comparator used by TableSort and the sorting wrapper
+    (the (key, index) 128-bit padding construction of §B.2):
+    lt = lt_1 or (eq_1 and (lt_2 or (eq_2 and ...))). *)
+let rec lt_lex ?signed (ctx : Ctx.t) = function
+  | [] -> invalid_arg "lt_lex: empty key list"
+  | [ (x, y, w) ] -> lt ?signed ctx ~w x y
+  | (x, y, w) :: rest ->
+      let hd_lt = lt ?signed ctx ~w x y in
+      let hd_eq = eq ctx ~w x y in
+      let tail = lt_lex ?signed ctx rest in
+      (* disjoint terms: or = xor *)
+      Mpc.xor hd_lt (Mpc.band ~width:1 ctx hd_eq tail)
+
+(** Conjunction of per-column equality over composite keys. *)
+let eq_composite (ctx : Ctx.t) (cols : (Share.shared * Share.shared * int) list) =
+  match cols with
+  | [] -> invalid_arg "eq_composite: empty key list"
+  | [ (x, y, w) ] -> eq ctx ~w x y
+  | (x, y, w) :: rest ->
+      List.fold_left
+        (fun acc (x, y, w) -> Mpc.band ~width:1 ctx acc (eq ctx ~w x y))
+        (eq ctx ~w x y) rest

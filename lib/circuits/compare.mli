@@ -1,0 +1,44 @@
+(** Oblivious comparisons on boolean-shared, bit-packed values: XOR +
+    logarithmic OR-fold equality and divide-and-conquer less-than —
+    [O(log w)] AND rounds for [w]-bit values, as assumed by the paper's
+    sorting analysis (Appendix B). Results are single-bit boolean shares in
+    the LSB. *)
+
+open Orq_proto
+
+val stride_mask : int -> int
+(** Bit mask with ones at positions [0, s, 2s, ...] below the word size. *)
+
+val eq : Ctx.t -> w:int -> Share.shared -> Share.shared -> Share.shared
+(** [eq ctx ~w x y]: single-bit sharing of [x = y] over the low [w] bits;
+    [log2 w] AND rounds. *)
+
+val neq : Ctx.t -> w:int -> Share.shared -> Share.shared -> Share.shared
+
+val lt :
+  ?signed:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared
+(** [lt ctx ~w x y]: single-bit sharing of [x < y]; unsigned by default,
+    [~signed:true] compares [w]-bit two's complement (sign-bit flip). *)
+
+val gt :
+  ?signed:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared
+
+val le :
+  ?signed:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared
+
+val ge :
+  ?signed:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared
+
+val lt_lex :
+  ?signed:bool -> Ctx.t -> (Share.shared * Share.shared * int) list ->
+  Share.shared
+(** Lexicographic less-than over (x, y, width) column pairs — the
+    composite-key comparator of TableSort and the sorting wrapper. *)
+
+val eq_composite :
+  Ctx.t -> (Share.shared * Share.shared * int) list -> Share.shared
+(** Conjunction of per-column equality over composite keys. *)

@@ -1,0 +1,62 @@
+(** Conversions between arithmetic and boolean sharings (§2.3: "ORQ provides
+    efficient MPC primitives to convert between the two representations
+    without relying on data owners").
+
+    Both directions are protocol-agnostic, consuming dealer correlations
+    (daBits / edaBits) plus generic openings and adder circuits, so they work
+    unchanged under all three protocols. *)
+
+open Orq_proto
+open Orq_util
+
+(** Convert single-bit boolean sharings (condition bits in the LSB) to
+    arithmetic 0/1 sharings. One opening round:
+    c = open(b xor r);  [b]_A = c + [r]_A * (1 - 2c). *)
+let bit_b2a (ctx : Ctx.t) (b : Share.shared) : Share.shared =
+  let n = Share.length b in
+  let { Dealer.da_bool; da_arith } = Dealer.dabits ctx n in
+  let masked = Mpc.and_mask (Mpc.xor b da_bool) 1 in
+  let c = Mpc.open_ ~width:1 ctx masked in
+  let coeff = Vec.map (fun ci -> 1 - (2 * ci)) c in
+  Mpc.add_pub_vec (Mpc.mul_pub_vec da_arith coeff) c
+
+(** Full-width boolean-to-arithmetic conversion via per-bit daBits; all [w]
+    bit openings are batched into a single round, then recombined locally as
+    sum_i 2^i [b_i]_A. The [w]-bit value is interpreted as two's complement
+    when [~signed:true] (the top bit weighs -2^(w-1)), so signed intermediates (e.g.
+    profit columns) convert correctly; the default is raw
+    unsigned recombination. Values below 2^(w-1) are unaffected either
+    way. *)
+let b2a ?w ?(signed = false) (ctx : Ctx.t) (x : Share.shared) : Share.shared =
+  let w = Option.value w ~default:ctx.Ctx.ell in
+  let w = min w Ring.word_bits in
+  let n = Share.length x in
+  let bits =
+    List.init w (fun i -> Mpc.and_mask (Mpc.rshift x i) 1)
+  in
+  let all_bits = Share.concat bits in
+  let { Dealer.da_bool; da_arith } = Dealer.dabits ctx (w * n) in
+  let masked = Mpc.and_mask (Mpc.xor all_bits da_bool) 1 in
+  let c = Mpc.open_ ~width:1 ctx masked in
+  let coeff = Vec.map (fun ci -> 1 - (2 * ci)) c in
+  let bits_a = Mpc.add_pub_vec (Mpc.mul_pub_vec da_arith coeff) c in
+  let acc = ref (Share.public ctx Share.Arith n 0) in
+  for i = 0 to w - 1 do
+    let bi = Share.sub_range bits_a (i * n) n in
+    let weight =
+      if signed && i = w - 1 && w < Ring.word_bits then -(1 lsl i)
+      else 1 lsl i
+    in
+    acc := Mpc.add !acc (Mpc.mul_pub bi weight)
+  done;
+  !acc
+
+(** Arithmetic-to-boolean conversion: mask with a doubly shared random
+    [r] (edaBits), open [x + r], and subtract [r] inside a boolean adder:
+    [x]_B = (x + r) - [r]_B. One opening round plus one adder. *)
+let a2b ?w (ctx : Ctx.t) (x : Share.shared) : Share.shared =
+  let w = Option.value w ~default:(min ctx.Ctx.ell Ring.word_bits) in
+  let w = min w Ring.word_bits in
+  let { Dealer.ed_arith; ed_bool } = Dealer.edabits ctx (Share.length x) in
+  let c = Mpc.open_ ctx (Mpc.add x ed_arith) in
+  Adder.sub_pub_minuend ctx ~w c ed_bool

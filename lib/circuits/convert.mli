@@ -1,0 +1,19 @@
+(** Conversions between arithmetic and boolean sharings (§2.3) —
+    protocol-agnostic, consuming dealer correlations (daBits / edaBits)
+    plus generic openings and adder circuits. *)
+
+open Orq_proto
+
+val bit_b2a : Ctx.t -> Share.shared -> Share.shared
+(** Single-bit boolean sharings (LSB) to arithmetic 0/1 sharings; one
+    opening round: c = open(b xor r), [b]_A = c + [r]_A (1 - 2c). *)
+
+val b2a : ?w:int -> ?signed:bool -> Ctx.t -> Share.shared -> Share.shared
+(** Full-width boolean-to-arithmetic conversion via per-bit daBits, all
+    openings batched into one round. With [~signed:true] the [w]-bit value
+    is two's complement (the top bit weighs -2^(w-1)); default unsigned. *)
+
+val a2b : ?w:int -> Ctx.t -> Share.shared -> Share.shared
+(** Arithmetic-to-boolean: mask with a doubly shared random value
+    (edaBits), open x + r, subtract [r] in a boolean adder. Correct modulo
+    2^w (two's complement for negatives). *)

@@ -1,0 +1,88 @@
+(** Oblivious integer division.
+
+    The paper implements fully private averages with a non-restoring
+    division circuit "inspired by the hardware literature" (§5.1, citing
+    Lu). We implement exactly that: [w] iterations, each shifting the
+    partial remainder and adding +D or -D depending on the (secret) sign of
+    the running remainder, with a final remainder fix-up. The invariant is
+
+      X_consumed = Q·D + R + D·[R < 0],   R in [-D, D)
+
+    so the quotient bits q_i = [R_new >= 0] need no digit correction; only a
+    negative final remainder gets +D. The divisor may be secret-shared
+    ([udiv]) or public ([udiv_pub], which makes the per-iteration addend
+    selection local).
+
+    Inputs are unsigned [w]-bit boolean sharings; the partial remainder is
+    carried at width [w + 2] so signed intermediates (bounded by 2D) never
+    overflow. Division by zero yields unspecified output, as in the paper's
+    engine. *)
+
+open Orq_proto
+open Orq_util
+
+let check_width w =
+  if w < 1 || w > Ring.word_bits - 2 then
+    invalid_arg "Divide: width must be in [1, word_bits - 2]"
+
+(* Sign flag (bit wr - 1) of a wr-bit two's-complement sharing, as an LSB
+   single-bit share. *)
+let msb x ~wr = Mpc.and_mask (Mpc.rshift x (wr - 1)) 1
+
+(* Shared skeleton of the non-restoring loop. [select_addend sign] must
+   return the wr-bit boolean sharing of -D (sign = 0) or +D (sign = 1);
+   [add_d ~neg r] must return r + D·neg for the final fix-up. *)
+let nonrestoring (ctx : Ctx.t) ~w ~x ~select_addend ~add_d =
+  check_width w;
+  let wr = w + 2 in
+  let n = Share.length x in
+  let zero = Share.public ctx Share.Bool n 0 in
+  let r = ref zero in
+  let qbits = ref zero in
+  for i = w - 1 downto 0 do
+    let xi = Mpc.and_mask (Mpc.rshift x i) 1 in
+    (* 2R + x_i : the shifted-in low bit is zero so xor inserts x_i *)
+    let r2 = Mpc.and_mask (Mpc.xor (Mpc.lshift !r 1) xi) (Ring.mask wr) in
+    let s = msb !r ~wr in
+    let addend = select_addend s in
+    r := Adder.add ctx ~w:wr r2 addend;
+    (* quotient bit is 1 iff the new remainder is non-negative *)
+    let q = Mpc.xor_pub (msb !r ~wr) 1 in
+    qbits := Mpc.xor !qbits (Mpc.lshift q i)
+  done;
+  let neg = msb !r ~wr in
+  let r_fixed = add_d ~neg !r in
+  (Mpc.and_mask !qbits (Ring.mask w), Mpc.and_mask r_fixed (Ring.mask w))
+
+(** [udiv ctx ~w x d] returns boolean sharings of the quotient and remainder
+    of unsigned [w]-bit division by a secret divisor. *)
+let udiv (ctx : Ctx.t) ~w x d : Share.shared * Share.shared =
+  check_width w;
+  let wr = w + 2 in
+  let d = Mpc.and_mask d (Ring.mask w) in
+  let neg_d = Adder.neg ctx ~w:wr d in
+  let select_addend s = Mux.mux_b ~width:wr ctx s neg_d d in
+  let add_d ~neg r =
+    let cond_d = Mpc.band ~width:wr ctx (Mpc.extend_bit neg) d in
+    Adder.add ctx ~w:wr r cond_d
+  in
+  nonrestoring ctx ~w ~x ~select_addend ~add_d
+
+(** [udiv_pub ctx ~w x d] divides by a public divisor vector; the addend
+    selection becomes local masking, saving one round per iteration. *)
+let udiv_pub (ctx : Ctx.t) ~w x (d : Vec.t) : Share.shared * Share.shared =
+  check_width w;
+  let wr = w + 2 in
+  let mask_r = Ring.mask wr in
+  let d = Vec.and_scalar d (Ring.mask w) in
+  let neg_d = Vec.map (fun v -> -v land mask_r) d in
+  let diff = Vec.xor d neg_d in
+  let select_addend s =
+    (* (-d) xor (ext(s) and (d xor -d)) : +d when s = 1 *)
+    Mpc.xor_pub_vec (Mpc.and_mask_vec (Mpc.extend_bit s) diff) neg_d
+  in
+  let add_d ~neg r =
+    let cond_d = Mpc.and_mask_vec (Mpc.extend_bit neg) d in
+    Adder.add ctx ~w:wr r cond_d
+  in
+  nonrestoring ctx ~w ~x ~select_addend ~add_d

@@ -1,0 +1,18 @@
+(** Oblivious integer division: the non-restoring circuit the paper uses
+    for fully private averages (§5.1). [w] iterations of shift-and-add
+    with a sign-selected ±divisor; quotient bits need no correction, a
+    negative final remainder gets +D. Inputs are unsigned [w]-bit boolean
+    sharings; division by zero is unspecified. *)
+
+open Orq_proto
+
+val udiv :
+  Ctx.t -> w:int -> Share.shared -> Share.shared ->
+  Share.shared * Share.shared
+(** [udiv ctx ~w x d] = (quotient, remainder) with a secret divisor. *)
+
+val udiv_pub :
+  Ctx.t -> w:int -> Share.shared -> Orq_util.Vec.t ->
+  Share.shared * Share.shared
+(** Division by a public divisor vector (the per-iteration addend
+    selection becomes local masking). *)

@@ -1,0 +1,30 @@
+(** Oblivious multiplexers (§3.1): [mux b x y] evaluates [b ? y : x] without
+    revealing [b]. The boolean variant costs one AND round; the arithmetic
+    variant one multiplication. A batched variant muxes many columns under
+    one condition in a single round — the workhorse of the aggregation
+    network. *)
+
+open Orq_proto
+
+(** Boolean mux. [b] carries the condition in each element's LSB. *)
+let mux_b ?width (ctx : Ctx.t) b x y =
+  let d = Mpc.xor x y in
+  let m = Mpc.band ?width ctx (Mpc.extend_bit b) d in
+  Mpc.xor x m
+
+(** Boolean mux of several columns under one condition; all columns are
+    packed into a single AND so the whole select costs one round. *)
+let mux_b_many ?width (ctx : Ctx.t) b (pairs : (Share.shared * Share.shared) list) :
+    Share.shared list =
+  match pairs with
+  | [] -> []
+  | _ ->
+      let n = Share.length b in
+      let ext = Mpc.extend_bit b in
+      let diffs = List.map (fun (x, y) -> Mpc.xor x y) pairs in
+      let exts = List.map (fun _ -> ext) pairs in
+      let big = Mpc.band ?width ctx (Share.concat exts) (Share.concat diffs) in
+      List.mapi (fun i (x, _) -> Mpc.xor x (Share.sub_range big (i * n) n)) pairs
+
+(** Arithmetic mux: condition given as an arithmetic 0/1 sharing. *)
+let mux_a (ctx : Ctx.t) b x y = Mpc.add x (Mpc.mul ctx b (Mpc.sub y x))

@@ -1,0 +1,18 @@
+(** Oblivious multiplexers (§3.1): [b ? y : x] without revealing [b]. *)
+
+open Orq_proto
+
+val mux_b :
+  ?width:int -> Ctx.t -> Share.shared -> Share.shared -> Share.shared ->
+  Share.shared
+(** Boolean mux ([b] carries the condition in each element's LSB); one AND
+    round. *)
+
+val mux_b_many :
+  ?width:int -> Ctx.t -> Share.shared ->
+  (Share.shared * Share.shared) list -> Share.shared list
+(** Mux several columns under one condition in a single round — the
+    workhorse of the aggregation network. *)
+
+val mux_a : Ctx.t -> Share.shared -> Share.shared -> Share.shared -> Share.shared
+(** Arithmetic mux with a 0/1 arithmetic condition (one multiplication). *)

@@ -1,0 +1,191 @@
+(** The aggregation network (§3.1, Protocol 1; correctness in Appendix C.2).
+
+    A Hillis–Steele doubling network over a table sorted on its grouping
+    key: at distance d, every row pair (i, i+d) with equal keys combines its
+    values into row i+d. After ceil(log2 n) doublings, copy-style functions
+    have propagated the *first* row of each group into all its rows, and
+    self-decomposable functions (sum, min, max, ...) have accumulated the
+    whole group into its *last* row — O(n log n) work, O(log n) rounds.
+
+    Several aggregation functions run in the same control flow, reusing the
+    per-level group-boundary bits (the paper's multi-function optimization);
+    functions may also use the *extended* key set (group key plus the
+    table-id column) for the valid-bit propagation of the join operator.
+
+    The network pads to a power of two with invalid rows, exactly like the
+    engine the paper describes (the padding is what produces the Q12
+    scaling outlier in Figure 8); padded rows carry key 0 with validity 0
+    and can never merge with a valid group because the validity bit is part
+    of every aggregation key. *)
+
+open Orq_proto
+module Compare = Orq_circuits.Compare
+module Mux = Orq_circuits.Mux
+module Convert = Orq_circuits.Convert
+
+type func =
+  | Copy  (** propagate the group's first row downward (f(x, y) = x) *)
+  | Sum  (** running sum; group total lands in the last row *)
+  | Min of int  (** running minimum of the given width *)
+  | Max of int
+  | Custom of (Ctx.t -> Share.shared -> Share.shared -> Share.shared)
+      (** pairwise combine [f ctx upper lower] on boolean shares *)
+
+type keyset = Group | Group_and_tid
+    (** which key set guards the function: the aggregation key K_a, or the
+        extended K_s = K_a + table-id used for valid-bit propagation *)
+
+type spec = {
+  col : Share.shared;
+  func : func;
+  keys : keyset;
+  width : int;  (** logical bit width of the column (metering) *)
+}
+
+(* Split a column into the upper rows [0, n-d) and lower rows [d, n). *)
+let slices s d =
+  let n = Share.length s in
+  (Share.sub_range s 0 (n - d), Share.sub_range s d (n - d))
+
+(** [run ctx ~keys ?tid specs] executes the aggregation network over a
+    table already sorted on [keys] (which must include the validity
+    column). [tid] supplies the table-id column for [Group_and_tid]
+    functions. Returns the updated columns in the order of [specs]. *)
+let run (ctx : Ctx.t) ~(keys : (Share.shared * int) list)
+    ?(tid : Share.shared option) (specs : spec list) : Share.shared list =
+  let n = Share.length (fst (List.hd keys)) in
+  let n2 = Orq_util.Ring.next_pow2 n in
+  let extra = n2 - n in
+  let pad s = if extra = 0 then s else Share.append s (Share.public ctx s.Share.enc extra 0) in
+  let keys = List.map (fun (k, w) -> (pad k, w)) keys in
+  let tid = Option.map pad tid in
+  let needs_tid = List.exists (fun sp -> sp.keys = Group_and_tid) specs in
+  if needs_tid && tid = None then invalid_arg "Aggnet.run: tid column required";
+  let cols = ref (List.map (fun sp -> pad sp.col) specs) in
+  let d = ref 1 in
+  while !d < n2 do
+    let dd = !d in
+    let m = n2 - dd in
+    (* group-boundary bit over the aggregation keys *)
+    let b_group =
+      Compare.eq_composite ctx
+        (List.map
+           (fun (k, w) ->
+             let u, l = slices k dd in
+             (u, l, w))
+           keys)
+    in
+    let b_ext =
+      if needs_tid then
+        match tid with
+        | Some t ->
+            let u, l = slices t dd in
+            Some (Mpc.band ~width:1 ctx b_group (Compare.eq ctx ~w:1 u l))
+        | None -> None
+      else None
+    in
+    (* arithmetic view of the boundary bit, shared by all Sum functions *)
+    let b_arith = lazy (Convert.bit_b2a ctx b_group) in
+    let b_of = function
+      | Group -> b_group
+      | Group_and_tid -> Option.get b_ext
+    in
+    (* collect boolean-mux updates so they share one round *)
+    let mux_batch = ref [] in
+    let push_mux b lower g width =
+      mux_batch := (b, lower, g, width) :: !mux_batch;
+      `Mux (List.length !mux_batch - 1)
+    in
+    let updates =
+      List.map2
+        (fun sp col ->
+          let upper, lower = slices col dd in
+          match sp.func with
+          | Copy -> push_mux (b_of sp.keys) lower upper sp.width
+          | Sum ->
+              Share.check_enc Arith col;
+              (* lower + b * upper : local once b is arithmetic *)
+              `Direct (Mpc.add lower (Mpc.mul ctx (Lazy.force b_arith) upper))
+          | Min w ->
+              let lt = Compare.lt ctx ~w upper lower in
+              let smaller = Mux.mux_b ~width:w ctx lt lower upper in
+              push_mux (b_of sp.keys) lower smaller w
+          | Max w ->
+              let lt = Compare.lt ctx ~w upper lower in
+              let larger = Mux.mux_b ~width:w ctx lt upper lower in
+              push_mux (b_of sp.keys) lower larger w
+          | Custom f ->
+              let g = f ctx upper lower in
+              push_mux (b_of sp.keys) lower g sp.width)
+        specs !cols
+    in
+    (* one batched round for all boolean muxes of this level *)
+    let batched = Array.of_list (List.rev !mux_batch) in
+    let mux_results =
+      if Array.length batched = 0 then [||]
+      else begin
+        (* all conditions have the same length m; batch under one AND *)
+        let conds = Array.to_list (Array.map (fun (b, _, _, _) -> b) batched) in
+        let olds = Array.to_list (Array.map (fun (_, o, _, _) -> o) batched) in
+        let news = Array.to_list (Array.map (fun (_, _, g, _) -> g) batched) in
+        let width =
+          Array.fold_left (fun acc (_, _, _, w) -> max acc w) 1 batched
+        in
+        let exts = List.map Mpc.extend_bit conds in
+        let diffs = List.map2 Mpc.xor olds news in
+        let anded =
+          Mpc.band ~width ctx (Share.concat exts) (Share.concat diffs)
+        in
+        Array.of_list
+          (List.mapi
+             (fun i o -> Mpc.xor o (Share.sub_range anded (i * m) m))
+             olds)
+      end
+    in
+    cols :=
+      List.map2
+        (fun upd col ->
+          let head = Share.sub_range col 0 dd in
+          let new_lower =
+            match upd with
+            | `Direct s -> s
+            | `Mux i -> mux_results.(i)
+          in
+          Share.append head new_lower)
+        updates !cols;
+    d := !d * 2
+  done;
+  List.map (fun c -> Share.sub_range c 0 n) !cols
+
+(** Mark the first row of each group in a table sorted on [keys]:
+    bit i = 1 iff row i differs from row i-1 (row 0 always 1). This is the
+    oblivious DISTINCT of §3.1. *)
+let distinct_bits (ctx : Ctx.t) ~(keys : (Share.shared * int) list) :
+    Share.shared =
+  let n = Share.length (fst (List.hd keys)) in
+  if n = 1 then Share.public ctx Share.Bool 1 1
+  else
+    let eq =
+      Compare.eq_composite ctx
+        (List.map
+           (fun (k, w) ->
+             (Share.sub_range k 0 (n - 1), Share.sub_range k 1 (n - 1), w))
+           keys)
+    in
+    Share.append (Share.public ctx Share.Bool 1 1) (Mpc.xor_pub eq 1)
+
+(** Mark the last row of each group (the row holding the group aggregate
+    after {!run}). *)
+let last_of_group_bits (ctx : Ctx.t) ~(keys : (Share.shared * int) list) :
+    Share.shared =
+  let n = Share.length (fst (List.hd keys)) in
+  if n = 1 then Share.public ctx Share.Bool 1 1
+  else
+    let eq =
+      Compare.eq_composite ctx
+        (List.map
+           (fun (k, w) ->
+             (Share.sub_range k 0 (n - 1), Share.sub_range k 1 (n - 1), w))
+           keys)
+    in
+    Share.append (Mpc.xor_pub eq 1) (Share.public ctx Share.Bool 1 1)

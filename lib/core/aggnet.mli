@@ -1,0 +1,47 @@
+(** The aggregation network (§3.1, Protocol 1; correctness Appendix C.2):
+    a Hillis–Steele doubling network over a table sorted on its grouping
+    key. Copy-style functions propagate each group's *first* row into all
+    its rows; self-decomposable functions accumulate the group into its
+    *last* row — O(n log n) work, O(log n) rounds. Multiple functions run
+    in one control flow, reusing the per-level group-boundary bits. Pads
+    internally to a power of two with invalid rows (the padding behind the
+    paper's Q12 scaling outlier); the validity bit must be part of every
+    aggregation key. *)
+
+open Orq_proto
+
+type func =
+  | Copy  (** propagate the group's first row downward (f(x, y) = x) *)
+  | Sum  (** running sum on arithmetic shares; total in the last row *)
+  | Min of int  (** running minimum at the given width *)
+  | Max of int
+  | Custom of (Ctx.t -> Share.shared -> Share.shared -> Share.shared)
+      (** pairwise combine [f ctx upper lower] on boolean shares; must be
+          self-decomposable (§3.5) *)
+
+(** Which key set guards a function: the aggregation key K_a, or the
+    extended K_s = K_a + table-id used by the join's valid-bit
+    propagation. *)
+type keyset = Group | Group_and_tid
+
+type spec = {
+  col : Share.shared;
+  func : func;
+  keys : keyset;
+  width : int;  (** logical bit width of the column (metering) *)
+}
+
+val run :
+  Ctx.t -> keys:(Share.shared * int) list -> ?tid:Share.shared ->
+  spec list -> Share.shared list
+(** Execute the network over a table already sorted on [keys] (which must
+    include the validity column); [tid] supplies the table-id column for
+    [Group_and_tid] functions. Returns updated columns in spec order. *)
+
+val distinct_bits :
+  Ctx.t -> keys:(Share.shared * int) list -> Share.shared
+(** Mark each group's first row in a sorted table — oblivious DISTINCT. *)
+
+val last_of_group_bits :
+  Ctx.t -> keys:(Share.shared * int) list -> Share.shared
+(** Mark each group's last row (the one holding the group aggregate). *)

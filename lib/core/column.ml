@@ -1,0 +1,42 @@
+(** Table columns: a secret-shared vector plus its logical bit width and
+    signedness.
+
+    Columns are stored boolean-encoded by default — filters, sorts, joins
+    and distinct are all comparison-shaped — and converted to arithmetic
+    sharing on demand (sums, products, averages), mirroring §2.3's dual
+    representation with on-the-fly conversion. A [signed] column holds
+    two's-complement values at its width (e.g. a profit computed by
+    subtraction); conversions and comparisons respect the flag. *)
+
+open Orq_proto
+
+type t = { data : Share.shared; width : int; signed : bool }
+
+let length c = Share.length c.data
+let enc c = c.data.Share.enc
+
+let of_plaintext (ctx : Ctx.t) ~width (values : int array) : t =
+  { data = Share.share ctx Bool values; width; signed = false }
+
+let of_public (ctx : Ctx.t) ~width (values : int array) : t =
+  { data = Share.public_vec ctx Bool values; width; signed = false }
+
+let of_shared ?(signed = false) ~width data : t = { data; width; signed }
+
+(** Boolean view of a column (identity for boolean-encoded columns). *)
+let as_bool (ctx : Ctx.t) (c : t) : Share.shared =
+  match c.data.Share.enc with
+  | Bool -> c.data
+  | Arith -> Orq_circuits.Convert.a2b ~w:c.width ctx c.data
+
+(** Arithmetic view of a column, honouring its signedness. *)
+let as_arith (ctx : Ctx.t) (c : t) : Share.shared =
+  match c.data.Share.enc with
+  | Arith -> c.data
+  | Bool -> Orq_circuits.Convert.b2a ~w:c.width ~signed:c.signed ctx c.data
+
+let reconstruct c = Share.reconstruct c.data
+
+let gather c idx = { c with data = Share.gather c.data idx }
+let sub_range c pos len = { c with data = Share.sub_range c.data pos len }
+let append a b = { a with data = Share.append a.data b.data }

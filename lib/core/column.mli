@@ -1,0 +1,26 @@
+(** Table columns: a secret-shared vector plus its logical bit width and
+    signedness. Stored boolean-encoded by default (filters, sorts, joins
+    and distinct are comparison-shaped), converted to arithmetic sharing
+    on demand, mirroring §2.3's dual representation. A [signed] column
+    holds two's-complement values at its width. *)
+
+open Orq_proto
+
+type t = { data : Share.shared; width : int; signed : bool }
+
+val length : t -> int
+val enc : t -> Share.enc
+val of_plaintext : Ctx.t -> width:int -> int array -> t
+val of_public : Ctx.t -> width:int -> int array -> t
+val of_shared : ?signed:bool -> width:int -> Share.shared -> t
+
+val as_bool : Ctx.t -> t -> Share.shared
+(** Boolean view (identity for boolean-encoded columns). *)
+
+val as_arith : Ctx.t -> t -> Share.shared
+(** Arithmetic view, honouring the column's signedness. *)
+
+val reconstruct : t -> Orq_util.Vec.t
+val gather : t -> int array -> t
+val sub_range : t -> int -> int -> t
+val append : t -> t -> t

@@ -1,0 +1,426 @@
+(** The ORQ dataflow API (§2.2): relational operators as transformations on
+    secret-shared tables, chained to build query plans — the programming
+    model of Listing 1. Every operator is fully oblivious: output sizes and
+    access patterns depend only on public input sizes. *)
+
+open Orq_proto
+
+type order = Tablesort.order = Asc | Desc
+
+(* ------------------------------------------------------------------ *)
+(* Row-local operators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** SELECT ... WHERE: evaluate the predicate obliviously and fold it into
+    the validity column. *)
+let filter (t : Table.t) (p : Expr.pred) : Table.t =
+  Table.and_valid t (Expr.eval_pred t p)
+
+(** Attach a derived column (e.g. Revenue = Price * (100 - Discount) / 100). *)
+let map (t : Table.t) ~dst ?width (e : Expr.num) : Table.t =
+  let c = Expr.eval_col t e in
+  let c = match width with Some w -> { c with Column.width = w } | None -> c in
+  Table.set_col t dst c
+
+let project = Table.project
+
+(* ------------------------------------------------------------------ *)
+(* Sort / limit / distinct                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** ORDER BY: valid rows float to the top (validity is a leading descending
+    key), then the user keys apply. *)
+let order_by (t : Table.t) (specs : (string * order) list) : Table.t =
+  Tablesort.sort ~lead:[ (t.Table.valid, 1, Tablesort.Desc) ] t specs
+
+(** LIMIT k (after an ORDER BY): keep the first k physical rows. *)
+let limit (t : Table.t) k : Table.t = Table.take_rows t k
+
+(** DISTINCT on a composite key: sort and keep each group's first row. *)
+let distinct (t : Table.t) (keys : string list) : Table.t =
+  let ctx = Table.ctx t in
+  let t =
+    Tablesort.sort
+      ~lead:[ (t.Table.valid, 1, Tablesort.Asc) ]
+      t
+      (List.map (fun k -> (k, Asc)) keys)
+  in
+  let key_shares =
+    (t.Table.valid, 1)
+    :: List.map (fun k -> (Table.column t k, Table.width t k)) keys
+  in
+  let dist = Aggnet.distinct_bits ctx ~keys:key_shares in
+  Table.and_valid t dist
+
+(* ------------------------------------------------------------------ *)
+(* GROUP BY aggregation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type aggfn =
+  | Sum
+  | Count
+  | Min
+  | Max
+  | Avg
+  | Custom of (Ctx.t -> Share.shared -> Share.shared -> Share.shared)
+      (** pairwise combine on boolean shares; must be self-decomposable *)
+
+type agg = { src : string; dst : string; fn : aggfn }
+
+let sum_width (t : Table.t) w =
+  min (w + Orq_util.Ring.log2_ceil (Table.nrows t) + 1) 58
+
+let count_width (t : Table.t) = Orq_util.Ring.log2_ceil (Table.nrows t) + 1
+
+(* Build the Aggnet specs for one dataflow aggregation; Avg expands to a
+   sum/count pair plus a post-division. Each entry is
+   (spec, finisher, width, signedness of result, destination name). *)
+let expand_agg (t : Table.t) (a : agg) :
+    (Aggnet.spec * (Ctx.t -> Share.shared -> Share.shared) * int * bool * string)
+    list =
+  let ctx = Table.ctx t in
+  let id _ s = s in
+  match a.fn with
+  | Sum ->
+      let src = Table.find t a.src in
+      let w = sum_width t src.Column.width in
+      let col = Column.as_arith ctx src in
+      [
+        ( { Aggnet.col; func = Aggnet.Sum; keys = Aggnet.Group; width = w },
+          (fun ctx s -> Orq_circuits.Convert.a2b ~w ctx s),
+          w,
+          src.Column.signed,
+          a.dst );
+      ]
+  | Count ->
+      let w = count_width t in
+      let col = Share.public ctx Share.Arith (Table.nrows t) 1 in
+      [
+        ( { Aggnet.col; func = Aggnet.Sum; keys = Aggnet.Group; width = w },
+          (fun ctx s -> Orq_circuits.Convert.a2b ~w ctx s),
+          w,
+          false,
+          a.dst );
+      ]
+  | Min ->
+      (* unsigned comparisons: signed min/max would need the sign-flip map *)
+      let w = Table.width t a.src in
+      [
+        ( {
+            Aggnet.col = Table.column t a.src;
+            func = Aggnet.Min w;
+            keys = Aggnet.Group;
+            width = w;
+          },
+          id,
+          w,
+          false,
+          a.dst );
+      ]
+  | Max ->
+      let w = Table.width t a.src in
+      [
+        ( {
+            Aggnet.col = Table.column t a.src;
+            func = Aggnet.Max w;
+            keys = Aggnet.Group;
+            width = w;
+          },
+          id,
+          w,
+          false,
+          a.dst );
+      ]
+  | Custom f ->
+      let w = Table.width t a.src in
+      [
+        ( {
+            Aggnet.col = Table.column t a.src;
+            func = Aggnet.Custom f;
+            keys = Aggnet.Group;
+            width = w;
+          },
+          id,
+          w,
+          false,
+          a.dst );
+      ]
+  | Avg ->
+      (* expands to hidden sum and count columns; the (unsigned) division
+         happens in [aggregate] once both results exist *)
+      let src = Table.find t a.src in
+      let ws = sum_width t src.Column.width in
+      let wc = count_width t in
+      let col = Column.as_arith ctx src in
+      let ones = Share.public ctx Share.Arith (Table.nrows t) 1 in
+      [
+        ( { Aggnet.col; func = Aggnet.Sum; keys = Aggnet.Group; width = ws },
+          (fun ctx s -> Orq_circuits.Convert.a2b ~w:ws ctx s),
+          ws,
+          false,
+          a.dst ^ "#sum" );
+        ( { Aggnet.col = ones; func = Aggnet.Sum; keys = Aggnet.Group; width = wc },
+          (fun ctx s -> Orq_circuits.Convert.a2b ~w:wc ctx s),
+          wc,
+          false,
+          a.dst ^ "#count" );
+      ]
+
+(** GROUP BY [keys] evaluating the aggregations [aggs] (the paper's
+    [.aggregate()]): sorts on the keys, runs the aggregation network, and
+    keeps one valid row per group (the one holding the group total). AVG is
+    computed with the fully private non-restoring division circuit. *)
+let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
+  let ctx = Table.ctx t in
+  let t =
+    Tablesort.sort
+      ~lead:[ (t.Table.valid, 1, Tablesort.Asc) ]
+      t
+      (List.map (fun k -> (k, Asc)) keys)
+  in
+  let key_shares =
+    (t.Table.valid, 1)
+    :: List.map (fun k -> (Table.column t k, Table.width t k)) keys
+  in
+  let expanded = List.concat_map (expand_agg t) aggs in
+  let results =
+    Aggnet.run ctx ~keys:key_shares (List.map (fun (sp, _, _, _, _) -> sp) expanded)
+  in
+  let finished =
+    List.map2
+      (fun (_, finish, w, signed, dst) r ->
+        (dst, Column.of_shared ~signed ~width:w (finish ctx r)))
+      expanded results
+  in
+  let t =
+    List.fold_left (fun t (dst, c) -> Table.set_col t dst c) t finished
+  in
+  (* resolve AVG divisions *)
+  let t =
+    List.fold_left
+      (fun t a ->
+        match a.fn with
+        | Avg ->
+            let s = Table.find t (a.dst ^ "#sum") in
+            let c = Table.find t (a.dst ^ "#count") in
+            let w = s.Column.width in
+            let q, _ =
+              Orq_circuits.Divide.udiv ctx ~w s.Column.data
+                (Column.as_bool ctx c)
+            in
+            Table.drop_cols
+              (Table.set_col t a.dst (Column.of_shared ~width:w q))
+              [ a.dst ^ "#sum"; a.dst ^ "#count" ]
+        | Sum | Count | Min | Max | Custom _ -> t)
+      t aggs
+  in
+  let last = Aggnet.last_of_group_bits ctx ~keys:key_shares in
+  Table.and_valid t last
+
+(* ------------------------------------------------------------------ *)
+(* Global (whole-table) aggregation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold a shared vector to one element by pairwise combine in a log-depth
+   tree (used for global min/max; one compare+mux round per level). *)
+let tree_fold ctx combine (s : Share.shared) : Share.shared =
+  let rec go s =
+    let n = Share.length s in
+    if n = 1 then s
+    else
+      let half = n / 2 in
+      let a = Share.sub_range s 0 half in
+      let b = Share.sub_range s half half in
+      let merged = combine ctx a b in
+      let merged =
+        if n mod 2 = 1 then Share.append merged (Share.sub_range s (n - 1) 1)
+        else merged
+      in
+      go merged
+  in
+  go s
+
+(** Whole-table aggregation (no grouping key): SUM/COUNT/AVG are computed
+    with a validity-masked local reduction — no sorting at all, which is
+    why the paper's Q6 is its cheapest query — and MIN/MAX with a log-depth
+    compare tree over validity-masked values. Returns a one-row table. *)
+let global_aggregate (t : Table.t) ~(aggs : agg list) : Table.t =
+  let ctx = Table.ctx t in
+  let v_arith = lazy (Orq_circuits.Convert.bit_b2a ctx t.Table.valid) in
+  let cols =
+    List.map
+      (fun a ->
+        match a.fn with
+        | Sum ->
+            let src = Table.find t a.src in
+            let w = sum_width t src.Column.width in
+            let x = Column.as_arith ctx src in
+            let masked = Mpc.mul ~width:w ctx x (Lazy.force v_arith) in
+            (a.dst, Column.of_shared ~signed:src.Column.signed ~width:w
+               (Orq_circuits.Convert.a2b ~w ctx (Mpc.sum_all masked)))
+        | Count ->
+            let w = count_width t in
+            (a.dst, Column.of_shared ~width:w
+               (Orq_circuits.Convert.a2b ~w ctx
+                  (Mpc.sum_all (Lazy.force v_arith))))
+        | Avg ->
+            let ws = sum_width t (Table.width t a.src) in
+            let x = Column.as_arith ctx (Table.find t a.src) in
+            let masked = Mpc.mul ~width:ws ctx x (Lazy.force v_arith) in
+            let sum =
+              Orq_circuits.Convert.a2b ~w:ws ctx (Mpc.sum_all masked)
+            in
+            let cnt =
+              Orq_circuits.Convert.a2b ~w:(count_width t) ctx
+                (Mpc.sum_all (Lazy.force v_arith))
+            in
+            let q, _ = Orq_circuits.Divide.udiv ctx ~w:ws sum cnt in
+            (a.dst, Column.of_shared ~width:ws q)
+        | Min ->
+            let w = Table.width t a.src in
+            let x = Table.column t a.src in
+            (* invalid rows become the identity (all ones) *)
+            let masked =
+              Orq_circuits.Mux.mux_b ~width:w ctx t.Table.valid
+                (Share.public ctx Share.Bool t.Table.nrows (Orq_util.Ring.mask w))
+                x
+            in
+            let combine ctx a b =
+              let lt = Orq_circuits.Compare.lt ctx ~w a b in
+              Orq_circuits.Mux.mux_b ~width:w ctx lt b a
+            in
+            (a.dst, Column.of_shared ~width:w (tree_fold ctx combine masked))
+        | Max ->
+            let w = Table.width t a.src in
+            let x = Table.column t a.src in
+            let masked =
+              Orq_circuits.Mux.mux_b ~width:w ctx t.Table.valid
+                (Share.public ctx Share.Bool t.Table.nrows 0)
+                x
+            in
+            let combine ctx a b =
+              let lt = Orq_circuits.Compare.lt ctx ~w a b in
+              Orq_circuits.Mux.mux_b ~width:w ctx lt a b
+            in
+            (a.dst, Column.of_shared ~width:w (tree_fold ctx combine masked))
+        | Custom _ ->
+            invalid_arg "global_aggregate: custom functions need group keys")
+      aggs
+  in
+  Table.of_columns ctx (t.Table.name ^ "_agg")
+    ~valid:(Share.public ctx Share.Bool 1 1)
+    cols
+
+(** Broadcast the single row of [scalar] (e.g. a global aggregate) as a new
+    constant column of [t] — a local share replication. *)
+let with_scalar (t : Table.t) ~(scalar : Table.t) ~(src : string)
+    ~(dst : string) : Table.t =
+  let c = Table.find scalar src in
+  if Column.length c <> 1 then invalid_arg "with_scalar: not a scalar";
+  let data =
+    Share.map_vectors (fun vk -> Array.make (Table.nrows t) vk.(0)) c.Column.data
+  in
+  Table.set_col t dst { c with Column.data }
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type join_agg = Joinagg.agg_spec = {
+  a_src : string;
+  a_dst : string;
+  a_func : Aggnet.func;
+  a_width : int;
+}
+
+(** INNER JOIN (one-to-many: [left] must have unique keys — pre-aggregate
+    first for many-to-many, §3.6). [copy] propagates left columns into the
+    matching right rows. *)
+let inner_join ?copy ?aggs ?trim (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  Joinagg.join (Table.ctx left) Joinagg.V_inner ?copy ?aggs ?trim ~left ~right
+    ~on ()
+
+let left_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  Joinagg.join (Table.ctx left) Joinagg.V_left_outer ?copy ?aggs ~left ~right
+    ~on ()
+
+let right_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  Joinagg.join (Table.ctx left) Joinagg.V_right_outer ?copy ?aggs ~left ~right
+    ~on ()
+
+let full_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  Joinagg.join (Table.ctx left) Joinagg.V_full_outer ?copy ?aggs ~left ~right
+    ~on ()
+
+(** Unique-key inner join (Appendix C): both sides' keys are unique in the
+    public schema, so the aggregation network is skipped — an oblivious
+    PSI-style join bounded by min(|L|, |R|). Used for the SecretFlow
+    comparison, whose join requires unique keys. *)
+let inner_join_unique ?copy ?trim (left : Table.t) (right : Table.t)
+    ~(on : string list) : Table.t =
+  Joinagg.join_unique (Table.ctx left) ?copy ?trim ~left ~right ~on ()
+
+(** COUNT(DISTINCT over) per group: DISTINCT on (keys, over) followed by a
+    grouped count — the §3.6 pattern ORQ uses to evaluate count-distinct
+    over many-to-many joins without materializing them. *)
+let count_distinct (t : Table.t) ~(keys : string list) ~(over : string list)
+    ~(dst : string) : Table.t =
+  let d = distinct t (keys @ over) in
+  aggregate d ~keys
+    ~aggs:[ { src = List.hd (keys @ over); dst; fn = Count } ]
+
+(** THETA JOIN (§3.4): a conjunctive predicate containing at least one
+    equality — the equalities bound the output size and drive the
+    join-aggregation operator; the remaining conditions become an oblivious
+    filter over the joined table. *)
+let theta_join ?copy ?aggs ?trim (left : Table.t) (right : Table.t)
+    ~(on : string list) ~(theta : Expr.pred) : Table.t =
+  filter (inner_join ?copy ?aggs ?trim left right ~on) theta
+
+(** SEMI JOIN — keep left rows that match some right row. Implemented as
+    the swapped inner join of Appendix C.1, then projected back to the
+    left schema. Handles duplicates on both sides. *)
+let semi_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
+    Table.t =
+  let right' = Table.project right on in
+  let joined =
+    Joinagg.join (Table.ctx left) Joinagg.V_inner ?trim ~left:right'
+      ~right:left ~on ()
+  in
+  Table.rename (Table.project joined (Table.col_names left)) left.Table.name
+
+(** ANTI JOIN — keep left rows with no match in right (swapped right-outer
+    with cross-table valid propagation, Appendix C.1). *)
+let anti_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
+    Table.t =
+  let right' = Table.project right on in
+  let joined =
+    Joinagg.join (Table.ctx left) Joinagg.V_anti ?trim ~left:right'
+      ~right:left ~on ()
+  in
+  Table.rename (Table.project joined (Table.col_names left)) left.Table.name
+
+(* ------------------------------------------------------------------ *)
+(* Set operations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** UNION ALL of tables with identical schemas. *)
+let concat_tables (a : Table.t) (b : Table.t) : Table.t =
+  if Table.col_names a <> Table.col_names b then
+    invalid_arg "concat_tables: schema mismatch";
+  Table.of_columns (Table.ctx a) a.Table.name
+    ~valid:(Share.append a.Table.valid b.Table.valid)
+    (List.map
+       (fun (n, ca) ->
+         let cb = Table.find b n in
+         ( n,
+           {
+             Column.data = Share.append ca.Column.data cb.Column.data;
+             width = max ca.Column.width cb.Column.width;
+             signed = ca.Column.signed || cb.Column.signed;
+           } ))
+       a.Table.cols)

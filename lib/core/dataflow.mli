@@ -1,0 +1,119 @@
+(** The ORQ dataflow API (§2.2): relational operators as transformations
+    on secret-shared tables, chained to build query plans (the model of
+    the paper's Listing 1). Every operator is fully oblivious: output
+    sizes and access patterns depend only on public input sizes. *)
+
+open Orq_proto
+
+type order = Tablesort.order = Asc | Desc
+
+(** {2 Row-local operators} *)
+
+val filter : Table.t -> Expr.pred -> Table.t
+(** SELECT ... WHERE: evaluate the predicate obliviously and fold it into
+    the validity column. *)
+
+val map : Table.t -> dst:string -> ?width:int -> Expr.num -> Table.t
+(** Attach a derived column (e.g. Revenue = Price * (100 - Disc) / 100). *)
+
+val project : Table.t -> string list -> Table.t
+
+(** {2 Sort / limit / distinct} *)
+
+val order_by : Table.t -> (string * order) list -> Table.t
+(** ORDER BY: valid rows float to the top, then the user keys apply. *)
+
+val limit : Table.t -> int -> Table.t
+(** LIMIT k after an ORDER BY: keep the first k physical rows. *)
+
+val distinct : Table.t -> string list -> Table.t
+(** DISTINCT on a composite key: sort, keep each group's first row. *)
+
+(** {2 GROUP BY aggregation} *)
+
+type aggfn =
+  | Sum
+  | Count
+  | Min
+  | Max
+  | Avg  (** fully private: non-restoring division on secret sum/count *)
+  | Custom of (Ctx.t -> Share.shared -> Share.shared -> Share.shared)
+      (** pairwise combine on boolean shares; must be self-decomposable *)
+
+type agg = { src : string; dst : string; fn : aggfn }
+
+val sum_width : Table.t -> int -> int
+val count_width : Table.t -> int
+
+val aggregate : Table.t -> keys:string list -> aggs:agg list -> Table.t
+(** GROUP BY (the paper's [.aggregate()]): sort on the keys, run the
+    aggregation network, keep one valid row per group. *)
+
+(** {2 Whole-table aggregation} *)
+
+val global_aggregate : Table.t -> aggs:agg list -> Table.t
+(** No grouping key: SUM/COUNT/AVG via a validity-masked local reduction
+    (no sorting — why the paper's Q6 is its cheapest query); MIN/MAX via a
+    log-depth compare tree. One-row result. *)
+
+val with_scalar :
+  Table.t -> scalar:Table.t -> src:string -> dst:string -> Table.t
+(** Broadcast the single row of [scalar] (e.g. a global aggregate) as a
+    constant column of [t] — local share replication. *)
+
+(** {2 Joins} *)
+
+type join_agg = Joinagg.agg_spec = {
+  a_src : string;
+  a_dst : string;
+  a_func : Aggnet.func;
+  a_width : int;
+}
+
+val inner_join :
+  ?copy:string list -> ?aggs:join_agg list -> ?trim:Joinagg.trim_mode ->
+  Table.t -> Table.t -> on:string list -> Table.t
+(** INNER JOIN (one-to-many: the left input must have unique keys —
+    pre-aggregate first for many-to-many, §3.6). [copy] propagates left
+    columns into matching right rows. *)
+
+val left_outer_join :
+  ?copy:string list -> ?aggs:join_agg list -> Table.t -> Table.t ->
+  on:string list -> Table.t
+
+val right_outer_join :
+  ?copy:string list -> ?aggs:join_agg list -> Table.t -> Table.t ->
+  on:string list -> Table.t
+
+val full_outer_join :
+  ?copy:string list -> ?aggs:join_agg list -> Table.t -> Table.t ->
+  on:string list -> Table.t
+
+val inner_join_unique :
+  ?copy:string list -> ?trim:Joinagg.trim_mode -> Table.t -> Table.t ->
+  on:string list -> Table.t
+(** Unique keys on both sides: the PSI-style join of Appendix C. *)
+
+val count_distinct :
+  Table.t -> keys:string list -> over:string list -> dst:string -> Table.t
+(** COUNT(DISTINCT over) per group — DISTINCT + grouped count. *)
+
+val theta_join :
+  ?copy:string list -> ?aggs:join_agg list -> ?trim:Joinagg.trim_mode ->
+  Table.t -> Table.t -> on:string list -> theta:Expr.pred -> Table.t
+(** THETA JOIN (§3.4): equalities bound the output and drive the join;
+    the remaining conjuncts become an oblivious filter. *)
+
+val semi_join :
+  ?trim:Joinagg.trim_mode -> Table.t -> Table.t -> on:string list -> Table.t
+(** Keep left rows that match some right row (swapped inner join of
+    Appendix C.1; handles duplicates on both sides). *)
+
+val anti_join :
+  ?trim:Joinagg.trim_mode -> Table.t -> Table.t -> on:string list -> Table.t
+(** Keep left rows with no match in right. *)
+
+(** {2 Set operations} *)
+
+val concat_tables : Table.t -> Table.t -> Table.t
+(** UNION ALL of tables with identical schemas. *)

@@ -1,0 +1,181 @@
+(** Expression combinators for filters and derived columns (§2.2).
+
+    Users build logical predicates and arithmetic expressions over named
+    columns with ORQ's secure primitives; the engine compiles them into
+    oblivious circuit evaluations. Numeric subexpressions track their
+    logical bit width *and signedness*: subtraction yields signed
+    (two's-complement) values, conversions interpret signed columns with a
+    negatively weighted top bit, and comparisons switch to the signed
+    comparator (sign-extending narrower boolean operands locally). *)
+
+open Orq_proto
+
+type num =
+  | Col of string
+  | Const of int
+  | Add of num * num
+  | Sub of num * num
+  | Mul of num * num
+  | Div of num * num  (** private divisor: non-restoring circuit *)
+  | Div_pub of num * int  (** public divisor *)
+  | If of pred * num * num  (** oblivious CASE WHEN: multiplexed, §3 *)
+
+and pred =
+  | Cmp of [ `Eq | `Neq | `Lt | `Le | `Gt | `Ge ] * num * num
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | True
+
+(* Convenience constructors *)
+let col n = Col n
+let const c = Const c
+let ( +! ) a b = Add (a, b)
+let ( -! ) a b = Sub (a, b)
+let ( *! ) a b = Mul (a, b)
+let ( /! ) a b = Div (a, b)
+let ( ==. ) a b = Cmp (`Eq, a, b)
+let ( <>. ) a b = Cmp (`Neq, a, b)
+let ( <. ) a b = Cmp (`Lt, a, b)
+let ( <=. ) a b = Cmp (`Le, a, b)
+let ( >. ) a b = Cmp (`Gt, a, b)
+let ( >=. ) a b = Cmp (`Ge, a, b)
+let ( &&. ) a b = And (a, b)
+let ( ||. ) a b = Or (a, b)
+let not_ p = Not p
+
+(* Evaluation produces a value with an encoding, width and signedness.
+   Plain columns and constants stay in their stored (boolean) encoding so a
+   filter like Col < Const costs only a comparison; genuine arithmetic is
+   done on arithmetic shares. *)
+type value = { data : Share.shared; width : int; signed : bool }
+
+let cap_width w = min w (Orq_util.Ring.word_bits - 2)
+
+let as_arith ctx (v : value) =
+  match v.data.Share.enc with
+  | Share.Arith -> v.data
+  | Share.Bool ->
+      Orq_circuits.Convert.b2a ~w:v.width ~signed:v.signed ctx v.data
+
+(* Sign-extend a boolean sharing from [from_w] to [to_w] bits — local:
+   replicate the top bit across the new high positions. *)
+let sign_extend x ~from_w ~to_w =
+  if from_w >= to_w then Mpc.and_mask x (Orq_util.Ring.mask to_w)
+  else
+    let sign = Mpc.and_mask (Mpc.rshift x (from_w - 1)) 1 in
+    let hi =
+      Orq_util.Ring.mask to_w land lnot (Orq_util.Ring.mask from_w)
+    in
+    Mpc.xor
+      (Mpc.and_mask x (Orq_util.Ring.mask from_w))
+      (Mpc.and_mask (Mpc.extend_bit sign) hi)
+
+(* Boolean view of a value at a target width: arithmetic shares convert
+   modulo 2^w (correct two's complement); narrower signed boolean operands
+   are sign-extended. *)
+let as_bool_at ctx (v : value) w =
+  match v.data.Share.enc with
+  | Share.Arith -> Orq_circuits.Convert.a2b ~w ctx v.data
+  | Share.Bool ->
+      if v.signed then sign_extend v.data ~from_w:v.width ~to_w:w
+      else Mpc.and_mask v.data (Orq_util.Ring.mask w)
+
+let rec eval_num (t : Table.t) (e : num) : value =
+  let ctx = Table.ctx t in
+  match e with
+  | Col n ->
+      let c = Table.find t n in
+      { data = c.Column.data; width = c.Column.width; signed = c.Column.signed }
+  | Const c ->
+      let w = max 1 (Orq_util.Ring.log2_ceil (abs c + 1) + 1) in
+      {
+        data = Share.public ctx Share.Bool (Table.nrows t) (c land Orq_util.Ring.mask w);
+        width = w;
+        signed = c < 0;
+      }
+  | Add (a, b) ->
+      let va = eval_num t a and vb = eval_num t b in
+      let w = cap_width (1 + max va.width vb.width) in
+      {
+        data = Mpc.add (as_arith ctx va) (as_arith ctx vb);
+        width = w;
+        signed = va.signed || vb.signed;
+      }
+  | Sub (a, b) ->
+      let va = eval_num t a and vb = eval_num t b in
+      let w = cap_width (1 + max va.width vb.width) in
+      {
+        data = Mpc.sub (as_arith ctx va) (as_arith ctx vb);
+        width = w;
+        signed = true;
+      }
+  | Mul (a, b) ->
+      let va = eval_num t a and vb = eval_num t b in
+      let w = cap_width (va.width + vb.width) in
+      {
+        data = Mpc.mul ~width:w ctx (as_arith ctx va) (as_arith ctx vb);
+        width = w;
+        signed = va.signed || vb.signed;
+      }
+  | Div (a, b) ->
+      let va = eval_num t a and vb = eval_num t b in
+      let w = cap_width (max va.width vb.width) in
+      let q, _ =
+        Orq_circuits.Divide.udiv ctx ~w (as_bool_at ctx va w)
+          (as_bool_at ctx vb w)
+      in
+      { data = q; width = w; signed = false }
+  | Div_pub (a, d) ->
+      let va = eval_num t a in
+      let w = cap_width va.width in
+      let q, _ =
+        Orq_circuits.Divide.udiv_pub ctx ~w (as_bool_at ctx va w)
+          (Array.make (Table.nrows t) d)
+      in
+      { data = q; width = w; signed = false }
+  | If (p, a, b) ->
+      let bit = eval_pred t p in
+      let va = eval_num t a and vb = eval_num t b in
+      let signed = va.signed || vb.signed in
+      let w = cap_width (max va.width vb.width) in
+      {
+        data =
+          Orq_circuits.Mux.mux_b ~width:w ctx bit (as_bool_at ctx vb w)
+            (as_bool_at ctx va w);
+        width = w;
+        signed;
+      }
+
+and eval_pred (t : Table.t) (p : pred) : Share.shared =
+  let ctx = Table.ctx t in
+  match p with
+  | True -> Share.public ctx Share.Bool (Table.nrows t) 1
+  | Cmp (op, a, b) ->
+      let va = eval_num t a and vb = eval_num t b in
+      let w = max va.width vb.width in
+      let signed = va.signed || vb.signed in
+      let xa = as_bool_at ctx va w and xb = as_bool_at ctx vb w in
+      let module C = Orq_circuits.Compare in
+      (match op with
+      | `Eq -> C.eq ctx ~w xa xb
+      | `Neq -> C.neq ctx ~w xa xb
+      | `Lt -> C.lt ~signed ctx ~w xa xb
+      | `Le -> C.le ~signed ctx ~w xa xb
+      | `Gt -> C.gt ~signed ctx ~w xa xb
+      | `Ge -> C.ge ~signed ctx ~w xa xb)
+  | And (a, b) ->
+      Mpc.band ~width:1 ctx (eval_pred t a) (eval_pred t b)
+  | Or (a, b) -> Mpc.bor ~width:1 ctx (eval_pred t a) (eval_pred t b)
+  | Not a -> Mpc.xor_pub (eval_pred t a) 1
+
+(** Evaluate a numeric expression into a fresh boolean-encoded column. *)
+let eval_col (t : Table.t) (e : num) : Column.t =
+  let v = eval_num t e in
+  let ctx = Table.ctx t in
+  let w = cap_width v.width in
+  {
+    Column.data = as_bool_at ctx v w;
+    width = w;
+    signed = v.signed;
+  }

@@ -1,0 +1,58 @@
+(** Expression combinators for filters and derived columns (§2.2),
+    compiled into oblivious circuit evaluations. Numeric subexpressions
+    track bit width and signedness; comparisons switch to the signed
+    comparator when needed, sign-extending narrower boolean operands
+    locally. *)
+
+open Orq_proto
+
+type num =
+  | Col of string
+  | Const of int
+  | Add of num * num
+  | Sub of num * num
+  | Mul of num * num
+  | Div of num * num  (** private divisor: non-restoring circuit *)
+  | Div_pub of num * int  (** public divisor *)
+  | If of pred * num * num  (** oblivious CASE WHEN (multiplexed) *)
+
+and pred =
+  | Cmp of [ `Eq | `Neq | `Lt | `Le | `Gt | `Ge ] * num * num
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | True
+
+(** {2 Convenience constructors} *)
+
+val col : string -> num
+val const : int -> num
+val ( +! ) : num -> num -> num
+val ( -! ) : num -> num -> num
+val ( *! ) : num -> num -> num
+val ( /! ) : num -> num -> num
+val ( ==. ) : num -> num -> pred
+val ( <>. ) : num -> num -> pred
+val ( <. ) : num -> num -> pred
+val ( <=. ) : num -> num -> pred
+val ( >. ) : num -> num -> pred
+val ( >=. ) : num -> num -> pred
+val ( &&. ) : pred -> pred -> pred
+val ( ||. ) : pred -> pred -> pred
+val not_ : pred -> pred
+
+(** {2 Evaluation} *)
+
+type value = { data : Share.shared; width : int; signed : bool }
+
+val cap_width : int -> int
+
+val sign_extend : Share.shared -> from_w:int -> to_w:int -> Share.shared
+(** Local two's-complement sign extension of a boolean sharing. *)
+
+val eval_num : Table.t -> num -> value
+val eval_pred : Table.t -> pred -> Share.shared
+(** A single-bit sharing of the predicate per row. *)
+
+val eval_col : Table.t -> num -> Column.t
+(** Evaluate into a fresh boolean-encoded column. *)

@@ -1,0 +1,381 @@
+(** The composite oblivious join-aggregation operator (§3.3, Protocol 3;
+    variants §3.4; correctness Appendix C; trimming heuristic C.3).
+
+    Skeleton: concatenate the two tables; TableSort on the composite key
+    (V_LR, join keys, table id) so each group is [one L row; its R rows];
+    DISTINCT marks group heads; a per-variant validity rule invalidates the
+    rows outside the join semantics; one aggregation network then (a)
+    copies requested L-columns downward into the matching R rows, (b)
+    propagates invalidation within each table's segment of the group (or
+    across it, for anti-join), and (c) evaluates optional decomposable
+    aggregations — all in the same oblivious control flow. An optional trim
+    bounds the output at |R| rows, governed by the paper's heuristic.
+
+    The left input must have unique join keys (one-to-many); many-to-many
+    joins pre-aggregate the left table first (§3.6), which the dataflow
+    layer does. Semi- and anti-join are the swapped-input reductions of
+    Appendix C.1 and are exposed by {!Dataflow}. When *both* inputs have
+    unique keys, {!join_unique} skips the aggregation network entirely
+    (Appendix C, "Unique-key joins"). *)
+
+open Orq_proto
+
+type variant =
+  | V_inner
+  | V_left_outer
+      (** the paper's semantics (Appendix C.1): "an inner join, plus all
+          rows from the left" — matched left rows also survive, carrying
+          NULL right-columns (unlike SQL LEFT JOIN, which suppresses them) *)
+  | V_right_outer
+  | V_full_outer
+  | V_anti  (** right-outer validity + cross-table valid propagation *)
+
+type trim_mode = [ `Auto | `Always | `Never ]
+
+type agg_spec = {
+  a_src : string;  (** input column (from either table) *)
+  a_dst : string;  (** output column name *)
+  a_func : Aggnet.func;
+  a_width : int;  (** width of the output column *)
+}
+
+(** The paper's trimming heuristic (C.3): trimming the n redundant rows pays
+    off iff a join over them would cost more than a valid-bit sort of the
+    whole table — 3 * alpha * N < lg L * lg omega with alpha = m/n and
+    omega the padded share width. *)
+let should_trim (ctx : Ctx.t) ~left_n:n ~right_m:m =
+  let omega = 2 * ctx.ell in
+  3 * ctx.parties * m
+  < n * Orq_util.Ring.log2_ceil n * Orq_util.Ring.log2_ceil omega
+
+(* Concatenate a left and right column with the given fill value on the
+   absent side. *)
+let concat_lr (ctx : Ctx.t) ~n ~m (side : [ `L | `R ]) (data : Share.shared)
+    ~fill : Share.shared =
+  match side with
+  | `L -> Share.append data (Share.public ctx data.Share.enc m fill)
+  | `R -> Share.append (Share.public ctx data.Share.enc n fill) data
+
+let identity_fill = function
+  | Aggnet.Min w -> Orq_util.Ring.mask w
+  | Aggnet.Max _ | Aggnet.Sum | Aggnet.Copy | Aggnet.Custom _ -> 0
+
+(* The shared steps 1-2 of Protocol 3: schema merge, concatenation with
+   the origin column, TableSort on (V_LR, K, Tid), and the DISTINCT bits
+   over (V_LR, K). *)
+type prepared = {
+  p_v_lr : Share.shared;
+  p_keys : (Share.shared * int) list;
+  p_tid : Share.shared;
+  p_dist : Share.shared;
+  p_l_cols : (string * Share.shared * int) list;
+  p_r_cols : (string * Share.shared * int) list;
+  p_agg_cols : (agg_spec * Share.shared) list;
+}
+
+let prepare (ctx : Ctx.t) ~(left : Table.t) ~(right : Table.t)
+    ~(on : string list) ~(aggs : agg_spec list) : prepared =
+  let n = Table.nrows left and m = Table.nrows right in
+  let key_widths =
+    List.map (fun k -> max (Table.width left k) (Table.width right k)) on
+  in
+  let left_data =
+    List.filter (fun (name, _) -> not (List.mem name on)) left.Table.cols
+  in
+  let right_data =
+    List.filter (fun (name, _) -> not (List.mem name on)) right.Table.cols
+  in
+  List.iter
+    (fun (name, _) ->
+      if List.mem_assoc name right_data then
+        invalid_arg
+          ("Joinagg: column " ^ name
+         ^ " exists in both inputs; rename before joining"))
+    left_data;
+  (* --- Step 1: concatenation --- *)
+  let keys0 =
+    List.map2
+      (fun k w ->
+        ( Share.append
+            (Column.as_bool ctx (Table.find left k))
+            (Column.as_bool ctx (Table.find right k)),
+          w ))
+      on key_widths
+  in
+  let v_lr = Share.append left.Table.valid right.Table.valid in
+  let tid =
+    Share.append
+      (Share.public ctx Share.Bool n 0)
+      (Share.public ctx Share.Bool m 1)
+  in
+  let l_cols =
+    List.map
+      (fun (name, c) ->
+        (name, concat_lr ctx ~n ~m `L (Column.as_bool ctx c) ~fill:0, c.Column.width))
+      left_data
+  in
+  let r_cols =
+    List.map
+      (fun (name, c) ->
+        (name, concat_lr ctx ~n ~m `R (Column.as_bool ctx c) ~fill:0, c.Column.width))
+      right_data
+  in
+  (* aggregation working columns get identity fill on the absent side *)
+  let agg_cols =
+    List.map
+      (fun a ->
+        let side, c =
+          if Table.mem left a.a_src then (`L, Table.find left a.a_src)
+          else (`R, Table.find right a.a_src)
+        in
+        let data = Column.as_bool ctx c in
+        let filled =
+          concat_lr ctx ~n ~m side data ~fill:(identity_fill a.a_func)
+        in
+        (a, filled))
+      aggs
+  in
+  (* --- Step 2: sort on K_s = (V_LR, keys, Tid) and mark group heads --- *)
+  let sort_keys =
+    ((v_lr, 1, Tablesort.Asc)
+    :: List.map (fun (k, w) -> (k, w, Tablesort.Asc)) keys0)
+    @ [ (tid, 1, Tablesort.Asc) ]
+  in
+  let payload =
+    List.map (fun (_, d, _) -> d) l_cols
+    @ List.map (fun (_, d, _) -> d) r_cols
+    @ List.map snd agg_cols
+  in
+  let sorted_keys, sorted_payload =
+    Tablesort.sort_cols ctx ~keys:sort_keys payload
+  in
+  let v_lr', keys', tid' =
+    match sorted_keys with
+    | v :: rest ->
+        let nk = List.length on in
+        ( v,
+          List.map2
+            (fun k w -> (k, w))
+            (Orq_sort.Quicksort.take nk rest)
+            key_widths,
+          List.nth rest nk )
+    | [] -> assert false
+  in
+  let nl = List.length l_cols and nr = List.length r_cols in
+  let l_cols' =
+    List.map2
+      (fun (name, _, w) d -> (name, d, w))
+      l_cols
+      (Orq_sort.Quicksort.take nl sorted_payload)
+  in
+  let r_cols' =
+    List.map2
+      (fun (name, _, w) d -> (name, d, w))
+      r_cols
+      (Orq_sort.Quicksort.take nr (Orq_sort.Quicksort.drop nl sorted_payload))
+  in
+  let agg_cols' =
+    List.map2
+      (fun (a, _) d -> (a, d))
+      agg_cols
+      (Orq_sort.Quicksort.drop (nl + nr) sorted_payload)
+  in
+  let dist = Aggnet.distinct_bits ctx ~keys:((v_lr', 1) :: keys') in
+  {
+    p_v_lr = v_lr';
+    p_keys = keys';
+    p_tid = tid';
+    p_dist = dist;
+    p_l_cols = l_cols';
+    p_r_cols = r_cols';
+    p_agg_cols = agg_cols';
+  }
+
+(* --- Step 4: assemble the output table, then optionally trim --- *)
+let finalize (ctx : Ctx.t) ~name ~(valid : Share.shared)
+    ~(cols : (string * Column.t) list) ~(bound : int) ~(do_trim : bool) :
+    Table.t =
+  let result = Table.of_columns ctx name ~valid cols in
+  if not do_trim then result
+  else begin
+    (* single-bit valid sort (descending) then drop the spare rows *)
+    let data_cols = List.map (fun (_, c) -> c.Column.data) result.Table.cols in
+    let sorted_v, sorted_data =
+      Tablesort.sort_cols ctx
+        ~keys:[ (result.Table.valid, 1, Tablesort.Desc) ]
+        data_cols
+    in
+    let v = List.hd sorted_v in
+    let cols =
+      List.map2
+        (fun (name, c) d ->
+          (name, { c with Column.data = Share.sub_range d 0 bound }))
+        result.Table.cols sorted_data
+    in
+    Table.of_columns ctx result.Table.name
+      ~valid:(Share.sub_range v 0 bound)
+      cols
+  end
+
+(** [join ctx variant ~copy ~aggs ~trim ~left ~right ~on ()] — the full
+    operator. [copy] names left columns to propagate into matching right
+    rows; [aggs] are decomposable aggregations evaluated on the join key
+    groups (their results land in the last row of each group). *)
+let join (ctx : Ctx.t) (variant : variant) ?(copy : string list = [])
+    ?(aggs : agg_spec list = []) ?(trim : trim_mode = `Auto)
+    ~(left : Table.t) ~(right : Table.t) ~(on : string list) () : Table.t =
+  let n = Table.nrows left and m = Table.nrows right in
+  let p = prepare ctx ~left ~right ~on ~aggs in
+  let { p_v_lr = v_lr'; p_keys = keys'; p_tid = tid'; p_dist = dist; _ } = p in
+  let k_a = (v_lr', 1) :: keys' in
+  (* --- validity rule per variant (temporary column V_o; the aggregation
+         keys keep using V_LR, cf. Appendix C footnote) --- *)
+  let v_o =
+    match variant with
+    | V_inner -> Mpc.band ~width:1 ctx v_lr' (Mpc.xor_pub dist 1)
+    | V_left_outer ->
+        Mpc.band ~width:1 ctx v_lr'
+          (Mpc.xor_pub (Mpc.band ~width:1 ctx tid' dist) 1)
+    | V_right_outer | V_anti -> Mpc.band ~width:1 ctx v_lr' tid'
+    | V_full_outer -> v_lr'
+  in
+  (* --- Step 3: one aggregation network for copies, valid propagation and
+         user aggregations --- *)
+  let copy_specs =
+    List.map
+      (fun cname ->
+        match List.find_opt (fun (nme, _, _) -> nme = cname) p.p_l_cols with
+        | Some (_, d, w) ->
+            (cname, { Aggnet.col = d; func = Aggnet.Copy; keys = Aggnet.Group; width = w }, w)
+        | None -> invalid_arg ("Joinagg.join: copy column not in left: " ^ cname))
+      copy
+  in
+  let valid_spec =
+    match variant with
+    | V_inner | V_left_outer ->
+        Some { Aggnet.col = v_o; func = Aggnet.Copy; keys = Aggnet.Group_and_tid; width = 1 }
+    | V_anti ->
+        Some { Aggnet.col = v_o; func = Aggnet.Copy; keys = Aggnet.Group; width = 1 }
+    | V_right_outer | V_full_outer -> None
+  in
+  let agg_specs =
+    List.map
+      (fun (a, d) ->
+        let col =
+          match a.a_func with
+          | Aggnet.Sum -> Orq_circuits.Convert.b2a ~w:a.a_width ctx d
+          | _ -> d
+        in
+        (a, { Aggnet.col; func = a.a_func; keys = Aggnet.Group; width = a.a_width }))
+      p.p_agg_cols
+  in
+  let all_specs =
+    List.map (fun (_, sp, _) -> sp) copy_specs
+    @ (match valid_spec with Some sp -> [ sp ] | None -> [])
+    @ List.map snd agg_specs
+  in
+  let results =
+    if all_specs = [] then []
+    else Aggnet.run ctx ~keys:k_a ~tid:tid' all_specs
+  in
+  let ncopy = List.length copy_specs in
+  let copied = Orq_sort.Quicksort.take ncopy results in
+  let valid_final =
+    match valid_spec with
+    | Some _ -> List.nth results ncopy
+    | None -> v_o
+  in
+  let agg_results =
+    Orq_sort.Quicksort.drop
+      (ncopy + match valid_spec with Some _ -> 1 | None -> 0)
+      results
+  in
+  let out_cols =
+    List.map2 (fun (k, w) name -> (name, Column.of_shared ~width:w k)) keys' on
+    @ List.map (fun (name, d, w) -> (name, Column.of_shared ~width:w d)) p.p_r_cols
+    @ List.map2
+        (fun (name, _, w) d -> (name, Column.of_shared ~width:w d))
+        copy_specs copied
+    @ List.map2
+        (fun (a, _) d ->
+          let d =
+            match a.a_func with
+            | Aggnet.Sum -> Orq_circuits.Convert.a2b ~w:a.a_width ctx d
+            | _ -> d
+          in
+          (a.a_dst, Column.of_shared ~width:a.a_width d))
+        agg_specs agg_results
+  in
+  let do_trim =
+    match (variant, trim) with
+    | (V_left_outer | V_right_outer | V_full_outer), _ -> false
+    | _, `Never -> false
+    | _, `Always -> true
+    | _, `Auto -> should_trim ctx ~left_n:n ~right_m:m
+  in
+  finalize ctx
+    ~name:(left.Table.name ^ "_join_" ^ right.Table.name)
+    ~valid:valid_final ~cols:out_cols ~bound:m ~do_trim
+
+(** Unique-key inner join (Appendix C, "Unique-key joins"): when the public
+    schema guarantees unique keys on *both* sides, every group holds at
+    most one row from each input, so the aggregation network is
+    unnecessary: a single adjacent-row multiplex identifies matches and
+    pulls the left values into the right row — effectively an oblivious
+    PSI join. The output is bounded by min(|L|, |R|). *)
+let join_unique (ctx : Ctx.t) ?(copy : string list = [])
+    ?(trim : trim_mode = `Auto) ~(left : Table.t) ~(right : Table.t)
+    ~(on : string list) () : Table.t =
+  let n = Table.nrows left and m = Table.nrows right in
+  let p = prepare ctx ~left ~right ~on ~aggs:[] in
+  let nm = n + m in
+  (* an R row is in the join iff its group has a head before it (the L row
+     with the same key): valid = V_LR and Tid and not distinct *)
+  let valid =
+    Mpc.band ~width:1 ctx p.p_v_lr
+      (Mpc.band ~width:1 ctx p.p_tid (Mpc.xor_pub p.p_dist 1))
+  in
+  (* copy each requested left column from the immediately preceding row *)
+  let copied =
+    match copy with
+    | [] -> []
+    | _ ->
+        let sel = Share.sub_range valid 1 (nm - 1) in
+        let pairs =
+          List.map
+            (fun cname ->
+              match
+                List.find_opt (fun (nme, _, _) -> nme = cname) p.p_l_cols
+              with
+              | Some (_, d, w) ->
+                  (cname, w, Share.sub_range d 1 (nm - 1), Share.sub_range d 0 (nm - 1))
+              | None ->
+                  invalid_arg ("join_unique: copy column not in left: " ^ cname))
+            copy
+        in
+        let muxed =
+          Orq_circuits.Mux.mux_b_many ctx sel
+            (List.map (fun (_, _, cur, prev) -> (cur, prev)) pairs)
+        in
+        (* row 0 can never be a matched R row; keep its own value *)
+        List.map2
+          (fun (cname, w, _, prev) muxed_col ->
+            ( cname,
+              Column.of_shared ~width:w
+                (Share.append (Share.sub_range prev 0 1) muxed_col) ))
+          pairs muxed
+  in
+  let out_cols =
+    List.map2
+      (fun (k, w) name -> (name, Column.of_shared ~width:w k))
+      p.p_keys on
+    @ List.map
+        (fun (name, d, w) -> (name, Column.of_shared ~width:w d))
+        p.p_r_cols
+    @ copied
+  in
+  let bound = min n m in
+  let do_trim = match trim with `Never -> false | `Always | `Auto -> true in
+  finalize ctx
+    ~name:(left.Table.name ^ "_psijoin_" ^ right.Table.name)
+    ~valid ~cols:out_cols ~bound ~do_trim

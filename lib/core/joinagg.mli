@@ -1,0 +1,47 @@
+(** The composite oblivious join-aggregation operator (§3.3, Protocol 3;
+    variants §3.4; correctness Appendix C; trimming heuristic C.3):
+    concatenate, TableSort on (V_LR, keys, Tid), DISTINCT, per-variant
+    validity rules, then one aggregation network for column copies,
+    invalidation propagation, and fused decomposable aggregations. The
+    left input must have unique join keys; many-to-many joins
+    pre-aggregate first (§3.6, done by {!Dataflow}). *)
+
+open Orq_proto
+
+type variant =
+  | V_inner
+  | V_left_outer
+      (** paper semantics (Appendix C.1): "an inner join, plus all rows
+          from the left" — matched left rows also survive with NULL
+          right-columns (unlike SQL LEFT JOIN) *)
+  | V_right_outer
+  | V_full_outer
+  | V_anti  (** right-outer validity + cross-table valid propagation *)
+
+type trim_mode = [ `Auto | `Always | `Never ]
+
+type agg_spec = {
+  a_src : string;  (** input column (from either table) *)
+  a_dst : string;
+  a_func : Aggnet.func;
+  a_width : int;
+}
+
+val should_trim : Ctx.t -> left_n:int -> right_m:int -> bool
+(** The C.3 heuristic: trim iff 3·α·N < lg L · lg ω, α = m/n. *)
+
+val join :
+  Ctx.t -> variant -> ?copy:string list -> ?aggs:agg_spec list ->
+  ?trim:trim_mode -> left:Table.t -> right:Table.t -> on:string list ->
+  unit -> Table.t
+(** The full operator. [copy] names left columns to propagate into
+    matching right rows; [aggs] are evaluated on the join-key groups
+    (results in each group's last row). Inner/anti results are optionally
+    trimmed to |right| rows. *)
+
+val join_unique :
+  Ctx.t -> ?copy:string list -> ?trim:trim_mode -> left:Table.t ->
+  right:Table.t -> on:string list -> unit -> Table.t
+(** Unique-key inner join (Appendix C): with unique keys on *both* sides
+    the aggregation network is skipped — one adjacent-row multiplex, a
+    PSI-style oblivious join bounded by min(|L|, |R|). *)

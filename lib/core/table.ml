@@ -1,0 +1,180 @@
+(** Secret-shared relational tables (§3.1).
+
+    A table is an ordered set of named shared columns plus the special
+    *validity column* of secret-shared bits: operators never delete rows,
+    they invalidate them, so the number of physical rows — the only quantity
+    a computing party observes — depends only on public input sizes.
+    Invalid rows are masked and shuffled before any opening. *)
+
+open Orq_proto
+
+type t = {
+  ctx : Ctx.t;
+  name : string;
+  cols : (string * Column.t) list;
+  valid : Share.shared;  (** boolean single-bit validity column *)
+  nrows : int;
+}
+
+let ctx t = t.ctx
+let nrows t = t.nrows
+let col_names t = List.map fst t.cols
+
+let find t name =
+  match List.assoc_opt name t.cols with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "table %s has no column %s (has: %s)" t.name name
+           (String.concat ", " (col_names t)))
+
+let width t name = (find t name).Column.width
+let column t name = (find t name).Column.data
+
+let mem t name = List.mem_assoc name t.cols
+
+(** Data-owner-side table construction from plaintext columns. All rows are
+    initially valid unless a validity vector is supplied (padding). *)
+let create (ctx : Ctx.t) name ?(valid : int array option)
+    (cols : (string * int * int array) list) : t =
+  let nrows =
+    match cols with
+    | (_, _, v) :: _ -> Array.length v
+    | [] -> invalid_arg "Table.create: no columns"
+  in
+  let valid_bits =
+    match valid with Some v -> v | None -> Array.make nrows 1
+  in
+  {
+    ctx;
+    name;
+    cols =
+      List.map
+        (fun (n, w, v) ->
+          if Array.length v <> nrows then
+            invalid_arg ("Table.create: ragged column " ^ n);
+          (n, Column.of_plaintext ctx ~width:w v))
+        cols;
+    valid = Share.share ctx Bool valid_bits;
+    nrows;
+  }
+
+let of_columns (ctx : Ctx.t) name ~(valid : Share.shared)
+    (cols : (string * Column.t) list) : t =
+  let nrows = Share.length valid in
+  List.iter
+    (fun (n, c) ->
+      if Column.length c <> nrows then
+        invalid_arg ("Table.of_columns: ragged column " ^ n))
+    cols;
+  { ctx; name; cols; valid; nrows }
+
+let rename t name = { t with name }
+
+let set_col t name (c : Column.t) : t =
+  if mem t name then
+    { t with cols = List.map (fun (n, c0) -> (n, if n = name then c else c0)) t.cols }
+  else { t with cols = t.cols @ [ (name, c) ] }
+
+let drop_cols t names =
+  { t with cols = List.filter (fun (n, _) -> not (List.mem n names)) t.cols }
+
+(** PROJECT: keep only the named columns (validity is always kept). *)
+let project t names =
+  {
+    t with
+    cols = List.map (fun n -> (n, find t n)) names;
+  }
+
+let rename_col t ~from ~into =
+  { t with cols = List.map (fun (n, c) -> ((if n = from then into else n), c)) t.cols }
+
+(** Restrict to the first [k] physical rows (public row-count change; used
+    by LIMIT after an ORDER BY that floated valid rows to the top). *)
+let take_rows t k =
+  let k = min k t.nrows in
+  {
+    t with
+    cols = List.map (fun (n, c) -> (n, Column.sub_range c 0 k)) t.cols;
+    valid = Share.sub_range t.valid 0 k;
+    nrows = k;
+  }
+
+(** Data-owner padding (§3.1): append [extra] dummy (invalid, zero-valued)
+    rows, hiding the true input cardinality from everyone — including the
+    computing parties, since validity bits are secret-shared. *)
+let pad_rows (t : t) extra : t =
+  if extra <= 0 then t
+  else
+    {
+      t with
+      cols =
+        List.map
+          (fun (n, c) ->
+            ( n,
+              {
+                c with
+                Column.data =
+                  Share.append c.Column.data
+                    (Share.public t.ctx c.Column.data.Share.enc extra 0);
+              } ))
+          t.cols;
+      valid = Share.append t.valid (Share.public t.ctx Share.Bool extra 0);
+      nrows = t.nrows + extra;
+    }
+
+(** AND a predicate bit-vector into the validity column (oblivious filter:
+    physical size unchanged, selectivity hidden). *)
+let and_valid t (bit : Share.shared) =
+  { t with valid = Mpc.band ~width:1 t.ctx t.valid bit }
+
+(* ------------------------------------------------------------------ *)
+(* Opening results to the analyst                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Open the table to the analyst: invalid rows are masked to zero and the
+    table is shuffled before opening (§3.1), so only the valid result rows
+    carry information. Returns the valid rows as plaintext columns. *)
+let reveal (t : t) : (string * int array) list =
+  let ctx = t.ctx in
+  let ext = Mpc.extend_bit t.valid in
+  let names = List.map fst t.cols in
+  let datas = List.map (fun (_, c) -> Column.as_bool ctx c) t.cols in
+  let masked =
+    match datas with
+    | [] -> []
+    | _ ->
+        let n = t.nrows in
+        let exts = List.map (fun _ -> ext) datas in
+        let all = Mpc.band ctx (Share.concat exts) (Share.concat datas) in
+        List.mapi (fun i _ -> Share.sub_range all (i * n) n) datas
+  in
+  let shuffled = Orq_shuffle.Permops.shuffle_table ctx (t.valid :: masked) in
+  match shuffled with
+  | [] -> []
+  | v :: cols ->
+      let vbits = Mpc.open_ ~width:1 ctx v in
+      let opened = List.map (fun c -> Mpc.open_ ctx c) cols in
+      let keep = ref [] in
+      Array.iteri (fun i b -> if b = 1 then keep := i :: !keep) vbits;
+      let keep = Array.of_list (List.rev !keep) in
+      List.map2
+        (fun name c -> (name, Array.map (fun i -> c.(i)) keep))
+        names opened
+
+(** Test-only: reconstruct all columns and the validity bits without the
+    masking/shuffling/opening protocol (no party could do this). *)
+let peek (t : t) : (string * int array) list * int array =
+  ( List.map (fun (n, c) -> (n, Column.reconstruct c)) t.cols,
+    Share.reconstruct t.valid )
+
+(** Test-only: the multiset of valid rows, each row restricted to [names],
+    sorted — a canonical form for comparing against a reference engine. *)
+let valid_rows_sorted (t : t) (names : string list) : int list list =
+  let cols, v = peek t in
+  let rows = ref [] in
+  for i = 0 to t.nrows - 1 do
+    if v.(i) = 1 then
+      rows := List.map (fun n -> (List.assoc n cols).(i)) names :: !rows
+  done;
+  List.sort compare !rows

@@ -1,0 +1,67 @@
+(** Secret-shared relational tables (§3.1): named shared columns plus the
+    special validity column of secret-shared bits. Operators never delete
+    rows — they invalidate them — so the physical row count (the only
+    quantity a computing party observes) depends only on public input
+    sizes. Invalid rows are masked and shuffled before any opening. *)
+
+open Orq_proto
+
+type t = {
+  ctx : Ctx.t;
+  name : string;
+  cols : (string * Column.t) list;
+  valid : Share.shared;  (** boolean single-bit validity column *)
+  nrows : int;
+}
+
+val ctx : t -> Ctx.t
+val nrows : t -> int
+val col_names : t -> string list
+
+val find : t -> string -> Column.t
+(** @raise Invalid_argument naming the available columns if absent. *)
+
+val width : t -> string -> int
+val column : t -> string -> Share.shared
+val mem : t -> string -> bool
+
+val create :
+  Ctx.t -> string -> ?valid:int array -> (string * int * int array) list -> t
+(** Data-owner-side construction from plaintext columns
+    (name, bit width, values); all rows valid unless a validity vector is
+    supplied. *)
+
+val of_columns :
+  Ctx.t -> string -> valid:Share.shared -> (string * Column.t) list -> t
+
+val rename : t -> string -> t
+val set_col : t -> string -> Column.t -> t
+val drop_cols : t -> string list -> t
+
+val project : t -> string list -> t
+(** PROJECT: keep only the named columns (validity is always kept). *)
+
+val rename_col : t -> from:string -> into:string -> t
+
+val take_rows : t -> int -> t
+(** Restrict to the first [k] physical rows (public change; LIMIT). *)
+
+val pad_rows : t -> int -> t
+(** Data-owner padding (§3.1): append invalid zero-valued dummy rows,
+    hiding the true input cardinality. *)
+
+val and_valid : t -> Share.shared -> t
+(** AND a predicate bit-vector into the validity column (the oblivious
+    filter: physical size unchanged, selectivity hidden). *)
+
+val reveal : t -> (string * int array) list
+(** Open to the analyst: invalid rows are masked to zero and the table
+    shuffled before opening, so only valid rows carry information (their
+    order is destroyed — re-sort plaintext locally if needed). *)
+
+val peek : t -> (string * int array) list * int array
+(** Test-only: reconstruct all columns and validity bits directly. *)
+
+val valid_rows_sorted : t -> string list -> int list list
+(** Test-only canonical form: the multiset of valid rows over the named
+    columns, sorted. *)

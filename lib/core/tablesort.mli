@@ -1,0 +1,22 @@
+(** TableSort (§3.2, Protocol 2): sort a table on a composite key without
+    re-sorting every column per key — per-key sorting permutations are
+    extracted (least-significant key first), composed, and applied to all
+    columns once. Single-key sorts take a fast path carrying every column
+    through the base sort. Signed key columns sort via the
+    order-preserving sign-bit flip. *)
+
+open Orq_proto
+
+type order = Asc | Desc
+
+val sort_cols :
+  Ctx.t -> keys:(Share.shared * int * order) list -> Share.shared list ->
+  Share.shared list * Share.shared list
+(** Sort rows lexicographically by the key columns (width and direction
+    each); returns (sorted keys, sorted others). *)
+
+val sort :
+  ?lead:(Share.shared * int * order) list -> Table.t ->
+  (string * order) list -> Table.t
+(** Sort a table by named columns; [lead] prepends extra key columns
+    (e.g. the validity bit). *)

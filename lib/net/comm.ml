@@ -1,0 +1,76 @@
+(** Metered communication layer for the lockstep MPC simulation.
+
+    Every primitive of every protocol reports the traffic it *would* place on
+    the wire in a real deployment: total bits sent (summed over all parties),
+    message count, and communication rounds. Rounds are the latency-critical
+    quantity under MPC — ORQ's vectorization exists precisely to batch
+    independent messages into one round — so primitives batch their
+    reporting exactly as the real engine batches its sends.
+
+    Counters are cheap plain ints; snapshots ({!tally}) support scoped
+    measurement (per-query, per-operator) by subtraction. *)
+
+type t = {
+  parties : int;
+  mutable rounds : int;  (** sequential message-exchange rounds *)
+  mutable bits : int;  (** total bits sent, summed over all parties *)
+  mutable messages : int;  (** number of (batched) point-to-point sends *)
+}
+
+type tally = { t_rounds : int; t_bits : int; t_messages : int }
+
+let create ~parties = { parties; rounds = 0; bits = 0; messages = 0 }
+
+let reset t =
+  t.rounds <- 0;
+  t.bits <- 0;
+  t.messages <- 0
+
+(** [round t ~bits ~messages] records one communication round in which the
+    parties collectively send [bits] bits in [messages] point-to-point
+    messages. *)
+let round t ~bits ~messages =
+  t.rounds <- t.rounds + 1;
+  t.bits <- t.bits + bits;
+  t.messages <- t.messages + messages
+
+(** [traffic t ~bits ~messages] records traffic that piggybacks on an
+    already-counted round (the vectorized-batching case). *)
+let traffic t ~bits ~messages =
+  t.bits <- t.bits + bits;
+  t.messages <- t.messages + messages
+
+(** [rounds_only t k] records [k] extra rounds with no new payload, e.g. a
+    barrier or an empty acknowledgement. *)
+let rounds_only t k = t.rounds <- t.rounds + k
+
+let snapshot t = { t_rounds = t.rounds; t_bits = t.bits; t_messages = t.messages }
+
+(** Tally of traffic since [before] was taken. *)
+let since t (before : tally) =
+  {
+    t_rounds = t.rounds - before.t_rounds;
+    t_bits = t.bits - before.t_bits;
+    t_messages = t.messages - before.t_messages;
+  }
+
+let add_tally a b =
+  {
+    t_rounds = a.t_rounds + b.t_rounds;
+    t_bits = a.t_bits + b.t_bits;
+    t_messages = a.t_messages + b.t_messages;
+  }
+
+let zero_tally = { t_rounds = 0; t_bits = 0; t_messages = 0 }
+
+let bytes_total (tl : tally) = float_of_int tl.t_bits /. 8.
+
+(** Bytes sent per computing party — the normalization used by the paper's
+    Table 7 ("we divide the total communication by the number of computing
+    parties"). *)
+let bytes_per_party t (tl : tally) = bytes_total tl /. float_of_int t.parties
+
+let pp_tally ppf (tl : tally) =
+  Fmt.pf ppf "rounds=%d bits=%d msgs=%d (%.1f KiB)" tl.t_rounds tl.t_bits
+    tl.t_messages
+    (float_of_int tl.t_bits /. 8192.)

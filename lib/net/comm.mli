@@ -1,0 +1,41 @@
+(** Metered communication layer for the lockstep MPC simulation.
+
+    Every primitive of every protocol reports the traffic it would place
+    on the wire in a real deployment: total bits sent (summed over all
+    parties), message count, and communication rounds — the
+    latency-critical quantity ORQ's vectorization exists to minimize.
+    Snapshots support scoped measurement by subtraction. *)
+
+type t = {
+  parties : int;
+  mutable rounds : int;  (** sequential message-exchange rounds *)
+  mutable bits : int;  (** total bits sent, summed over all parties *)
+  mutable messages : int;  (** number of (batched) point-to-point sends *)
+}
+
+type tally = { t_rounds : int; t_bits : int; t_messages : int }
+
+val create : parties:int -> t
+val reset : t -> unit
+
+val round : t -> bits:int -> messages:int -> unit
+(** Record one communication round in which the parties collectively send
+    [bits] bits in [messages] point-to-point messages. *)
+
+val traffic : t -> bits:int -> messages:int -> unit
+(** Record traffic piggybacking on an already-counted round (the
+    vectorized-batching case). *)
+
+val rounds_only : t -> int -> unit
+(** Record [k] extra rounds with no new payload. *)
+
+val snapshot : t -> tally
+val since : t -> tally -> tally
+val add_tally : tally -> tally -> tally
+val zero_tally : tally
+val bytes_total : tally -> float
+
+val bytes_per_party : t -> tally -> float
+(** Bytes sent per computing party — the paper's Table 7 normalization. *)
+
+val pp_tally : Format.formatter -> tally -> unit

@@ -1,0 +1,65 @@
+(** Logical query plans — the automatic query planner the paper names as
+    future work (§7). A plan is a relational-algebra tree over
+    secret-shared base tables, with inferred output schemas and candidate
+    keys (public schema metadata, §2.1). *)
+
+open Orq_core
+
+type node =
+  | Scan of scan
+  | Filter of Expr.pred * node
+  | Project of string list * node
+  | Map of string * Expr.num * node
+  | Join of join
+  | Aggregate of agg_node
+  | Order_limit of (string * Tablesort.order) list * int option * node
+
+and scan = {
+  s_table : Table.t;
+  s_keys : string list list;  (** candidate keys declared by the schema *)
+}
+
+and join = { j_left : node; j_right : node; j_on : string list }
+
+and agg_node = {
+  a_keys : string list;
+  a_aggs : Dataflow.agg list;
+  a_input : node;
+}
+
+(** {2 Constructors} *)
+
+val scan : ?keys:string list list -> Table.t -> node
+val filter : Expr.pred -> node -> node
+val project : string list -> node -> node
+val map : string -> Expr.num -> node -> node
+val join : node -> node -> on:string list -> node
+val aggregate : keys:string list -> aggs:Dataflow.agg list -> node -> node
+val order_by : (string * Tablesort.order) list -> node -> node
+val top : (string * Tablesort.order) list -> int -> node -> node
+
+(** {2 Inference} *)
+
+type info = {
+  i_cols : string list;  (** output columns *)
+  i_keys : string list list;  (** candidate keys *)
+  i_rows : int;  (** physical row bound *)
+}
+
+val subset : 'a list -> 'a list -> bool
+val infer : node -> info
+
+val unique_on : node -> string list -> bool
+(** Does the subtree expose a candidate key within [cols]? *)
+
+(** {2 Predicate analysis} *)
+
+val num_cols : Expr.num -> string list
+val pred_cols : Expr.pred -> string list
+val conjuncts : Expr.pred -> Expr.pred list
+val conjoin : Expr.pred list -> Expr.pred
+
+(** {2 EXPLAIN} *)
+
+val pp : Format.formatter -> node -> unit
+val explain : node -> string

@@ -1,0 +1,72 @@
+(** Protocol context: which MPC protocol is running, its metering state, and
+    the session randomness.
+
+    ORQ instantiates the same operator stack over three protocols (§2.4):
+
+    - [Sh_dm]  — ABY, semi-honest, dishonest majority (2 parties, T = 1);
+    - [Sh_hm]  — Araki et al., semi-honest, honest majority (3 parties);
+    - [Mal_hm] — Fantastic Four, malicious, honest majority (4 parties).
+
+    The context also carries the fault-injection hook used to exercise the
+    malicious protocol's abort behaviour in tests. *)
+
+open Orq_util
+
+type kind = Sh_dm | Sh_hm | Mal_hm
+
+let all_kinds = [ Sh_dm; Sh_hm; Mal_hm ]
+
+let kind_label = function
+  | Sh_dm -> "SH-DM"
+  | Sh_hm -> "SH-HM"
+  | Mal_hm -> "Mal-HM"
+
+let parties_of = function Sh_dm -> 2 | Sh_hm -> 3 | Mal_hm -> 4
+
+(** Number of share vectors in the sharing of one secret. For the additive
+    2PC scheme this equals the party count; for the replicated 3PC and 4PC
+    schemes each party holds a strict subset of these vectors (2 of 3 and
+    3 of 4 respectively). *)
+let nvec_of = function Sh_dm -> 2 | Sh_hm -> 3 | Mal_hm -> 4
+
+(** Fault injection for the maliciously secure protocol: return [Some delta]
+    to additively corrupt the named party's contribution in the named
+    operation. Semi-honest protocols ignore the hook (they do not verify),
+    which the test suite demonstrates. *)
+type tamper = party:int -> op:string -> int option
+
+type t = {
+  kind : kind;
+  parties : int;
+  nvec : int;
+  ell : int;  (** logical element bit width used for metering (paper: 64) *)
+  perm_bits : int;  (** bit width of permutation indices (paper: ell_sigma = 32) *)
+  comm : Orq_net.Comm.t;  (** online-phase traffic *)
+  preproc : Orq_net.Comm.t;  (** preprocessing traffic (dealer-simulated) *)
+  prg : Prg.t;
+  mutable tamper : tamper option;
+}
+
+exception Abort of string
+
+let create ?(seed = 0x5EED) ?(ell = 64) kind =
+  let parties = parties_of kind in
+  {
+    kind;
+    parties;
+    nvec = nvec_of kind;
+    ell;
+    perm_bits = 32;
+    comm = Orq_net.Comm.create ~parties;
+    preproc = Orq_net.Comm.create ~parties;
+    prg = Prg.create seed;
+    tamper = None;
+  }
+
+let with_tamper t f g =
+  let saved = t.tamper in
+  t.tamper <- Some f;
+  Fun.protect ~finally:(fun () -> t.tamper <- saved) g
+
+let tamper_delta t ~party ~op =
+  match t.tamper with None -> 0 | Some f -> ( match f ~party ~op with None -> 0 | Some d -> d)

@@ -1,0 +1,28 @@
+(** Preprocessing correlations (trusted-dealer simulation).
+
+    The real ORQ generates input-independent correlated randomness with
+    libOTe; this repository substitutes a trusted dealer emitting the same
+    correlations directly (DESIGN.md): the online protocols consuming them
+    are unchanged. Dealer traffic is metered on [ctx.preproc], never on
+    the online counter. *)
+
+type triple = { ta : Share.shared; tb : Share.shared; tc : Share.shared }
+
+val beaver : Ctx.t -> Share.enc -> int -> triple
+(** A Beaver triple [c = a * b] (arithmetic) or [c = a AND b] (boolean),
+    secret-shared; used by the 2PC protocol. *)
+
+type dabits = { da_bool : Share.shared; da_arith : Share.shared }
+
+val dabits : Ctx.t -> int -> dabits
+(** Random bits shared simultaneously as boolean (LSB) and arithmetic 0/1
+    values; drives the protocol-agnostic bit conversions. *)
+
+type edabits = { ed_arith : Share.shared; ed_bool : Share.shared }
+
+val edabits : Ctx.t -> int -> edabits
+(** Random ring elements shared both arithmetically and booleanly — the
+    correlation behind A2B conversion. *)
+
+val random_shared : Ctx.t -> Share.enc -> int -> Share.shared
+(** A secret-shared random vector unknown to every party. *)

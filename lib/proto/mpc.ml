@@ -1,0 +1,299 @@
+(** Black-box MPC functionalities (§2.4): vectorized [+], [-], [×], [⊕],
+    [∧], constants, and metered opening, instantiated for the three
+    supported protocols. Everything above this module — circuits, shuffling,
+    sorting, relational operators — uses only these functions, which is what
+    makes ORQ protocol-agnostic.
+
+    Metering conventions: [bits] counts traffic summed over all parties;
+    every interactive primitive takes an optional [?width] (default
+    [ctx.ell]) giving the logical bit width of the elements involved, so
+    that e.g. an AND of single-bit validity flags is charged 1 bit per
+    element rather than a full word. *)
+
+open Orq_util
+module Comm = Orq_net.Comm
+
+type shared = Share.shared
+
+let reconstruct = Share.reconstruct
+
+(* ------------------------------------------------------------------ *)
+(* Input / constants (data-owner side; unmetered)                      *)
+(* ------------------------------------------------------------------ *)
+
+let share_a ctx x = Share.share ctx Arith x
+let share_b ctx x = Share.share ctx Bool x
+let public_a ctx n c = Share.public ctx Arith n c
+let public_b ctx n c = Share.public ctx Bool n c
+let public_a_vec ctx x = Share.public_vec ctx Arith x
+let public_b_vec ctx x = Share.public_vec ctx Bool x
+
+(* ------------------------------------------------------------------ *)
+(* Local linear operations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let add a b =
+  Share.check_enc Arith a;
+  Share.map2_vectors Vec.add a b
+
+let sub a b =
+  Share.check_enc Arith a;
+  Share.map2_vectors Vec.sub a b
+
+let neg a =
+  Share.check_enc Arith a;
+  Share.map_vectors Vec.neg a
+
+(** Add a public constant: affects a single share vector so the sum moves
+    by exactly the constant. *)
+let add_pub a c =
+  Share.check_enc Arith a;
+  { a with Share.v = Array.mapi (fun k vk -> if k = 0 then Vec.add_scalar vk c else Vec.copy vk) a.Share.v }
+
+let add_pub_vec a (c : Vec.t) =
+  Share.check_enc Arith a;
+  { a with Share.v = Array.mapi (fun k vk -> if k = 0 then Vec.add vk c else Vec.copy vk) a.Share.v }
+
+(** Multiply by a public constant: scales every share vector (linear). *)
+let mul_pub a c =
+  Share.check_enc Arith a;
+  Share.map_vectors (fun vk -> Vec.mul_scalar vk c) a
+
+let mul_pub_vec a (c : Vec.t) =
+  Share.check_enc Arith a;
+  Share.map_vectors (fun vk -> Vec.mul vk c) a
+
+let xor a b =
+  Share.check_enc Bool a;
+  Share.map2_vectors Vec.xor a b
+
+let xor_pub a c =
+  Share.check_enc Bool a;
+  { a with Share.v = Array.mapi (fun k vk -> if k = 0 then Vec.xor_scalar vk c else Vec.copy vk) a.Share.v }
+
+let xor_pub_vec a (c : Vec.t) =
+  Share.check_enc Bool a;
+  { a with Share.v = Array.mapi (fun k vk -> if k = 0 then Vec.xor vk c else Vec.copy vk) a.Share.v }
+
+(** Bitwise AND with a public mask (linear over GF(2)). *)
+let and_mask a m =
+  Share.check_enc Bool a;
+  Share.map_vectors (fun vk -> Vec.and_scalar vk m) a
+
+let and_mask_vec a (m : Vec.t) =
+  Share.check_enc Bool a;
+  Share.map_vectors (fun vk -> Vec.band vk m) a
+
+let lshift a k =
+  Share.check_enc Bool a;
+  Share.map_vectors (fun vk -> Vec.shift_left vk k) a
+
+let rshift a k =
+  Share.check_enc Bool a;
+  Share.map_vectors (fun vk -> Vec.shift_right vk k) a
+
+(** Bitwise NOT over the full word (circuits mask to their logical width). *)
+let bnot a = xor_pub a Ring.ones
+
+(** Replicate the LSB of each element across the whole word — a linear
+    operation per share vector (each output bit equals the input LSB), used
+    to turn a single-bit condition into a mux mask. *)
+let extend_bit a =
+  Share.check_enc Bool a;
+  Share.map_vectors (fun vk -> Vec.map (fun x -> -(x land 1)) vk) a
+
+(* ------------------------------------------------------------------ *)
+(* Opening (reveal to all computing parties)                           *)
+(* ------------------------------------------------------------------ *)
+
+let hash_bits = 256 (* digest size for Mal-HM redundant delivery *)
+
+(** Open a shared vector to all parties. Under [Mal_hm] every reconstructed
+    vector is delivered redundantly (value + digest from distinct parties);
+    an injected corruption of the sender therefore raises {!Ctx.Abort}. *)
+let open_ ?width (ctx : Ctx.t) (s : shared) : Vec.t =
+  let w = Option.value width ~default:ctx.ell in
+  let n = Share.length s in
+  let x = Share.reconstruct s in
+  (match ctx.kind with
+  | Sh_dm -> Comm.round ctx.comm ~bits:(2 * w * n) ~messages:2
+  | Sh_hm -> Comm.round ctx.comm ~bits:(3 * w * n) ~messages:3
+  | Mal_hm ->
+      Comm.round ctx.comm ~bits:(4 * ((w * n) + hash_bits)) ~messages:8;
+      (* redundant delivery check: a tampering sender is caught because the
+         verifier party's digest of the true share vector cannot match *)
+      for p = 0 to ctx.parties - 1 do
+        if Ctx.tamper_delta ctx ~party:p ~op:"open" <> 0 then
+          raise (Ctx.Abort "open: share/hash mismatch detected")
+      done);
+  x
+
+(* ------------------------------------------------------------------ *)
+(* Multiplication / AND                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Zero sharing: alpha_k = r_k (-|xor) r_{k+1 mod nvec}, so the alphas sum
+   (or xor) to zero. In the real protocols these come from pairwise PRG
+   seeds; the lockstep simulation draws them from the session PRG. *)
+let zero_sharing (ctx : Ctx.t) (enc : Share.enc) n =
+  let r = Array.init ctx.nvec (fun _ -> Prg.words ctx.prg n) in
+  Array.init ctx.nvec (fun k ->
+      let r' = r.((k + 1) mod ctx.nvec) in
+      match enc with
+      | Arith -> Vec.sub r.(k) r'
+      | Bool -> Vec.xor r.(k) r')
+
+(* 2PC Beaver multiplication: open d = x - a and e = y - b (one batched
+   round), then z = c + d*b + e*a + d*e with the public d*e folded into one
+   share vector. The boolean case is identical over GF(2). *)
+let beaver_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
+  let n = Share.length x in
+  let { Dealer.ta; tb; tc } = Dealer.beaver ctx enc n in
+  let combine, distribute =
+    match (enc : Share.enc) with
+    | Arith -> (Vec.sub, Vec.mul)
+    | Bool -> (Vec.xor, Vec.band)
+  in
+  let acc =
+    match (enc : Share.enc) with Arith -> Vec.add | Bool -> Vec.xor
+  in
+  let d_sh = Share.map2_vectors combine x ta in
+  let e_sh = Share.map2_vectors combine y tb in
+  (* both openings batched: one round, each party sends both its shares *)
+  Comm.round ctx.comm ~bits:(2 * 2 * w * n) ~messages:2;
+  let d = Share.reconstruct d_sh and e = Share.reconstruct e_sh in
+  let v =
+    Array.init ctx.nvec (fun k ->
+        let open_terms =
+          acc (distribute d tb.Share.v.(k)) (distribute e ta.Share.v.(k))
+        in
+        let base = acc tc.Share.v.(k) open_terms in
+        if k = 0 then acc base (distribute d e) else base)
+  in
+  { Share.enc; v }
+
+(* 3PC replicated multiplication (Araki et al.): party i computes
+   z_i = x_i y_i + x_i y_{i+1} + x_{i+1} y_i + alpha_i and sends it to its
+   neighbour to restore replication: one round, one ring element per party. *)
+let rep3_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
+  let n = Share.length x in
+  let alpha = zero_sharing ctx enc n in
+  let xv = x.Share.v and yv = y.Share.v in
+  let term, acc =
+    match (enc : Share.enc) with
+    | Arith -> (Vec.mul, Vec.add)
+    | Bool -> (Vec.band, Vec.xor)
+  in
+  let v =
+    Array.init 3 (fun i ->
+        let j = (i + 1) mod 3 in
+        let t = acc (term xv.(i) yv.(i)) (term xv.(i) yv.(j)) in
+        let t = acc t (term xv.(j) yv.(i)) in
+        acc t alpha.(i))
+  in
+  Comm.round ctx.comm ~bits:(3 * w * n) ~messages:3;
+  { Share.enc; v }
+
+(* 4PC Fantastic-Four-style multiplication. Each cross term x_i y_j is
+   computable by the >= 2 parties holding both shares; the lowest-index
+   eligible party contributes it and the next one verifies it (value vs
+   digest), so a corrupted contribution aborts. Contributions are
+   rerandomized into a fresh 4-vector sharing. Metered at 3 ring elements
+   per party per multiplication (consistent with the paper's Table 7
+   Mal-HM/SH-HM bandwidth ratio). *)
+let rep4_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
+  let n = Share.length x in
+  let xv = x.Share.v and yv = y.Share.v in
+  let term, acc =
+    match (enc : Share.enc) with
+    | Arith -> (Vec.mul, Vec.add)
+    | Bool -> (Vec.band, Vec.xor)
+  in
+  let contrib = Array.init 4 (fun _ -> Vec.zeros n) in
+  let acc_into dst t =
+    match (enc : Share.enc) with
+    | Arith -> Vec.add_into dst t
+    | Bool -> Vec.xor_into dst t
+  in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      (* parties eligible for term (i, j): those holding x_i and y_j,
+         i.e. everyone except parties i and j *)
+      let eligible =
+        List.filter (fun p -> p <> i && p <> j) [ 0; 1; 2; 3 ]
+      in
+      match eligible with
+      | assignee :: verifier :: _ ->
+          let t = term xv.(i) yv.(j) in
+          let delta = Ctx.tamper_delta ctx ~party:assignee ~op:"mul" in
+          if delta <> 0 then
+            (* the verifier recomputes the same term from its own copies of
+               x_i and y_j; any additive corruption mismatches *)
+            raise (Ctx.Abort "mul: cross-term verification failed");
+          ignore verifier;
+          acc_into contrib.(assignee) t
+      | _ -> assert false
+    done
+  done;
+  let alpha = zero_sharing ctx enc n in
+  let v = Array.init 4 (fun k -> acc contrib.(k) alpha.(k)) in
+  Comm.round ctx.comm ~bits:(4 * 3 * w * n) ~messages:12;
+  { Share.enc; v }
+
+(** Secure elementwise multiplication of arithmetic shares. *)
+let mul ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
+  Share.check_enc Arith x;
+  Share.check_enc Arith y;
+  Share.check_same_len x y;
+  let w = Option.value width ~default:ctx.ell in
+  match ctx.kind with
+  | Sh_dm -> beaver_mul ctx Arith w x y
+  | Sh_hm -> rep3_mul ctx Arith w x y
+  | Mal_hm -> rep4_mul ctx Arith w x y
+
+(** Secure elementwise bitwise AND of boolean shares. *)
+let band ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
+  Share.check_enc Bool x;
+  Share.check_enc Bool y;
+  Share.check_same_len x y;
+  let w = Option.value width ~default:ctx.ell in
+  match ctx.kind with
+  | Sh_dm -> beaver_mul ctx Bool w x y
+  | Sh_hm -> rep3_mul ctx Bool w x y
+  | Mal_hm -> rep4_mul ctx Bool w x y
+
+(** OR via De Morgan / inclusion–exclusion: x ∨ y = x ⊕ y ⊕ (x ∧ y). *)
+let bor ?width ctx x y = xor (xor x y) (band ?width ctx x y)
+
+(* ------------------------------------------------------------------ *)
+(* Resharing (used by the shuffle stack)                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Rerandomize a sharing without changing the secret; traffic is metered by
+    the caller (the shuffle protocols account whole-protocol totals per the
+    paper's Table 1). *)
+let reshare_unmetered (ctx : Ctx.t) (s : shared) : shared =
+  let n = Share.length s in
+  let alpha = zero_sharing ctx s.Share.enc n in
+  let v =
+    Array.init ctx.nvec (fun k ->
+        match s.Share.enc with
+        | Arith -> Vec.add s.Share.v.(k) alpha.(k)
+        | Bool -> Vec.xor s.Share.v.(k) alpha.(k))
+  in
+  { s with Share.v = v }
+
+(* ------------------------------------------------------------------ *)
+(* Reductions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Sum all elements of an arithmetic sharing into a 1-element sharing
+    (local: addition is linear). *)
+let sum_all (s : shared) : shared =
+  Share.check_enc Arith s;
+  { s with Share.v = Array.map (fun vk -> [| Vec.sum vk |]) s.Share.v }
+
+(** Local prefix sums on an arithmetic sharing. *)
+let prefix_sum (s : shared) : shared =
+  Share.check_enc Arith s;
+  Share.map_vectors Vec.prefix_sum s

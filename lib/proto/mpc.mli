@@ -1,0 +1,97 @@
+(** Black-box MPC functionalities (§2.4): vectorized [+], [-], [×], [⊕],
+    [∧], constants, and metered opening, instantiated for the three
+    supported protocols. Everything above this module — circuits,
+    shuffling, sorting, relational operators — uses only these functions,
+    which is what makes ORQ protocol-agnostic.
+
+    [bits] metering counts traffic summed over all parties; interactive
+    primitives take an optional [?width] (default [ctx.ell]) giving the
+    logical element width, so e.g. an AND of single-bit validity flags is
+    charged 1 bit per element. *)
+
+type shared = Share.shared
+
+val reconstruct : shared -> Orq_util.Vec.t
+
+(** {2 Input / constants (data-owner side; unmetered)} *)
+
+val share_a : Ctx.t -> Orq_util.Vec.t -> shared
+val share_b : Ctx.t -> Orq_util.Vec.t -> shared
+val public_a : Ctx.t -> int -> int -> shared
+val public_b : Ctx.t -> int -> int -> shared
+val public_a_vec : Ctx.t -> Orq_util.Vec.t -> shared
+val public_b_vec : Ctx.t -> Orq_util.Vec.t -> shared
+
+(** {2 Local linear operations} *)
+
+val add : shared -> shared -> shared
+val sub : shared -> shared -> shared
+val neg : shared -> shared
+
+val add_pub : shared -> int -> shared
+(** Add a public constant (affects one share vector). *)
+
+val add_pub_vec : shared -> Orq_util.Vec.t -> shared
+
+val mul_pub : shared -> int -> shared
+(** Multiply by a public constant (scales every share vector). *)
+
+val mul_pub_vec : shared -> Orq_util.Vec.t -> shared
+val xor : shared -> shared -> shared
+val xor_pub : shared -> int -> shared
+val xor_pub_vec : shared -> Orq_util.Vec.t -> shared
+
+val and_mask : shared -> int -> shared
+(** Bitwise AND with a public mask (linear over GF(2)). *)
+
+val and_mask_vec : shared -> Orq_util.Vec.t -> shared
+val lshift : shared -> int -> shared
+val rshift : shared -> int -> shared
+
+val bnot : shared -> shared
+(** Bitwise NOT over the full word (circuits mask to their width). *)
+
+val extend_bit : shared -> shared
+(** Replicate each element's LSB across the whole word — linear per share
+    vector; turns a single-bit condition into a mux mask. *)
+
+(** {2 Opening (reveal to all computing parties)} *)
+
+val hash_bits : int
+(** Digest size metered for Mal-HM redundant delivery. *)
+
+val open_ : ?width:int -> Ctx.t -> shared -> Orq_util.Vec.t
+(** Open a shared vector to all parties. Under [Mal_hm] every
+    reconstructed vector is delivered redundantly (value + digest from
+    distinct parties), so an injected sender corruption raises
+    {!Ctx.Abort}. *)
+
+(** {2 Multiplication / AND} *)
+
+val mul : ?width:int -> Ctx.t -> shared -> shared -> shared
+(** Secure elementwise multiplication of arithmetic shares: Beaver (2PC),
+    replicated cross-terms + resharing (3PC), redundantly verified
+    cross-terms (4PC). One round each. *)
+
+val band : ?width:int -> Ctx.t -> shared -> shared -> shared
+(** Secure elementwise bitwise AND of boolean shares (same structures over
+    GF(2)). *)
+
+val bor : ?width:int -> Ctx.t -> shared -> shared -> shared
+(** x ∨ y = x ⊕ y ⊕ (x ∧ y). *)
+
+(** {2 Resharing and reductions} *)
+
+val zero_sharing : Ctx.t -> Share.enc -> int -> Orq_util.Vec.t array
+(** Fresh vectors summing (or xoring) to zero — the rerandomization noise
+    real protocols derive from pairwise PRG seeds. *)
+
+val reshare_unmetered : Ctx.t -> shared -> shared
+(** Rerandomize a sharing without changing the secret; traffic is metered
+    by the caller (the shuffle protocols account whole-protocol totals). *)
+
+val sum_all : shared -> shared
+(** Sum all elements into a 1-element arithmetic sharing (local). *)
+
+val prefix_sum : shared -> shared
+(** Local prefix sums on an arithmetic sharing. *)

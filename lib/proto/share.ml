@@ -1,0 +1,137 @@
+(** Secret-shared vectors.
+
+    A [shared] value is a column of [n] secrets held jointly by the
+    computing parties. Following §2.3, ORQ uses two encodings over the ring
+    Z_2^ell:
+
+    - [Arith]: the secret is the modular *sum* of the share vectors;
+    - [Bool]: the secret is the bitwise *xor* of the share vectors.
+
+    The lockstep simulation stores all share vectors side by side
+    ([v.(k).(i)] is element [i] of share vector [k]); each protocol defines
+    which party holds which vectors, and the {!Mpc} primitives only ever
+    combine vectors in ways the owning parties could. Sharing and
+    reconstruction here are the data-owner/analyst endpoints and are
+    unmetered (they happen outside the computing-party protocol). *)
+
+open Orq_util
+
+type enc = Arith | Bool
+
+let enc_label = function Arith -> "A" | Bool -> "B"
+
+type shared = { enc : enc; v : Vec.t array }
+
+let length s = Vec.length s.v.(0)
+let nvec s = Array.length s.v
+let enc s = s.enc
+
+let check_same_len a b =
+  if length a <> length b then
+    invalid_arg
+      (Printf.sprintf "shared length mismatch: %d vs %d" (length a) (length b))
+
+let check_enc e s =
+  if s.enc <> e then
+    invalid_arg
+      (Printf.sprintf "expected %s-shared value, got %s" (enc_label e)
+         (enc_label s.enc))
+
+(** Secret-share a plaintext vector: [nvec - 1] uniform masks plus a
+    correction vector. Individually each vector is uniform over the ring. *)
+let share (ctx : Ctx.t) enc (x : Vec.t) =
+  let n = Vec.length x in
+  let v = Array.init ctx.nvec (fun _ -> Vec.zeros n) in
+  (match enc with
+  | Arith ->
+      for i = 0 to n - 1 do
+        let acc = ref 0 in
+        for k = 1 to ctx.nvec - 1 do
+          let r = Prg.word ctx.prg in
+          v.(k).(i) <- r;
+          acc := !acc + r
+        done;
+        v.(0).(i) <- x.(i) - !acc
+      done
+  | Bool ->
+      for i = 0 to n - 1 do
+        let acc = ref 0 in
+        for k = 1 to ctx.nvec - 1 do
+          let r = Prg.word ctx.prg in
+          v.(k).(i) <- r;
+          acc := !acc lxor r
+        done;
+        v.(0).(i) <- x.(i) lxor !acc
+      done);
+  { enc; v }
+
+(** Reconstruct the plaintext (test/analyst-side; no protocol communication
+    is implied — for the metered in-protocol opening see {!Mpc.open_}). *)
+let reconstruct (s : shared) : Vec.t =
+  let n = length s in
+  let out = Array.make n 0 in
+  (match s.enc with
+  | Arith ->
+      Array.iter (fun vk -> Vec.add_into out vk) s.v
+  | Bool -> Array.iter (fun vk -> Vec.xor_into out vk) s.v);
+  out
+
+(** A sharing of the all-[c] constant vector with no randomness; used for
+    public values entering the computation (the paper's [publicShare]). *)
+let public (ctx : Ctx.t) enc n (c : int) =
+  let v = Array.init ctx.nvec (fun k -> Vec.make n (if k = 0 then c else 0)) in
+  { enc; v }
+
+let public_vec (ctx : Ctx.t) enc (x : Vec.t) =
+  let n = Vec.length x in
+  let v =
+    Array.init ctx.nvec (fun k -> if k = 0 then Vec.copy x else Vec.zeros n)
+  in
+  { enc; v }
+
+let map_vectors f s = { s with v = Array.map f s.v }
+
+let map2_vectors f a b =
+  check_same_len a b;
+  { enc = a.enc; v = Array.init (nvec a) (fun k -> f a.v.(k) b.v.(k)) }
+
+let copy s = map_vectors Vec.copy s
+
+(** Concatenate two shared vectors of the same encoding (used to batch
+    independent secure operations into a single round). *)
+let append a b =
+  if a.enc <> b.enc then invalid_arg "Share.append: encoding mismatch";
+  { enc = a.enc; v = Array.init (nvec a) (fun k -> Vec.concat2 a.v.(k) b.v.(k)) }
+
+let concat = function
+  | [] -> invalid_arg "Share.concat: empty"
+  | s :: rest -> List.fold_left append s rest
+
+let split2 s n =
+  ( { s with v = Array.map (fun vk -> Array.sub vk 0 n) s.v },
+    { s with v = Array.map (fun vk -> Array.sub vk n (Vec.length vk - n)) s.v } )
+
+let sub_range s pos len =
+  { s with v = Array.map (fun vk -> Array.sub vk pos len) s.v }
+
+(** Gather rows by public indices (a local operation: all parties know the
+    index map, as after an opened shuffle-comparison). *)
+let gather s idx = { s with v = Array.map (fun vk -> Vec.gather vk idx) s.v }
+
+let scatter s idx = { s with v = Array.map (fun vk -> Vec.scatter vk idx) s.v }
+
+let rev s = { s with v = Array.map Vec.rev s.v }
+
+(** [update_rows dst idx src] returns [dst] with row [idx.(t)] replaced by
+    row [t] of [src] (a local rearrangement under public indices, as used by
+    sorting-network compare-exchange writebacks). *)
+let update_rows (dst : shared) (idx : int array) (src : shared) : shared =
+  let v =
+    Array.mapi
+      (fun k vk ->
+        let o = Array.copy vk in
+        Array.iteri (fun t i -> o.(i) <- src.v.(k).(t)) idx;
+        o)
+      dst.v
+  in
+  { dst with v }

@@ -1,0 +1,63 @@
+(** Secret-shared vectors (§2.3).
+
+    A [shared] value is a column of [n] secrets held jointly by the
+    computing parties, in one of two encodings over Z_2^63:
+    [Arith] — the secret is the modular sum of the share vectors;
+    [Bool] — the bitwise xor.
+
+    The lockstep simulation stores all share vectors side by side
+    ([v.(k).(i)] is element [i] of share vector [k]); each protocol defines
+    which party holds which vectors, and {!Mpc} only combines vectors in
+    ways the owning parties could. Sharing and reconstruction here are the
+    data-owner/analyst endpoints (unmetered). *)
+
+type enc = Arith | Bool
+
+val enc_label : enc -> string
+
+type shared = { enc : enc; v : Orq_util.Vec.t array }
+
+val length : shared -> int
+val nvec : shared -> int
+val enc : shared -> enc
+val check_same_len : shared -> shared -> unit
+val check_enc : enc -> shared -> unit
+
+val share : Ctx.t -> enc -> Orq_util.Vec.t -> shared
+(** Secret-share a plaintext vector: [nvec - 1] uniform masks plus a
+    correction vector; each vector alone is uniform over the ring. *)
+
+val reconstruct : shared -> Orq_util.Vec.t
+(** Reconstruct the plaintext (test/analyst-side; for the metered
+    in-protocol opening see {!Mpc.open_}). *)
+
+val public : Ctx.t -> enc -> int -> int -> shared
+(** A sharing of the all-[c] constant vector (the paper's [publicShare]). *)
+
+val public_vec : Ctx.t -> enc -> Orq_util.Vec.t -> shared
+
+val map_vectors : (Orq_util.Vec.t -> Orq_util.Vec.t) -> shared -> shared
+val map2_vectors :
+  (Orq_util.Vec.t -> Orq_util.Vec.t -> Orq_util.Vec.t) ->
+  shared -> shared -> shared
+
+val copy : shared -> shared
+
+val append : shared -> shared -> shared
+(** Concatenate two shared vectors of the same encoding (used to batch
+    independent secure operations into a single round). *)
+
+val concat : shared list -> shared
+val split2 : shared -> int -> shared * shared
+val sub_range : shared -> int -> int -> shared
+
+val gather : shared -> int array -> shared
+(** Gather rows by public indices — local, e.g. after an opened
+    shuffled comparison. *)
+
+val scatter : shared -> int array -> shared
+val rev : shared -> shared
+
+val update_rows : shared -> int array -> shared -> shared
+(** [update_rows dst idx src]: [dst] with row [idx.(t)] replaced by row
+    [t] of [src] (local rearrangement under public indices). *)

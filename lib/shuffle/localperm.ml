@@ -1,0 +1,49 @@
+(** Plaintext permutations (Appendix A.2).
+
+    Permutations are index maps: [p.(i) = j] means the value at position [i]
+    moves to position [j]. Random permutations come from Fisher–Yates over a
+    seeded PRG (so parties sharing a seed derive identical permutations);
+    application is parallelized by giving each worker a contiguous input
+    span with full write access to the output — a permutation writes every
+    slot exactly once. *)
+
+open Orq_util
+
+let identity n = Array.init n (fun i -> i)
+
+(** Fisher–Yates shuffle producing a uniform permutation of [n] elements. *)
+let random (prg : Prg.t) n =
+  let p = identity n in
+  for i = n - 1 downto 1 do
+    let j = Prg.int_below prg (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+(** [apply x p] places [x.(i)] at position [p.(i)]. *)
+let apply (x : Vec.t) (p : int array) : Vec.t = Parallel.apply_perm x p
+
+(** [apply_inverse x p] undoes {!apply}: result.(i) = x.(p.(i)). *)
+let apply_inverse (x : Vec.t) (p : int array) : Vec.t = Vec.gather x p
+
+(** [invert p]: the permutation q with q.(p.(i)) = i. *)
+let invert (p : int array) =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for i = 0 to n - 1 do
+    q.(p.(i)) <- i
+  done;
+  q
+
+(** [compose pi rho] is pi ∘ rho (apply rho first): (pi ∘ rho).(i) =
+    pi.(rho.(i)). *)
+let compose (pi : int array) (rho : int array) = Array.map (fun j -> pi.(j)) rho
+
+let is_permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun j -> j >= 0 && j < n && not seen.(j) && (seen.(j) <- true; true))
+    p

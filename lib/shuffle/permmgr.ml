@@ -1,0 +1,30 @@
+(** The PermutationManager abstraction (Appendix A.4): generation of sharded
+    permutations in a setting-agnostic way, including pairs of sharded
+    permutations representing the same underlying permutation (needed
+    whenever data and an elementwise permutation must travel under the same
+    shuffle).
+
+    In the honest-majority settings a pair is literally the same sharded
+    permutation twice; in the dishonest-majority setting the second use
+    needs its own type/encoding-bound permutation correlation (correlations
+    cannot be securely reused), which we account as an extra preprocessing
+    correlation. Because all generation is data-independent, the real system
+    pregenerates in bulk; in the simulation generation is immediate and only
+    its preprocessing traffic is recorded, so pooling would not change any
+    measured quantity. *)
+
+open Orq_proto
+
+(** [gen ctx n]: a fresh random sharded permutation over [n] elements. *)
+let gen (ctx : Ctx.t) n : Shardedperm.t = Shardedperm.gen ctx n
+
+(** [gen_pair ctx n]: two sharded permutations guaranteed to represent the
+    same permutation (the paper's [genShardedPermPair]). *)
+let gen_pair (ctx : Ctx.t) n : Shardedperm.t * Shardedperm.t =
+  let p = gen ctx n in
+  (match ctx.kind with
+  | Ctx.Sh_dm ->
+      (* second typed correlation for the same permutation *)
+      Orq_net.Comm.round ctx.preproc ~bits:(2 * 2 * ctx.ell * n) ~messages:2
+  | Ctx.Sh_hm | Ctx.Mal_hm -> ());
+  (p, p)

@@ -1,0 +1,10 @@
+(** The PermutationManager abstraction (Appendix A.4): setting-agnostic
+    generation of sharded permutations, including pairs representing the
+    same permutation (data and an elementwise permutation travelling under
+    one shuffle). In 2PC a pair consumes an extra typed permutation
+    correlation (correlations cannot be reused). *)
+
+open Orq_proto
+
+val gen : Ctx.t -> int -> Shardedperm.t
+val gen_pair : Ctx.t -> int -> Shardedperm.t * Shardedperm.t

@@ -1,0 +1,99 @@
+(** High-level oblivious permutation protocols (Appendix A.4): shuffle
+    (Protocol 4), elementwise-permutation application (Protocol 5),
+    composition (Protocol 6), encoding conversion (Protocol 7) and inversion
+    (Protocol 8).
+
+    Elementwise permutations are ordinary secret-shared vectors of
+    destination indices; the common trick is that once such a vector has
+    been routed through a random *sharded* permutation, it can be safely
+    opened — the opened vector is the destination vector of [rho o pi^{-1}],
+    uniform for uniform [pi]. *)
+
+open Orq_proto
+
+let perm_width (ctx : Ctx.t) = ctx.perm_bits
+
+(** Protocol 4: oblivious shuffle — generate and apply a random sharded
+    permutation. *)
+let shuffle ?width (ctx : Ctx.t) (x : Share.shared) : Share.shared =
+  let p = Permmgr.gen ctx (Share.length x) in
+  Shardedperm.apply ?width ctx x p
+
+(** Shuffle several columns under one common permutation. *)
+let shuffle_table ?width (ctx : Ctx.t) (cols : Share.shared list) :
+    Share.shared list =
+  match cols with
+  | [] -> []
+  | c :: _ ->
+      let p = Permmgr.gen ctx (Share.length c) in
+      Shardedperm.apply_table ?width ctx cols p
+
+(** Protocol 5: apply a secret elementwise permutation [rho] to [x]. *)
+let apply_elementwise ?width (ctx : Ctx.t) (x : Share.shared)
+    (rho : Share.shared) : Share.shared =
+  let n = Share.length x in
+  if Share.length rho <> n then invalid_arg "apply_elementwise: length";
+  let p1, p2 = Permmgr.gen_pair ctx n in
+  let xs = Shardedperm.apply ?width ctx x p1 in
+  let rs = Shardedperm.apply ~width:(perm_width ctx) ctx rho p2 in
+  let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
+  Share.scatter xs c
+
+(** Protocol 5 over a table: several columns move under the same secret
+    elementwise permutation, paying the shuffle of [rho] and its opening
+    once. Used by radixsort to carry the data and padding columns. *)
+let apply_elementwise_table ?width (ctx : Ctx.t) (cols : Share.shared list)
+    (rho : Share.shared) : Share.shared list =
+  match cols with
+  | [] -> []
+  | c0 :: _ ->
+      let n = Share.length c0 in
+      let p1, p2 = Permmgr.gen_pair ctx n in
+      let xs = Shardedperm.apply_table ?width ctx cols p1 in
+      let rs = Shardedperm.apply ~width:(perm_width ctx) ctx rho p2 in
+      let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
+      List.map (fun x -> Share.scatter x c) xs
+
+(** Protocol 6: compose two secret elementwise permutations, returning
+    [rho o sigma] (apply [sigma] first). *)
+let compose (ctx : Ctx.t) (sigma : Share.shared) (rho : Share.shared) :
+    Share.shared =
+  let n = Share.length sigma in
+  if Share.length rho <> n then invalid_arg "compose: length";
+  let p = Permmgr.gen ctx n in
+  let ps = Shardedperm.apply ~width:(perm_width ctx) ctx sigma p in
+  let c = Mpc.open_ ~width:(perm_width ctx) ctx ps in
+  (* localApplyPerm(rho, c^{-1}) is a gather by c *)
+  let v = Share.gather rho c in
+  Shardedperm.apply_inverse ~width:(perm_width ctx) ctx v p
+
+(** Protocol 8: invert a secret elementwise permutation by obliviously
+    applying it to the shared identity vector (Fact 1). *)
+let invert ?enc (ctx : Ctx.t) (pi : Share.shared) : Share.shared =
+  let n = Share.length pi in
+  let enc = Option.value enc ~default:pi.Share.enc in
+  let identity = Share.public_vec ctx enc (Localperm.identity n) in
+  apply_elementwise ~width:(perm_width ctx) ctx identity pi
+
+(** Protocol 7: convert an elementwise permutation between arithmetic and
+    boolean sharings. Honest-majority: shuffle, open, reshare under the
+    target encoding, unshuffle — cheaper than per-element conversion because
+    the multiset of values of a permutation is public. Dishonest-majority:
+    per-element share conversion (the paper's choice for 2PC). *)
+let convert (ctx : Ctx.t) (x : Share.shared) (target : Share.enc) :
+    Share.shared =
+  if x.Share.enc = target then x
+  else
+    match ctx.kind with
+    | Ctx.Sh_dm -> (
+        match target with
+        | Share.Bool -> Orq_circuits.Convert.a2b ~w:(perm_width ctx) ctx x
+        | Share.Arith -> Orq_circuits.Convert.b2a ~w:(perm_width ctx) ctx x)
+    | Ctx.Sh_hm | Ctx.Mal_hm ->
+        let p = Permmgr.gen ctx (Share.length x) in
+        let opened =
+          Mpc.open_ ~width:(perm_width ctx) ctx
+            (Shardedperm.apply ~width:(perm_width ctx) ctx x p)
+        in
+        let re = Share.public_vec ctx target opened in
+        Shardedperm.apply_inverse ~width:(perm_width ctx) ctx re p

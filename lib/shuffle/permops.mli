@@ -1,0 +1,35 @@
+(** High-level oblivious permutation protocols (Appendix A.4, Protocols
+    4-8). Elementwise permutations are secret-shared vectors of
+    destination indices; once routed through a random sharded permutation
+    they may be safely opened — the opened vector is the destination
+    vector of [rho ∘ pi^{-1}], uniform for uniform [pi]. *)
+
+open Orq_proto
+
+val perm_width : Ctx.t -> int
+
+val shuffle : ?width:int -> Ctx.t -> Share.shared -> Share.shared
+(** Protocol 4: generate and apply a random sharded permutation. *)
+
+val shuffle_table : ?width:int -> Ctx.t -> Share.shared list -> Share.shared list
+
+val apply_elementwise :
+  ?width:int -> Ctx.t -> Share.shared -> Share.shared -> Share.shared
+(** Protocol 5: apply a secret elementwise permutation to a shared vector. *)
+
+val apply_elementwise_table :
+  ?width:int -> Ctx.t -> Share.shared list -> Share.shared -> Share.shared list
+(** Protocol 5 over a table: the shuffle of [rho] and its opening are paid
+    once for all columns (radixsort's carry). *)
+
+val compose : Ctx.t -> Share.shared -> Share.shared -> Share.shared
+(** Protocol 6: [compose sigma rho] = [rho ∘ sigma] (apply [sigma] first). *)
+
+val invert : ?enc:Share.enc -> Ctx.t -> Share.shared -> Share.shared
+(** Protocol 8: invert an elementwise permutation by applying it to the
+    shared identity vector (Fact 1). *)
+
+val convert : Ctx.t -> Share.shared -> Share.enc -> Share.shared
+(** Protocol 7: convert an elementwise permutation between encodings —
+    shuffle/open/reshare in the honest-majority settings, per-element
+    conversion in 2PC. *)

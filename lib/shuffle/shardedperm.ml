@@ -1,0 +1,139 @@
+(** Sharded permutations (Appendix A.3): a secret permutation represented as
+    a composition of local permutations, each known to one shuffle group but
+    none to the adversary.
+
+    - 3PC: three components; each round one pair of parties permutes under
+      its common-seed permutation and reshares to the excluded party.
+    - 4PC: four components; shuffle groups of three parties, redundant
+      resharing (value + digest) gives malicious detection.
+    - 2PC: two permutation correlations (Peceny et al.), one per direction,
+      produced in preprocessing; online application costs two rounds.
+
+    The lockstep simulation stores the component permutations and performs
+    permute-and-reshare exactly; traffic is metered at the per-protocol
+    totals of the paper's Table 1. *)
+
+open Orq_proto
+module Comm = Orq_net.Comm
+
+type t = {
+  n : int;
+  components : int array array;  (** applied left to right *)
+}
+
+let components_of_kind = function
+  | Ctx.Sh_dm -> 2
+  | Ctx.Sh_hm -> 3
+  | Ctx.Mal_hm -> 4
+
+(* Per-application online cost of one sharded permutation over n elements
+   of w bits: (bits, rounds, messages); Table 1 totals. *)
+let apply_cost (ctx : Ctx.t) ~w n =
+  match ctx.kind with
+  | Ctx.Sh_dm -> (2 * w * n, 2, 2)
+  | Ctx.Sh_hm -> (6 * w * n, 3, 6)
+  | Ctx.Mal_hm -> (24 * w * n, 4, 12)
+
+(** Generate a random sharded permutation of [n] elements. Honest-majority
+    generation is free (common PRG seeds); the 2PC permutation correlations
+    are charged to preprocessing. *)
+let gen (ctx : Ctx.t) n : t =
+  let k = components_of_kind ctx.kind in
+  let components = Array.init k (fun _ -> Localperm.random ctx.prg n) in
+  (match ctx.kind with
+  | Ctx.Sh_dm ->
+      (* two OPRF-based permutation correlations (sender roles swapped) *)
+      Comm.round ctx.preproc ~bits:(2 * 2 * ctx.ell * n) ~messages:2
+  | Ctx.Sh_hm | Ctx.Mal_hm -> ());
+  { n; components }
+
+(** The plaintext permutation a sharded permutation represents (test-only:
+    no party could compute this). *)
+let plaintext (t : t) =
+  Array.fold_left
+    (fun acc p -> Localperm.compose p acc)
+    (Localperm.identity t.n) t.components
+
+(* Permute-and-reshare one component: every shuffle group applies its local
+   permutation to all share vectors and rerandomizes before resharing to the
+   excluded party. The Mal-HM redundant resharing verifies sender honesty. *)
+let apply_component (ctx : Ctx.t) (s : Share.shared) (p : int array) ~inverse =
+  let permute = if inverse then Localperm.apply_inverse else Localperm.apply in
+  let s = { s with Share.v = Array.map (fun vk -> permute vk p) s.Share.v } in
+  (match ctx.kind with
+  | Ctx.Mal_hm ->
+      for party = 0 to ctx.parties - 1 do
+        if Ctx.tamper_delta ctx ~party ~op:"shuffle" <> 0 then
+          raise (Ctx.Abort "shuffle: reshare verification failed")
+      done
+  | Ctx.Sh_dm | Ctx.Sh_hm -> ());
+  Mpc.reshare_unmetered ctx s
+
+(** Apply a sharded permutation obliviously to a shared vector. *)
+let apply ?width (ctx : Ctx.t) (s : Share.shared) (t : t) : Share.shared =
+  if Share.length s <> t.n then invalid_arg "Shardedperm.apply: length";
+  let w = Option.value width ~default:ctx.ell in
+  let bits, rounds, messages = apply_cost ctx ~w t.n in
+  Comm.round ctx.comm ~bits ~messages;
+  Comm.rounds_only ctx.comm (rounds - 1);
+  Array.fold_left
+    (fun acc p -> apply_component ctx acc p ~inverse:false)
+    s t.components
+
+(** Apply the inverse of a sharded permutation (components undone in
+    reverse order); same cost as {!apply}. *)
+let apply_inverse ?width (ctx : Ctx.t) (s : Share.shared) (t : t) : Share.shared =
+  if Share.length s <> t.n then invalid_arg "Shardedperm.apply_inverse: length";
+  let w = Option.value width ~default:ctx.ell in
+  let bits, rounds, messages = apply_cost ctx ~w t.n in
+  Comm.round ctx.comm ~bits ~messages;
+  Comm.rounds_only ctx.comm (rounds - 1);
+  let k = Array.length t.components in
+  let acc = ref s in
+  for i = k - 1 downto 0 do
+    acc := apply_component ctx !acc t.components.(i) ~inverse:true
+  done;
+  !acc
+
+(** Apply one sharded permutation to several columns of a table. Rounds are
+    those of a single application (columns travel together); bytes scale
+    with the data volume. This is the optimization that lets TableSort
+    permute a whole table once. *)
+let apply_table ?width (ctx : Ctx.t) (cols : Share.shared list) (t : t) :
+    Share.shared list =
+  match cols with
+  | [] -> []
+  | _ ->
+      let w = Option.value width ~default:ctx.ell in
+      let per_col = List.map (fun c -> apply_cost ctx ~w (Share.length c)) cols in
+      let bits = List.fold_left (fun a (b, _, _) -> a + b) 0 per_col in
+      let _, rounds, messages = List.hd per_col in
+      Comm.round ctx.comm ~bits ~messages;
+      Comm.rounds_only ctx.comm (rounds - 1);
+      List.map
+        (fun c ->
+          Array.fold_left
+            (fun acc p -> apply_component ctx acc p ~inverse:false)
+            c t.components)
+        cols
+
+let apply_table_inverse ?width (ctx : Ctx.t) (cols : Share.shared list) (t : t) :
+    Share.shared list =
+  match cols with
+  | [] -> []
+  | _ ->
+      let w = Option.value width ~default:ctx.ell in
+      let per_col = List.map (fun c -> apply_cost ctx ~w (Share.length c)) cols in
+      let bits = List.fold_left (fun a (b, _, _) -> a + b) 0 per_col in
+      let _, rounds, messages = List.hd per_col in
+      Comm.round ctx.comm ~bits ~messages;
+      Comm.rounds_only ctx.comm (rounds - 1);
+      List.map
+        (fun c ->
+          let k = Array.length t.components in
+          let acc = ref c in
+          for i = k - 1 downto 0 do
+            acc := apply_component ctx !acc t.components.(i) ~inverse:true
+          done;
+          !acc)
+        cols

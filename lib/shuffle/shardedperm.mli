@@ -1,0 +1,38 @@
+(** Sharded permutations (Appendix A.3): a secret permutation as a
+    composition of local permutations, each known to one shuffle group but
+    none to the adversary. Generation is PRG-based for the honest-majority
+    protocols and uses preprocessing permutation correlations (Peceny et
+    al.) in 2PC; application is permute-and-reshare per component, metered
+    at the paper's Table 1 totals. The Mal-HM redundant resharing detects
+    tampering. *)
+
+open Orq_proto
+
+type t = {
+  n : int;
+  components : int array array;  (** applied left to right *)
+}
+
+val components_of_kind : Ctx.kind -> int
+
+val apply_cost : Ctx.t -> w:int -> int -> int * int * int
+(** (bits, rounds, messages) of one application over n elements of w bits. *)
+
+val gen : Ctx.t -> int -> t
+(** Random sharded permutation of [n] elements (2PC correlations charged
+    to preprocessing). *)
+
+val plaintext : t -> int array
+(** The underlying permutation — test-only; no party could compute it. *)
+
+val apply : ?width:int -> Ctx.t -> Share.shared -> t -> Share.shared
+val apply_inverse : ?width:int -> Ctx.t -> Share.shared -> t -> Share.shared
+
+val apply_table :
+  ?width:int -> Ctx.t -> Share.shared list -> t -> Share.shared list
+(** One permutation over several columns: rounds of a single application,
+    bytes scaling with data volume — what lets TableSort permute a whole
+    table once. *)
+
+val apply_table_inverse :
+  ?width:int -> Ctx.t -> Share.shared list -> t -> Share.shared list

@@ -1,0 +1,33 @@
+(** [genBitPerm] (Asharov et al., used by both radixsort variants): given a
+    secret single-bit vector, compute the elementwise sharing of its *stable*
+    sorting permutation — zeros first, ones second, original order preserved
+    within each class.
+
+    The destination of element i is
+
+      dest_i = (s0_i - 1) + b_i * (Z + s1_i - s0_i)
+
+    where s0/s1 are running counts of zeros/ones and Z the total number of
+    zeros. Prefix sums are linear (local on additive shares); the only
+    interactive steps are one bit conversion and one multiplication, so the
+    protocol is agnostic to the number of parties. *)
+
+open Orq_proto
+
+(* Broadcast the last element of a sharing to every position (linear). *)
+let broadcast_last (s : Share.shared) =
+  Share.map_vectors
+    (fun vk -> Array.make (Array.length vk) vk.(Array.length vk - 1))
+    s
+
+(** [gen ctx bit] returns the arithmetic elementwise sorting permutation of
+    the single-bit boolean sharing [bit]. *)
+let gen (ctx : Ctx.t) (bit : Share.shared) : Share.shared =
+  let b_a = Orq_circuits.Convert.bit_b2a ctx bit in
+  let f0 = Mpc.add_pub (Mpc.neg b_a) 1 in
+  let s0 = Mpc.prefix_sum f0 in
+  let s1 = Mpc.prefix_sum b_a in
+  let z = broadcast_last s0 in
+  let t = Mpc.add z (Mpc.sub s1 s0) in
+  let prod = Mpc.mul ~width:ctx.perm_bits ctx b_a t in
+  Mpc.add_pub (Mpc.add s0 prod) (-1)

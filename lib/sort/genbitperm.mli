@@ -1,0 +1,14 @@
+(** [genBitPerm] (Asharov et al.): the elementwise sharing of a secret
+    bit-vector's *stable* sorting permutation — zeros first, ones second,
+    original order preserved within each class. One bit conversion and one
+    multiplication; prefix sums are local, so the protocol is agnostic to
+    the protocol and party count. *)
+
+open Orq_proto
+
+val broadcast_last : Share.shared -> Share.shared
+(** Broadcast the last element of a sharing to every position (linear). *)
+
+val gen : Ctx.t -> Share.shared -> Share.shared
+(** [gen ctx bit]: arithmetic elementwise sorting permutation of the
+    single-bit boolean sharing [bit]. *)

@@ -1,0 +1,98 @@
+(** Oblivious iterative quicksort (§3.2, Appendix B.1, Protocol 9).
+
+    Shuffle-then-sort: the rows are first moved through a random sharded
+    permutation; afterwards the results of pivot comparisons may be opened —
+    for unique keys, any comparison outcome is consistent with many
+    permutations of the original data, so the opened bits reveal only the
+    (random) shuffled order (Hamada et al.). The control flow is iterative:
+    every active segment is partitioned against its pivot in the same
+    vectorized comparison round, giving O(log n) comparison rounds instead
+    of the naive O(n).
+
+    Keys must be unique for security (the {!Sortwrap} wrapper guarantees
+    this by appending the row index); composite keys with per-column
+    direction are compared lexicographically. *)
+
+open Orq_proto
+module Compare = Orq_circuits.Compare
+
+type dir = Asc | Desc
+
+type key = { col : Share.shared; width : int; dir : dir }
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+
+let rec drop n = function
+  | [] -> []
+  | _ :: tl as l -> if n = 0 then l else drop (n - 1) tl
+
+(** [sort ctx ~keys carry] sorts the rows formed by the key columns plus
+    [carry] columns; returns (sorted key columns, sorted carry columns). *)
+let sort (ctx : Ctx.t) ~(keys : key list) (carry : Share.shared list) :
+    Share.shared list * Share.shared list =
+  let n = Share.length (List.hd keys).col in
+  let nk = List.length keys in
+  if n <= 1 then (List.map (fun k -> k.col) keys, carry)
+  else begin
+    let all =
+      Orq_shuffle.Permops.shuffle_table ctx
+        (List.map (fun k -> k.col) keys @ carry)
+    in
+    let key_cols = ref (take nk all) and carry_cols = ref (drop nk all) in
+    let segs = ref [ (0, n) ] in
+    let round_cap = n + 2 in
+    let rounds = ref 0 in
+    while !segs <> [] do
+      incr rounds;
+      if !rounds > round_cap then
+        failwith "quicksort: partition did not converge (duplicate keys?)";
+      (* one batched comparison round: every non-pivot element of every
+         active segment against its segment's pivot (prevPivot is the
+         segment head after each partition step) *)
+      let elems =
+        List.concat_map
+          (fun (lo, hi) -> List.init (hi - lo - 1) (fun j -> (lo + 1 + j, lo)))
+          !segs
+      in
+      let elem_idx = Array.of_list (List.map fst elems) in
+      let pivot_idx = Array.of_list (List.map snd elems) in
+      let cmp_operands =
+        List.map2
+          (fun k col ->
+            let a = Share.gather col elem_idx in
+            let b = Share.gather col pivot_idx in
+            match k.dir with
+            | Asc -> (a, b, k.width)
+            | Desc -> (b, a, k.width))
+          keys !key_cols
+      in
+      let lt = Compare.lt_lex ctx cmp_operands in
+      let bits = Mpc.open_ ~width:1 ctx lt in
+      (* local partition: [less...; pivot; geq...] per segment *)
+      let src = Array.init n (fun i -> i) in
+      let new_segs = ref [] in
+      let pos = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          let less = ref [] and geq = ref [] in
+          for i = lo + 1 to hi - 1 do
+            if bits.(!pos) = 1 then less := i :: !less else geq := i :: !geq;
+            incr pos
+          done;
+          let less = List.rev !less and geq = List.rev !geq in
+          let nl = List.length less in
+          List.iteri (fun j i -> src.(lo + j) <- i) less;
+          src.(lo + nl) <- lo;
+          List.iteri (fun j i -> src.(lo + nl + 1 + j) <- i) geq;
+          if nl >= 2 then new_segs := (lo, lo + nl) :: !new_segs;
+          if hi - (lo + nl + 1) >= 2 then
+            new_segs := (lo + nl + 1, hi) :: !new_segs)
+        !segs;
+      key_cols := List.map (fun c -> Share.gather c src) !key_cols;
+      carry_cols := List.map (fun c -> Share.gather c src) !carry_cols;
+      segs := !new_segs
+    done;
+    (!key_cols, !carry_cols)
+  end

@@ -1,0 +1,23 @@
+(** Oblivious iterative quicksort (§3.2, Appendix B, Protocol 9):
+    shuffle-then-sort. After a random sharded shuffle the results of pivot
+    comparisons may be opened — for unique keys any outcome is consistent
+    with many permutations of the data (Hamada et al.) — and the iterative
+    control flow partitions every active segment in the same vectorized
+    comparison round: O(log n) comparison rounds.
+
+    Keys must be unique for security ({!Sortwrap} appends the row index);
+    composite keys with per-column direction compare lexicographically. *)
+
+open Orq_proto
+
+type dir = Asc | Desc
+
+type key = { col : Share.shared; width : int; dir : dir }
+
+val take : int -> 'a list -> 'a list
+val drop : int -> 'a list -> 'a list
+
+val sort :
+  Ctx.t -> keys:key list -> Share.shared list ->
+  Share.shared list * Share.shared list
+(** [sort ctx ~keys carry] = (sorted key columns, sorted carry columns). *)

@@ -1,0 +1,37 @@
+(** ORQ's hybrid oblivious radixsort (§3.2, Appendix B.1, Protocol 10).
+
+    For each key bit from least to most significant, compute the bit's
+    stable sorting permutation with {!Genbitperm} and *eagerly apply it to
+    the whole working table* (Bogdanov-style), using the efficient
+    elementwise-permutation application of Asharov et al. Compared to the
+    compose-then-apply variant ({!Radix_compose}) this trades a little
+    bandwidth for [7 (l - 1)] fewer rounds — the hybrid the paper reports as
+    up to 1.44x faster.
+
+    Stable by construction, so no uniqueness padding is needed for
+    correctness; the wrapper still carries an index column when the sorting
+    permutation must be extracted. Descending order flips each bit before
+    ranking, which preserves stability. *)
+
+open Orq_proto
+
+type dir = Asc | Desc
+
+(** [sort ctx ~bits ?skip ~dir key carry] stably sorts the rows
+    [(key, carry...)] on the [bits] key bits starting at bit [skip],
+    returning the rearranged columns. *)
+let sort (ctx : Ctx.t) ~bits ?(skip = 0) ?(dir = Asc) (key : Share.shared)
+    (carry : Share.shared list) : Share.shared * Share.shared list =
+  Share.check_enc Bool key;
+  let y = ref key and rest = ref carry in
+  for i = skip to skip + bits - 1 do
+    let b = Mpc.and_mask (Mpc.rshift !y i) 1 in
+    let b = match dir with Asc -> b | Desc -> Mpc.xor_pub b 1 in
+    let sigma = Genbitperm.gen ctx b in
+    match Orq_shuffle.Permops.apply_elementwise_table ctx (!y :: !rest) sigma with
+    | y' :: rest' ->
+        y := y';
+        rest := rest'
+    | [] -> assert false
+  done;
+  (!y, !rest)

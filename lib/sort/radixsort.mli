@@ -1,0 +1,17 @@
+(** ORQ's hybrid oblivious radixsort (§3.2, Appendix B, Protocol 10):
+    per-bit stable sorting permutations applied *eagerly* to the whole
+    working table (Bogdanov-style) through the efficient
+    elementwise-permutation application of Asharov et al. — trading a
+    little bandwidth for [7(l-1)] fewer rounds than the compose-based
+    protocol (up to 1.44x faster in the paper). Stable; descending order
+    flips each bit, preserving stability. *)
+
+open Orq_proto
+
+type dir = Asc | Desc
+
+val sort :
+  Ctx.t -> bits:int -> ?skip:int -> ?dir:dir -> Share.shared ->
+  Share.shared list -> Share.shared * Share.shared list
+(** [sort ctx ~bits ?skip ~dir key carry] stably sorts rows
+    [(key, carry...)] on the [bits] key bits starting at bit [skip]. *)

@@ -1,0 +1,30 @@
+(** The general sorting wrapper (Appendix B.2, Protocol 11): index
+    padding, base-sort dispatch, and sorting-permutation extraction. After
+    sorting, the carried index column holds [sigma(I) = sigma^{-1}];
+    Protocol 8 inverts it into the elementwise permutation TableSort
+    composes and applies to the remaining columns. *)
+
+open Orq_proto
+
+type algo = Quicksort | Radixsort
+
+type dir = Asc | Desc
+
+val default_algo_for_width : int -> algo
+(** Radixsort for narrow keys (≤ 32 bits), quicksort above — the engine
+    default (§3.2). *)
+
+val index_column : Ctx.t -> int -> Share.shared
+(** The shared 0..n-1 index column (the publicShare padding step). *)
+
+val sort_with_perm :
+  Ctx.t -> ?algo:algo -> dir:dir -> w:int -> Share.shared ->
+  Share.shared list -> Share.shared * Share.shared list * Share.shared
+(** Sort by a single key column (index tiebreak), returning the sorted
+    key, the sorted carry columns, and the sorting permutation sigma. *)
+
+val sort :
+  Ctx.t -> ?algo:algo -> dir:dir -> w:int -> Share.shared ->
+  Share.shared list -> Share.shared * Share.shared list
+(** As above without extracting the permutation (single-key sorts that
+    carry all their columns need none). *)

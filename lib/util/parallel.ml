@@ -1,0 +1,74 @@
+(** Data-parallel execution of local vector work over OCaml 5 domains.
+
+    ORQ's engine is data-parallel within each computing party (§4): workers
+    operate on disjoint partitions of a vector. We mirror that with a small
+    chunked-parallel layer. The number of domains defaults to 1 so that unit
+    tests are deterministic and cheap; benchmarks enable more via
+    {!set_num_domains}. Only *local* (communication-free) loops go through
+    this module — metering of simulated network traffic stays single-threaded.
+*)
+
+let num_domains = ref 1
+
+let set_num_domains n = num_domains := max 1 n
+let get_num_domains () = !num_domains
+
+(** [chunks n k] splits [0, n) into at most [k] contiguous (pos, len) spans. *)
+let chunks n k =
+  let k = max 1 (min k n) in
+  let base = n / k and rem = n mod k in
+  List.init k (fun i ->
+      let pos = (i * base) + min i rem in
+      let len = base + if i < rem then 1 else 0 in
+      (pos, len))
+
+(** [run_spans n f] calls [f pos len] for each chunk of [0, n), in parallel
+    when more than one domain is configured. [f] must only write to disjoint
+    output ranges determined by its span. Domains are spawned per call, so
+    parallelism only pays for itself on large vectors — small inputs stay
+    sequential regardless of the configured domain count. *)
+let run_spans n f =
+  let d = !num_domains in
+  if d <= 1 || n < 65536 then f 0 n
+  else
+    match chunks n d with
+    | [] -> ()
+    | (p0, l0) :: rest ->
+        let workers =
+          List.map (fun (pos, len) -> Domain.spawn (fun () -> f pos len)) rest
+        in
+        f p0 l0;
+        List.iter Domain.join workers
+
+(** Parallel elementwise map over an int vector. *)
+let map f (a : int array) =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  run_spans n (fun pos len ->
+      for i = pos to pos + len - 1 do
+        out.(i) <- f a.(i)
+      done);
+  out
+
+(** Parallel elementwise binary map. *)
+let map2 f (a : int array) (b : int array) =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let out = Array.make n 0 in
+  run_spans n (fun pos len ->
+      for i = pos to pos + len - 1 do
+        out.(i) <- f a.(i) b.(i)
+      done);
+  out
+
+(** Parallel application of a plaintext index permutation: the paper's
+    Appendix A.2 observation that each thread may receive full write access
+    to the output because a permutation writes every slot exactly once. *)
+let apply_perm (a : int array) (perm : int array) =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  run_spans n (fun pos len ->
+      for i = pos to pos + len - 1 do
+        out.(perm.(i)) <- a.(i)
+      done);
+  out

@@ -1,0 +1,26 @@
+(** Data-parallel execution of local vector work over OCaml 5 domains.
+
+    Mirrors ORQ's per-party data parallelism (§4): workers operate on
+    disjoint partitions of a vector. Defaults to 1 domain so tests are
+    deterministic; benchmarks opt in via {!set_num_domains}. Only *local*
+    (communication-free) loops go through this module. *)
+
+val set_num_domains : int -> unit
+val get_num_domains : unit -> int
+
+val chunks : int -> int -> (int * int) list
+(** [chunks n k] splits [0, n) into at most [k] contiguous (pos, len)
+    spans covering it exactly. *)
+
+val run_spans : int -> (int -> int -> unit) -> unit
+(** [run_spans n f] calls [f pos len] for each chunk of [0, n), in
+    parallel when more than one domain is configured; [f] must only write
+    to disjoint output ranges determined by its span. *)
+
+val map : (int -> int) -> int array -> int array
+val map2 : (int -> int -> int) -> int array -> int array -> int array
+
+val apply_perm : int array -> int array -> int array
+(** Parallel application of a plaintext index permutation; each worker has
+    full write access to the output because a permutation writes every
+    slot exactly once (Appendix A.2). *)

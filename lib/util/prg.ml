@@ -1,0 +1,56 @@
+(** Seeded pseudo-random generator (splitmix64 core).
+
+    ORQ derives all protocol randomness — zero sharings, masks, local
+    permutations, dealer correlations — from seeded PRGs so that pairs of
+    parties holding a common seed derive identical streams (the paper's
+    "common PRG seed" construction, Appendix A.2). splitmix64 is a
+    statistically strong, splittable generator; we do not claim
+    cryptographic strength for this simulation (see DESIGN.md).
+*)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(** Derive an independent child generator; used to give each (pair of)
+    parties its own stream from a session seed. *)
+let split t i =
+  { state = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L) }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** A uniformly random ring word (63 bits). *)
+let word t = Int64.to_int (next64 t) land Ring.ones
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+(** Uniform integer in [0, bound). [bound] must be positive. *)
+let int_below t bound =
+  assert (bound > 0);
+  if bound land (bound - 1) = 0 then word t land (bound - 1)
+  else
+    (* rejection sampling to avoid modulo bias *)
+    let limit = max_int - (max_int mod bound) in
+    let rec go () =
+      let x = word t land max_int in
+      if x < limit then x mod bound else go ()
+    in
+    go ()
+
+(** Fill [dst] with uniform ring words. *)
+let fill_words t dst =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- word t
+  done
+
+let words t n =
+  let a = Array.make n 0 in
+  fill_words t a;
+  a

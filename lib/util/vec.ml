@@ -1,0 +1,110 @@
+(** Dense vectors of ring words ([int array]) with the bulk operations the
+    vectorized MPC layer is built from. All functions allocate fresh outputs
+    unless suffixed [_into] or documented as in-place. *)
+
+type t = int array
+
+let length = Array.length
+let make n x : t = Array.make n x
+let zeros n : t = Array.make n 0
+let init = Array.init
+let copy = Array.copy
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let map f (a : t) : t = Array.map f a
+
+let map2 f (a : t) (b : t) : t =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  Array.init n (fun i -> f a.(i) b.(i))
+
+let map3 f (a : t) (b : t) (c : t) : t =
+  let n = Array.length a in
+  assert (Array.length b = n && Array.length c = n);
+  Array.init n (fun i -> f a.(i) b.(i) c.(i))
+
+let iteri = Array.iteri
+
+(* Ring (mod 2^63) elementwise operations. *)
+let add a b : t = map2 ( + ) a b
+let sub a b : t = map2 ( - ) a b
+let mul a b : t = map2 ( * ) a b
+let neg a : t = map (fun x -> -x) a
+let add_scalar a (s : int) : t = map (fun x -> x + s) a
+let mul_scalar a (s : int) : t = map (fun x -> x * s) a
+
+(* Bitwise elementwise operations. *)
+let xor a b : t = map2 ( lxor ) a b
+let band a b : t = map2 ( land ) a b
+let bor a b : t = map2 ( lor ) a b
+let bnot a : t = map lnot a
+let xor_scalar a s : t = map (fun x -> x lxor s) a
+let and_scalar a s : t = map (fun x -> x land s) a
+let shift_left a k : t = map (fun x -> x lsl k) a
+(* logical right shift within the 63-bit word *)
+let shift_right a k : t = map (fun x -> (x land Ring.ones) lsr k) a
+
+let add_into (dst : t) (a : t) =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) + a.(i)
+  done
+
+let xor_into (dst : t) (a : t) =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) lxor a.(i)
+  done
+
+let sum (a : t) = Array.fold_left ( + ) 0 a
+let xor_all (a : t) = Array.fold_left ( lxor ) 0 a
+
+(** In-place running (inclusive) prefix sum in the ring; linear local work.
+    Additive secret sharing commutes with prefix sums, which is what makes
+    the paper's [genBitPerm] destinations computable locally. *)
+let prefix_sum_inplace (a : t) =
+  for i = 1 to Array.length a - 1 do
+    a.(i) <- a.(i) + a.(i - 1)
+  done
+
+let prefix_sum (a : t) : t =
+  let b = copy a in
+  prefix_sum_inplace b;
+  b
+
+(** [concat2 a b] and [split2 v n] serve the batched-round pattern: two
+    independent secure operations are packed into one vector so they cost a
+    single communication round. *)
+let concat2 (a : t) (b : t) : t = Array.append a b
+
+let split2 (v : t) n : t * t =
+  (Array.sub v 0 n, Array.sub v n (Array.length v - n))
+
+let concat = Array.concat
+
+(** [gather a idx] builds [|a.(idx.(0)); a.(idx.(1)); ...|]. *)
+let gather (a : t) (idx : int array) : t = Array.map (fun i -> a.(i)) idx
+
+(** [scatter a idx] places [a.(i)] at position [idx.(i)] of the result;
+    [idx] must be a permutation. *)
+let scatter (a : t) (idx : int array) : t =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    out.(idx.(i)) <- a.(i)
+  done;
+  out
+
+let sub_range (a : t) pos len : t = Array.sub a pos len
+
+let rev (a : t) : t =
+  let n = Array.length a in
+  Array.init n (fun i -> a.(n - 1 - i))
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let pp ppf (a : t) =
+  Fmt.pf ppf "[|%a|]" Fmt.(array ~sep:(any "; ") int) a

@@ -1,0 +1,70 @@
+(** Dense vectors of ring words ([int array]) with the bulk operations the
+    vectorized MPC layer is built from. Functions allocate fresh outputs
+    unless suffixed [_into] or documented as in-place. *)
+
+type t = int array
+
+val length : t -> int
+val make : int -> int -> t
+val zeros : int -> t
+val init : int -> (int -> int) -> t
+val copy : t -> t
+val of_list : int list -> t
+val to_list : t -> int list
+val map : (int -> int) -> t -> t
+val map2 : (int -> int -> int) -> t -> t -> t
+val map3 : (int -> int -> int -> int) -> t -> t -> t -> t
+val iteri : (int -> int -> unit) -> t -> unit
+
+(** {2 Ring (mod 2^63) elementwise operations} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val add_scalar : t -> int -> t
+val mul_scalar : t -> int -> t
+
+(** {2 Bitwise elementwise operations} *)
+
+val xor : t -> t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bnot : t -> t
+val xor_scalar : t -> int -> t
+val and_scalar : t -> int -> t
+val shift_left : t -> int -> t
+
+val shift_right : t -> int -> t
+(** Logical right shift within the 63-bit word. *)
+
+val add_into : t -> t -> unit
+val xor_into : t -> t -> unit
+val sum : t -> int
+val xor_all : t -> int
+
+val prefix_sum_inplace : t -> unit
+(** In-place running (inclusive) prefix sum in the ring — linear local
+    work; additive secret sharing commutes with it, which is what makes
+    genBitPerm's destination computation local. *)
+
+val prefix_sum : t -> t
+
+val concat2 : t -> t -> t
+(** Pack two vectors into one so two independent secure operations share a
+    single communication round. *)
+
+val split2 : t -> int -> t * t
+val concat : t list -> t
+
+val gather : t -> int array -> t
+(** [gather a idx] builds [|a.(idx.(0)); a.(idx.(1)); ...|]. *)
+
+val scatter : t -> int array -> t
+(** [scatter a idx] places [a.(i)] at position [idx.(i)];
+    [idx] must be a permutation. *)
+
+val sub_range : t -> int -> int -> t
+val rev : t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** The nine queries the paper collects from prior relational MPC systems
+    (§5.1): Aspirin, C.Diff, Password, Credit, Comorbidity, SecQ2
+    (Secrecy / Conclave / Senate), Market Share (Conclave), SYan (Secure
+    Yannakakis Example 1.1), and Patients (the Shrinkwrap cascading-effect
+    query, evaluated here with §3.6 multiplicity pre-aggregation). *)
+
+open Orq_core
+
+type query = {
+  name : string;
+  run : Other_gen.mpc -> Table.t;
+  reference : Other_gen.plain -> Orq_plaintext.Ptable.t;
+  compare_cols : string list;
+}
+
+val credit_delta : int
+
+val all : query list
+val find : string -> query
+
+val validate :
+  query -> Other_gen.plain -> Other_gen.mpc ->
+  bool * int list list * int list list

@@ -1,0 +1,135 @@
+(** The five peer-to-peer TPC-H variations used by SecretFlow-SCQL, as in
+    the paper's Figure 5 (right): S1/S2 are single-table filter-aggregate
+    queries (no joins), S3/S4 add a PK-FK join with aggregation, and S5 an
+    oblivious group-by. Run under SH-DM (the ABY-based protocol SecretFlow
+    also builds on). *)
+
+open Tpch_util
+open Tpch_params
+module G = Tpch_gen
+
+type query = {
+  name : string;
+  run : G.mpc -> Orq_core.Table.t;
+  reference : G.plain -> P.t;
+  compare_cols : string list;
+}
+
+(* S1: filtered global revenue (no join, no sort) *)
+let s1_run (db : G.mpc) =
+  let li = D.filter db.G.m_lineitem E.(col "l_shipdate" >=. const q6_date) in
+  let li =
+    D.map li ~dst:"revenue"
+      E.(Div_pub (col "l_extendedprice" *! (const 100 -! col "l_discount"), 100))
+  in
+  D.global_aggregate li ~aggs:[ sum "revenue" "total" ]
+
+let s1_ref (db : G.plain) =
+  let li = P.filter db.G.lineitem (fun g r -> g "l_shipdate" r >= q6_date) in
+  let li =
+    P.map li ~dst:"revenue" (fun g r ->
+        g "l_extendedprice" r * (100 - g "l_discount" r) / 100)
+  in
+  pglobal li ~aggs:[ psum "revenue" "total" ]
+
+(* S2: filtered global count + min/max (no join) *)
+let s2_run (db : G.mpc) =
+  let li = D.filter db.G.m_lineitem E.(col "l_quantity" >=. const 25) in
+  D.global_aggregate li
+    ~aggs:
+      [
+        cnt "l_quantity" "n";
+        { D.src = "l_extendedprice"; dst = "hi"; fn = D.Max };
+        { D.src = "l_extendedprice"; dst = "lo"; fn = D.Min };
+      ]
+
+let s2_ref (db : G.plain) =
+  let li = P.filter db.G.lineitem (fun g r -> g "l_quantity" r >= 25) in
+  pglobal li
+    ~aggs:
+      [
+        pcnt "l_quantity" "n";
+        pmx "l_extendedprice" "hi";
+        pmn "l_extendedprice" "lo";
+      ]
+
+(* S3: PK-FK join + global aggregate *)
+let s3_run (db : G.mpc) =
+  let o = D.filter db.G.m_orders E.(col "o_orderdate" >=. const q3_date) in
+  let j =
+    D.inner_join
+      (select o [ ("o_orderkey", "l_orderkey") ])
+      db.G.m_lineitem ~on:[ "l_orderkey" ]
+  in
+  D.global_aggregate j ~aggs:[ sum "l_extendedprice" "total" ]
+
+let s3_ref (db : G.plain) =
+  let o = P.filter db.G.orders (fun g r -> g "o_orderdate" r >= q3_date) in
+  let j =
+    P.inner_join (pselect o [ ("o_orderkey", "l_orderkey") ]) db.G.lineitem
+      ~on:[ "l_orderkey" ]
+  in
+  pglobal j ~aggs:[ psum "l_extendedprice" "total" ]
+
+(* S4: join + per-key aggregation *)
+let s4_run (db : G.mpc) =
+  let j =
+    D.inner_join
+      (select db.G.m_orders
+         [ ("o_orderkey", "l_orderkey"); ("o_orderpriority", "o_orderpriority") ])
+      db.G.m_lineitem
+      ~on:[ "l_orderkey" ]
+      ~copy:[ "o_orderpriority" ]
+  in
+  D.aggregate j ~keys:[ "o_orderpriority" ] ~aggs:[ sum "l_quantity" "qty" ]
+
+let s4_ref (db : G.plain) =
+  let j =
+    P.inner_join
+      (pselect db.G.orders
+         [ ("o_orderkey", "l_orderkey"); ("o_orderpriority", "o_orderpriority") ])
+      db.G.lineitem
+      ~on:[ "l_orderkey" ]
+  in
+  P.group_by j ~keys:[ "o_orderpriority" ] ~aggs:[ psum "l_quantity" "qty" ]
+
+(* S5: oblivious group-by over a composite key *)
+let s5_run (db : G.mpc) =
+  D.aggregate db.G.m_lineitem
+    ~keys:[ "l_returnflag"; "l_shipmode" ]
+    ~aggs:[ sum "l_extendedprice" "total"; cnt "l_extendedprice" "n" ]
+
+let s5_ref (db : G.plain) =
+  P.group_by db.G.lineitem
+    ~keys:[ "l_returnflag"; "l_shipmode" ]
+    ~aggs:[ psum "l_extendedprice" "total"; pcnt "l_extendedprice" "n" ]
+
+let all : query list =
+  [
+    { name = "S1"; run = s1_run; reference = s1_ref; compare_cols = [ "total" ] };
+    { name = "S2"; run = s2_run; reference = s2_ref; compare_cols = [ "n"; "hi"; "lo" ] };
+    { name = "S3"; run = s3_run; reference = s3_ref; compare_cols = [ "total" ] };
+    { name = "S4"; run = s4_run; reference = s4_ref;
+      compare_cols = [ "o_orderpriority"; "qty" ] };
+    { name = "S5"; run = s5_run; reference = s5_ref;
+      compare_cols = [ "l_returnflag"; "l_shipmode"; "total"; "n" ] };
+  ]
+
+let find name = List.find (fun q -> q.name = name) all
+
+let validate (q : query) (plain : G.plain) (mdb : G.mpc) :
+    bool * int list list * int list list =
+  let result = q.run mdb in
+  let widths =
+    List.map (fun c -> Orq_core.Table.width result c) q.compare_cols
+  in
+  let mask_row row =
+    List.map2 (fun v w -> v land Orq_util.Ring.mask w) row widths
+  in
+  let mpc_rows =
+    List.map mask_row (Orq_core.Table.valid_rows_sorted result q.compare_cols)
+  in
+  let ref_rows =
+    List.map mask_row (P.rows_sorted (q.reference plain) q.compare_cols)
+  in
+  (mpc_rows = ref_rows, mpc_rows, ref_rows)

@@ -1,0 +1,51 @@
+(** Deterministic TPC-H-shaped data generator (§5.1 "Inputs").
+
+    Reproduces the TPC-H schema, table-size ratios, key relationships and
+    value distributions at laptop micro scale factors, with all values
+    integer-encoded as the paper does (prices in cents, dates as day
+    offsets from 1992-01-01, categorical strings as enums). Generation is
+    seeded; the MPC engine and the plaintext reference consume the same
+    tables, so results compare row for row. *)
+
+(** {2 Schema constants} *)
+
+val w_key : int
+val w_small : int
+val w_date : int
+val w_price : int
+val w_qty : int
+val date_range : int
+
+val day_of : year:int -> month:int -> day:int -> int
+(** Civil date -> day offset, used to define query parameters. *)
+
+type plain = {
+  region : Orq_plaintext.Ptable.t;
+  nation : Orq_plaintext.Ptable.t;
+  supplier : Orq_plaintext.Ptable.t;
+  customer : Orq_plaintext.Ptable.t;
+  part : Orq_plaintext.Ptable.t;
+  partsupp : Orq_plaintext.Ptable.t;
+  orders : Orq_plaintext.Ptable.t;
+  lineitem : Orq_plaintext.Ptable.t;
+}
+
+type mpc = {
+  m_region : Orq_core.Table.t;
+  m_nation : Orq_core.Table.t;
+  m_supplier : Orq_core.Table.t;
+  m_customer : Orq_core.Table.t;
+  m_part : Orq_core.Table.t;
+  m_partsupp : Orq_core.Table.t;
+  m_orders : Orq_core.Table.t;
+  m_lineitem : Orq_core.Table.t;
+}
+
+val sizes : float -> int * int * int * int
+(** (supplier, customer, part, orders) row counts at a scale factor. *)
+
+val generate : ?seed:int -> float -> plain
+val share : Orq_proto.Ctx.t -> plain -> mpc
+
+val total_rows : plain -> int
+(** Total input rows — the paper's query-size metric. *)

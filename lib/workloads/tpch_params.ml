@@ -1,0 +1,61 @@
+(** Query parameters for the TPC-H workload.
+
+    TPC-H defines substitution parameters per query; we fix one
+    deterministic choice (as the paper's benchmark harness does for its
+    runs), expressed against the integer encodings of {!Tpch_gen}. *)
+
+let day = Tpch_gen.day_of
+
+(* dates *)
+let q1_delta_date = day ~year:1998 ~month:9 ~day:2
+let q3_date = day ~year:1995 ~month:3 ~day:15
+let q4_date = day ~year:1993 ~month:7 ~day:1
+let q5_date = day ~year:1994 ~month:1 ~day:1
+let q6_date = day ~year:1994 ~month:1 ~day:1
+let q7_date_lo = day ~year:1995 ~month:1 ~day:1
+let q7_date_hi = day ~year:1996 ~month:12 ~day:31
+let q8_date_lo = q7_date_lo
+let q8_date_hi = q7_date_hi
+let q10_date = day ~year:1993 ~month:10 ~day:1
+let q12_date = day ~year:1994 ~month:1 ~day:1
+let q14_date = day ~year:1995 ~month:9 ~day:1
+let q15_date = day ~year:1996 ~month:1 ~day:1
+let q20_date = day ~year:1994 ~month:1 ~day:1
+
+(* categorical parameters (integer-encoded enums) *)
+let q2_size = 15
+let q2_type = 23
+let q2_region = 3
+let q3_segment = 1
+let q5_region = 2
+let q6_discount = 6
+let q6_quantity = 24
+let q7_nation1 = 5
+let q7_nation2 = 12
+let q8_nation = 5
+let q8_region = 2
+let q8_type = 77
+let q9_type = 40
+let q11_nation = 7
+let q11_fraction_inv = 50 (* HAVING value > total / 50 at micro scale *)
+let q12_mode1 = 3
+let q12_mode2 = 5
+let q13_priority_excluded = 2 (* stand-in for the o_comment NOT LIKE filter *)
+let q14_type_promo_max = 50 (* p_type <= 50 plays PROMO% *)
+let q16_brand = 5
+let q16_type = 12
+let q16_max_size = 9
+let q16_bad_balance = 100_000 (* complaint stand-in: s_acctbal < threshold *)
+let q17_brand = 3
+let q17_container = 7
+let q18_quantity = 150
+let q19_brand1 = 1
+let q19_brand2 = 2
+let q19_brand3 = 3
+let q19_qty1 = 10
+let q19_qty2 = 15
+let q19_qty3 = 25
+let q21_nation = 4
+let q22_codes = [ 13; 31; 23; 29; 30; 18; 17 ]
+let q20_nation = 3
+let q20_type = 30

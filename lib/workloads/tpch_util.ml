@@ -1,0 +1,51 @@
+(** Shared helpers for the workload queries: rename-projection, aggregation
+    shorthands, and their plaintext-engine twins. *)
+
+module D = Orq_core.Dataflow
+module E = Orq_core.Expr
+module T = Orq_core.Table
+module P = Orq_plaintext.Ptable
+
+(* MPC-side shorthands *)
+let sum src dst = { D.src; dst; fn = D.Sum }
+let cnt src dst = { D.src; dst; fn = D.Count }
+let mn src dst = { D.src; dst; fn = D.Min }
+let mx src dst = { D.src; dst; fn = D.Max }
+let avg src dst = { D.src; dst; fn = D.Avg }
+
+(** Project to the given columns, renaming on the way:
+    [select t [(old, new); ...]]. *)
+let select t (pairs : (string * string) list) =
+  let t = T.project t (List.map fst pairs) in
+  List.fold_left
+    (fun t (from, into) -> if from = into then t else T.rename_col t ~from ~into)
+    t pairs
+
+(* Plaintext-side shorthands *)
+let psum src dst = { P.src; dst; fn = P.Sum }
+let pcnt src dst = { P.src; dst; fn = P.Count }
+let pmn src dst = { P.src; dst; fn = P.Min }
+let pmx src dst = { P.src; dst; fn = P.Max }
+let pavg src dst = { P.src; dst; fn = P.Avg }
+
+let pselect t (pairs : (string * string) list) =
+  let t = P.project t (List.map fst pairs) in
+  List.fold_left
+    (fun t (from, into) -> if from = into then t else P.rename_col t ~from ~into)
+    t pairs
+
+(** Plaintext whole-table aggregation: one row (of the aggregates), no key. *)
+let pglobal (t : P.t) ~(aggs : P.agg list) : P.t =
+  let t1 = P.map t ~dst:"#one" (fun _ _ -> 1) in
+  let g = P.group_by t1 ~keys:[ "#one" ] ~aggs in
+  P.project g (List.map (fun a -> a.P.dst) aggs)
+
+(** Plaintext scalar broadcast: attach the single value of [scalar.(src)]
+    to every row of [t] as [dst]. *)
+let pwith_scalar (t : P.t) ~(scalar : P.t) ~src ~dst : P.t =
+  let v =
+    match scalar.P.rows with
+    | [ r ] -> P.get scalar src r
+    | _ -> invalid_arg "pwith_scalar: not a scalar"
+  in
+  P.map t ~dst (fun _ _ -> v)

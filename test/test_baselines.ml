@@ -1,0 +1,172 @@
+(* Tests for the comparison baselines: the Secrecy-style quadratic engine,
+   the SecretFlow-style leaky PSI join, and the non-vectorized radixsort.
+   Each must be *correct* (same results as ORQ / plaintext) while paying
+   the costs the paper attributes to it. *)
+
+open Orq_proto
+open Orq_core
+open Orq_baselines
+
+let rows_t = Alcotest.(list (list int))
+let hm () = Ctx.create ~seed:41 Ctx.Sh_hm
+
+let small_tables ctx =
+  let l =
+    Table.create ctx "L"
+      [ ("k", 8, [| 1; 2; 3; 4 |]); ("lv", 8, [| 10; 20; 30; 40 |]) ]
+  in
+  let r =
+    Table.create ctx "R"
+      [ ("k", 8, [| 2; 2; 3; 9; 1 |]); ("rv", 8, [| 5; 6; 7; 8; 9 |]) ]
+  in
+  (l, r)
+
+let expected_join = [ [ 1; 10; 9 ]; [ 2; 20; 5 ]; [ 2; 20; 6 ]; [ 3; 30; 7 ] ]
+
+let test_nested_join () =
+  let ctx = hm () in
+  let l, r = small_tables ctx in
+  let j = Secrecy_engine.nested_join ctx l r ~on:[ "k" ] in
+  Alcotest.(check int) "quadratic physical size" 20 (Table.nrows j);
+  Alcotest.(check rows_t) "same result as plaintext" expected_join
+    (Table.valid_rows_sorted j [ "k"; "lv"; "rv" ])
+
+let test_nested_join_matches_orq () =
+  let ctx = hm () in
+  let l, r = small_tables ctx in
+  let orq = Dataflow.inner_join l r ~on:[ "k" ] ~copy:[ "lv" ] in
+  let sec = Secrecy_engine.nested_join ctx l r ~on:[ "k" ] in
+  Alcotest.(check rows_t) "baseline agrees with ORQ join"
+    (Table.valid_rows_sorted orq [ "k"; "lv"; "rv" ])
+    (Table.valid_rows_sorted sec [ "k"; "lv"; "rv" ])
+
+let test_nested_join_quadratic_cost () =
+  (* the whole point of ORQ: the baseline's bytes blow up quadratically *)
+  let ctx1 = hm () and ctx2 = hm () in
+  let mk ctx n =
+    Table.create ctx "T" [ ("k", 16, Array.init n (fun i -> i)) ]
+  in
+  let cost ctx n =
+    let t = mk ctx n in
+    let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+    ignore (Secrecy_engine.nested_join ctx t (Table.rename_col (mk ctx n) ~from:"k" ~into:"k") ~on:[ "k" ]);
+    (Orq_net.Comm.since ctx.Ctx.comm before).Orq_net.Comm.t_bits
+  in
+  let c16 = cost ctx1 16 and c64 = cost ctx2 64 in
+  Alcotest.(check bool) "16x data -> ~16x bytes" true
+    (c64 > 12 * c16)
+
+let test_nested_semi_join () =
+  let ctx = hm () in
+  let l, r = small_tables ctx in
+  let s = Secrecy_engine.nested_semi_join ctx l r ~on:[ "k" ] in
+  Alcotest.(check rows_t) "semi join"
+    [ [ 1 ]; [ 2 ]; [ 3 ] ]
+    (Table.valid_rows_sorted s [ "k" ])
+
+let test_bitonic_table_sort () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "T"
+      [ ("k", 8, [| 5; 1; 4; 2; 3 |]); ("v", 8, [| 50; 10; 40; 20; 30 |]) ]
+  in
+  let t = Dataflow.filter t Expr.(col "k" <>. const 4) in
+  let s = Secrecy_engine.bitonic_sort t [ ("k", Tablesort.Asc) ] in
+  (* valid rows first, in key order *)
+  let cols, valid = Table.peek s in
+  let k = List.assoc "k" cols and v = List.assoc "v" cols in
+  Alcotest.(check (array int)) "valid prefix" [| 1; 1; 1; 1 |] (Array.sub valid 0 4);
+  Alcotest.(check (array int)) "keys sorted" [| 1; 2; 3; 5 |] (Array.sub k 0 4);
+  Alcotest.(check (array int)) "values follow" [| 10; 20; 30; 50 |] (Array.sub v 0 4)
+
+let test_secrecy_group_by () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "T"
+      [ ("g", 4, [| 1; 2; 1; 2; 1 |]); ("x", 8, [| 1; 2; 3; 4; 5 |]) ]
+  in
+  let r =
+    Secrecy_engine.group_by t ~keys:[ "g" ]
+      ~aggs:[ { Dataflow.src = "x"; dst = "s"; fn = Dataflow.Sum } ]
+  in
+  Alcotest.(check rows_t) "group sums" [ [ 1; 9 ]; [ 2; 6 ] ]
+    (Table.valid_rows_sorted r [ "g"; "s" ])
+
+let test_secrecy_distinct () =
+  let ctx = hm () in
+  let t = Table.create ctx "T" [ ("x", 8, [| 3; 1; 3; 1; 2 |]) ] in
+  let r = Secrecy_engine.distinct t [ "x" ] in
+  Alcotest.(check rows_t) "distinct" [ [ 1 ]; [ 2 ]; [ 3 ] ]
+    (Table.valid_rows_sorted r [ "x" ])
+
+let test_leaky_join () =
+  let ctx = Ctx.create ~seed:43 Ctx.Sh_dm in
+  let l, r = small_tables ctx in
+  let j = Leaky_join.inner_join ctx l r ~on:[ "k" ] ~copy:[ "lv" ] () in
+  Alcotest.(check rows_t) "leaky join correct" expected_join
+    (Table.valid_rows_sorted j [ "k"; "lv"; "rv" ]);
+  (* the leak: physical output size equals the true match count *)
+  Alcotest.(check int) "output size leaks cardinality" 4 (Table.nrows j)
+
+let test_leaky_join_cheaper () =
+  let mk () =
+    let ctx = Ctx.create ~seed:47 Ctx.Sh_dm in
+    let l, r = small_tables ctx in
+    (ctx, l, r)
+  in
+  let ctx1, l1, r1 = mk () in
+  let b1 = Orq_net.Comm.snapshot ctx1.Ctx.comm in
+  ignore (Leaky_join.inner_join ctx1 l1 r1 ~on:[ "k" ] ());
+  let leaky = (Orq_net.Comm.since ctx1.Ctx.comm b1).Orq_net.Comm.t_bits in
+  let ctx2, l2, r2 = mk () in
+  let b2 = Orq_net.Comm.snapshot ctx2.Ctx.comm in
+  ignore (Dataflow.inner_join l2 r2 ~on:[ "k" ]);
+  let oblivious = (Orq_net.Comm.since ctx2.Ctx.comm b2).Orq_net.Comm.t_bits in
+  Alcotest.(check bool) "leaky join much cheaper (that's the leak's price)"
+    true
+    (leaky * 5 < oblivious)
+
+let test_radix_naive () =
+  let ctx = hm () in
+  let x = [| 9; 3; 7; 3; 0; 15; 3; 8 |] in
+  let y, _ = Radix_naive.sort ctx ~bits:4 (Mpc.share_b ctx x) [] in
+  let expect = Array.copy x in
+  Array.sort compare expect;
+  Alcotest.(check (array int)) "naive radixsort sorts" expect
+    (Share.reconstruct y)
+
+let test_radix_naive_more_rounds () =
+  let run f =
+    let ctx = hm () in
+    let x = Mpc.share_b ctx (Array.init 32 (fun i -> (i * 13) land 63)) in
+    let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+    ignore (f ctx x);
+    Orq_net.Comm.since ctx.Ctx.comm before
+  in
+  let naive = run (fun ctx x -> Radix_naive.sort ctx ~bits:6 x []) in
+  let vect = run (fun ctx x -> Orq_sort.Radixsort.sort ctx ~bits:6 x []) in
+  Alcotest.(check bool) "non-vectorized pays many more rounds" true
+    (naive.Orq_net.Comm.t_rounds > 5 * vect.Orq_net.Comm.t_rounds);
+  Alcotest.(check bool) "and more bandwidth (framing)" true
+    (naive.Orq_net.Comm.t_bits > vect.Orq_net.Comm.t_bits)
+
+let suite =
+  [
+    Alcotest.test_case "Secrecy nested join" `Quick test_nested_join;
+    Alcotest.test_case "nested join agrees with ORQ" `Quick
+      test_nested_join_matches_orq;
+    Alcotest.test_case "nested join quadratic bytes" `Quick
+      test_nested_join_quadratic_cost;
+    Alcotest.test_case "Secrecy semi join" `Quick test_nested_semi_join;
+    Alcotest.test_case "bitonic table sort" `Quick test_bitonic_table_sort;
+    Alcotest.test_case "Secrecy group-by" `Quick test_secrecy_group_by;
+    Alcotest.test_case "Secrecy distinct" `Quick test_secrecy_distinct;
+    Alcotest.test_case "leaky PSI join correct" `Quick test_leaky_join;
+    Alcotest.test_case "leaky join cheaper (leakage trade)" `Quick
+      test_leaky_join_cheaper;
+    Alcotest.test_case "naive radixsort correct" `Quick test_radix_naive;
+    Alcotest.test_case "naive radixsort pays rounds" `Quick
+      test_radix_naive_more_rounds;
+  ]
+
+let () = Alcotest.run "orq_baselines" [ ("baselines", suite) ]

@@ -1,0 +1,841 @@
+(* Tests for the relational core: tables, expressions/filters, TableSort,
+   the aggregation network, group-by, DISTINCT, ORDER BY / LIMIT, and every
+   variant of the composite join-aggregation operator — validated against
+   the plaintext reference engine. *)
+
+open Orq_proto
+open Orq_core
+open Orq_plaintext
+
+let kinds = Ctx.all_kinds
+let vec = Alcotest.(array int)
+let rows_t = Alcotest.(list (list int))
+let for_all_kinds f = List.iter (fun k -> f (Ctx.create ~seed:51 k)) kinds
+let hm () = Ctx.create ~seed:77 Ctx.Sh_hm
+
+(* ---------------- tables + reveal ---------------- *)
+
+let mk_customers ctx =
+  Table.create ctx "customers"
+    [
+      ("CustKey", 8, [| 1; 2; 3; 4; 5 |]);
+      ("Segment", 4, [| 1; 2; 1; 3; 1 |]);
+      ("Balance", 16, [| 100; 250; 50; 999; 0 |]);
+    ]
+
+let test_create_peek () =
+  for_all_kinds (fun ctx ->
+      let t = mk_customers ctx in
+      let cols, valid = Table.peek t in
+      Alcotest.(check vec) "col" [| 1; 2; 3; 4; 5 |] (List.assoc "CustKey" cols);
+      Alcotest.(check vec) "valid" [| 1; 1; 1; 1; 1 |] valid)
+
+let test_reveal_masks_invalid () =
+  for_all_kinds (fun ctx ->
+      let t = mk_customers ctx in
+      let t = Dataflow.filter t Expr.(col "Segment" ==. const 1) in
+      let out = Table.reveal t in
+      let keys = List.assoc "CustKey" out in
+      Array.sort compare keys;
+      Alcotest.(check vec) "only matching rows revealed" [| 1; 3; 5 |] keys;
+      (* physical size unchanged before reveal: obliviousness *)
+      Alcotest.(check int) "physical rows" 5 (Table.nrows t))
+
+(* ---------------- expressions / filters ---------------- *)
+
+let test_filter_exprs () =
+  for_all_kinds (fun ctx ->
+      let t = mk_customers ctx in
+      let t' =
+        Dataflow.filter t
+          Expr.(col "Balance" >=. const 100 &&. (col "Segment" <>. const 3))
+      in
+      Alcotest.(check rows_t) "compound filter"
+        [ [ 1 ]; [ 2 ] ]
+        (Table.valid_rows_sorted t' [ "CustKey" ]))
+
+let test_filter_or_not () =
+  for_all_kinds (fun ctx ->
+      let t = mk_customers ctx in
+      let t' =
+        Dataflow.filter t
+          Expr.(col "Segment" ==. const 3 ||. not_ (col "Balance" >. const 0))
+      in
+      Alcotest.(check rows_t) "or/not" [ [ 4 ]; [ 5 ] ]
+        (Table.valid_rows_sorted t' [ "CustKey" ]))
+
+let test_map_arith () =
+  for_all_kinds (fun ctx ->
+      let t =
+        Table.create ctx "li"
+          [ ("Price", 16, [| 1000; 200 |]); ("Disc", 8, [| 10; 25 |]) ]
+      in
+      (* Revenue = Price * (100 - Disc) / 100, the Q3 expression *)
+      let t =
+        Dataflow.map t ~dst:"Revenue"
+          Expr.(Div_pub (col "Price" *! (const 100 -! col "Disc"), 100))
+      in
+      Alcotest.(check rows_t) "revenue" [ [ 150 ]; [ 900 ] ]
+        (Table.valid_rows_sorted t [ "Revenue" ]))
+
+let test_private_division_expr () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "d" [ ("A", 16, [| 100; 81 |]); ("B", 8, [| 7; 9 |]) ]
+  in
+  let t = Dataflow.map t ~dst:"Q" Expr.(col "A" /! col "B") in
+  Alcotest.(check rows_t) "private division" [ [ 9 ]; [ 14 ] ]
+    (Table.valid_rows_sorted t [ "Q" ])
+
+(* ---------------- TableSort ---------------- *)
+
+let test_tablesort_multikey () =
+  for_all_kinds (fun ctx ->
+      let t =
+        Table.create ctx "s"
+          [
+            ("A", 8, [| 2; 1; 2; 1; 1 |]);
+            ("B", 8, [| 5; 9; 3; 9; 1 |]);
+            ("C", 8, [| 0; 1; 2; 3; 4 |]);
+          ]
+      in
+      let t = Tablesort.sort t [ ("A", Tablesort.Asc); ("B", Tablesort.Desc) ] in
+      let cols, _ = Table.peek t in
+      Alcotest.(check vec) "A" [| 1; 1; 1; 2; 2 |] (List.assoc "A" cols);
+      Alcotest.(check vec) "B desc in group" [| 9; 9; 1; 5; 3 |]
+        (List.assoc "B" cols);
+      (* stability: the two (1, 9) rows keep original order (C = 1 then 3) *)
+      Alcotest.(check vec) "C moved consistently" [| 1; 3; 4; 0; 2 |]
+        (List.assoc "C" cols))
+
+(* ---------------- AggNet ---------------- *)
+
+let test_aggnet_sum_copy () =
+  for_all_kinds (fun ctx ->
+      (* sorted keys: groups (1, 1), (2), (3, 3, 3) -- plus valid column 1s *)
+      let keys =
+        [
+          (Share.public ctx Share.Bool 6 1, 1);
+          (Share.share ctx Share.Bool [| 1; 1; 2; 3; 3; 3 |], 4);
+        ]
+      in
+      let vals = Share.share ctx Share.Arith [| 10; 20; 5; 1; 2; 3 |] in
+      let tags = Share.share ctx Share.Bool [| 7; 0; 9; 4; 0; 0 |] in
+      match
+        Aggnet.run ctx ~keys
+          [
+            { Aggnet.col = vals; func = Aggnet.Sum; keys = Aggnet.Group; width = 16 };
+            { Aggnet.col = tags; func = Aggnet.Copy; keys = Aggnet.Group; width = 8 };
+          ]
+      with
+      | [ sums; copies ] ->
+          let s = Share.reconstruct sums in
+          (* group totals land in the last row of each group *)
+          Alcotest.(check int) "group1 total" 30 s.(1);
+          Alcotest.(check int) "group2 total" 5 s.(2);
+          Alcotest.(check int) "group3 total" 6 s.(5);
+          Alcotest.(check vec) "copy propagates first row down"
+            [| 7; 7; 9; 4; 4; 4 |] (Share.reconstruct copies)
+      | _ -> Alcotest.fail "arity")
+
+let test_aggnet_minmax () =
+  for_all_kinds (fun ctx ->
+      let keys =
+        [
+          (Share.public ctx Share.Bool 5 1, 1);
+          (Share.share ctx Share.Bool [| 1; 1; 1; 2; 2 |], 4);
+        ]
+      in
+      let vals = Share.share ctx Share.Bool [| 9; 2; 5; 7; 8 |] in
+      match
+        Aggnet.run ctx ~keys
+          [
+            { Aggnet.col = vals; func = Aggnet.Min 8; keys = Aggnet.Group; width = 8 };
+            { Aggnet.col = vals; func = Aggnet.Max 8; keys = Aggnet.Group; width = 8 };
+          ]
+      with
+      | [ mins; maxs ] ->
+          Alcotest.(check int) "min" 2 (Share.reconstruct mins).(2);
+          Alcotest.(check int) "max" 9 (Share.reconstruct maxs).(2);
+          Alcotest.(check int) "min g2" 7 (Share.reconstruct mins).(4);
+          Alcotest.(check int) "max g2" 8 (Share.reconstruct maxs).(4)
+      | _ -> Alcotest.fail "arity")
+
+let test_aggnet_non_pow2_padding () =
+  (* 6 rows pad to 8; padded rows must not contaminate real groups *)
+  let ctx = hm () in
+  let keys =
+    [
+      (Share.public ctx Share.Bool 6 1, 1);
+      (Share.share ctx Share.Bool [| 0; 0; 0; 0; 0; 0 |], 4);
+    ]
+  in
+  (* all six rows in ONE group with key 0 (same as padding!) but valid=1 *)
+  let vals = Share.share ctx Share.Arith [| 1; 1; 1; 1; 1; 1 |] in
+  match
+    Aggnet.run ctx ~keys
+      [ { Aggnet.col = vals; func = Aggnet.Sum; keys = Aggnet.Group; width = 8 } ]
+  with
+  | [ sums ] ->
+      Alcotest.(check int) "sum unharmed by padding" 6
+        (Share.reconstruct sums).(5)
+  | _ -> Alcotest.fail "arity"
+
+(* ---------------- group-by / distinct / order-by ---------------- *)
+
+let test_group_by () =
+  for_all_kinds (fun ctx ->
+      let t =
+        Table.create ctx "sales"
+          [
+            ("Region", 4, [| 1; 2; 1; 2; 1; 3 |]);
+            ("Amount", 10, [| 10; 20; 30; 40; 50; 60 |]);
+          ]
+      in
+      let t' =
+        Dataflow.aggregate t ~keys:[ "Region" ]
+          ~aggs:
+            [
+              { Dataflow.src = "Amount"; dst = "Total"; fn = Dataflow.Sum };
+              { Dataflow.src = "Amount"; dst = "N"; fn = Dataflow.Count };
+              { Dataflow.src = "Amount"; dst = "Lo"; fn = Dataflow.Min };
+              { Dataflow.src = "Amount"; dst = "Hi"; fn = Dataflow.Max };
+            ]
+      in
+      Alcotest.(check rows_t) "group-by"
+        [ [ 1; 90; 3; 10; 50 ]; [ 2; 60; 2; 20; 40 ]; [ 3; 60; 1; 60; 60 ] ]
+        (Table.valid_rows_sorted t' [ "Region"; "Total"; "N"; "Lo"; "Hi" ]))
+
+let test_group_by_avg () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "m"
+      [ ("G", 4, [| 1; 1; 2 |]); ("X", 8, [| 10; 21; 5 |]) ]
+  in
+  let t' =
+    Dataflow.aggregate t ~keys:[ "G" ]
+      ~aggs:[ { Dataflow.src = "X"; dst = "A"; fn = Dataflow.Avg } ]
+  in
+  Alcotest.(check rows_t) "avg" [ [ 1; 15 ]; [ 2; 5 ] ]
+    (Table.valid_rows_sorted t' [ "G"; "A" ])
+
+let test_group_by_respects_filter () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "s"
+      [ ("G", 4, [| 1; 1; 1; 2 |]); ("X", 8, [| 5; 7; 100; 3 |]) ]
+  in
+  let t = Dataflow.filter t Expr.(col "X" <. const 50) in
+  let t' =
+    Dataflow.aggregate t ~keys:[ "G" ]
+      ~aggs:[ { Dataflow.src = "X"; dst = "S"; fn = Dataflow.Sum } ]
+  in
+  Alcotest.(check rows_t) "invalid rows excluded from groups"
+    [ [ 1; 12 ]; [ 2; 3 ] ]
+    (Table.valid_rows_sorted t' [ "G"; "S" ])
+
+let test_distinct () =
+  for_all_kinds (fun ctx ->
+      let t =
+        Table.create ctx "d" [ ("X", 8, [| 3; 1; 3; 2; 1; 3 |]) ]
+      in
+      let t' = Dataflow.distinct t [ "X" ] in
+      Alcotest.(check rows_t) "distinct" [ [ 1 ]; [ 2 ]; [ 3 ] ]
+        (Table.valid_rows_sorted t' [ "X" ]))
+
+let test_order_by_limit () =
+  for_all_kinds (fun ctx ->
+      let t =
+        Table.create ctx "o"
+          [ ("K", 8, [| 5; 9; 1; 7; 3 |]); ("V", 8, [| 50; 90; 10; 70; 30 |]) ]
+      in
+      let t = Dataflow.filter t Expr.(col "K" <>. const 7) in
+      let t' = Dataflow.limit (Dataflow.order_by t [ ("K", Dataflow.Desc) ]) 2 in
+      let cols, valid = Table.peek t' in
+      Alcotest.(check int) "limit size" 2 (Table.nrows t');
+      Alcotest.(check vec) "top-2 keys desc" [| 9; 5 |] (List.assoc "K" cols);
+      Alcotest.(check vec) "values follow" [| 90; 50 |] (List.assoc "V" cols);
+      Alcotest.(check vec) "all valid" [| 1; 1 |] valid)
+
+(* ---------------- joins ---------------- *)
+
+let customers_orders ctx =
+  let c =
+    Table.create ctx "C"
+      [ ("CustKey", 8, [| 1; 2; 3; 4 |]); ("Nation", 4, [| 10; 20; 10; 30 |]) ]
+  in
+  let o =
+    Table.create ctx "O"
+      [
+        ("CustKey", 8, [| 2; 1; 2; 5; 2; 3 |]);
+        ("Price", 10, [| 100; 50; 30; 999; 20; 70 |]);
+      ]
+  in
+  (c, o)
+
+let p_customers_orders () =
+  let c =
+    Ptable.of_cols [ ("CustKey", [| 1; 2; 3; 4 |]); ("Nation", [| 10; 20; 10; 30 |]) ]
+  in
+  let o =
+    Ptable.of_cols
+      [ ("CustKey", [| 2; 1; 2; 5; 2; 3 |]); ("Price", [| 100; 50; 30; 999; 20; 70 |]) ]
+  in
+  (c, o)
+
+let test_inner_join () =
+  for_all_kinds (fun ctx ->
+      let c, o = customers_orders ctx in
+      let j = Dataflow.inner_join c o ~on:[ "CustKey" ] ~copy:[ "Nation" ] in
+      let pc, po = p_customers_orders () in
+      let pj = Ptable.inner_join pc po ~on:[ "CustKey" ] in
+      Alcotest.(check rows_t) "inner join vs plaintext"
+        (Ptable.rows_sorted pj [ "CustKey"; "Nation"; "Price" ])
+        (Table.valid_rows_sorted j [ "CustKey"; "Nation"; "Price" ]))
+
+let test_inner_join_trim () =
+  for_all_kinds (fun ctx ->
+      let c, o = customers_orders ctx in
+      let j =
+        Dataflow.inner_join ~trim:`Always c o ~on:[ "CustKey" ]
+          ~copy:[ "Nation" ]
+      in
+      Alcotest.(check int) "trimmed to |R|" 6 (Table.nrows j);
+      let pc, po = p_customers_orders () in
+      let pj = Ptable.inner_join pc po ~on:[ "CustKey" ] in
+      Alcotest.(check rows_t) "trim preserves result"
+        (Ptable.rows_sorted pj [ "CustKey"; "Nation"; "Price" ])
+        (Table.valid_rows_sorted j [ "CustKey"; "Nation"; "Price" ]))
+
+let test_join_respects_validity () =
+  let ctx = hm () in
+  let c, o = customers_orders ctx in
+  (* filter out customer 2 before joining: its orders must disappear *)
+  let c = Dataflow.filter c Expr.(col "CustKey" <>. const 2) in
+  let j = Dataflow.inner_join c o ~on:[ "CustKey" ] ~copy:[ "Nation" ] in
+  Alcotest.(check rows_t) "invalidated left rows do not match"
+    [ [ 1; 50 ]; [ 3; 70 ] ]
+    (Table.valid_rows_sorted j [ "CustKey"; "Price" ])
+
+let test_left_outer_join () =
+  let ctx = hm () in
+  let c, o = customers_orders ctx in
+  let j = Dataflow.left_outer_join c o ~on:[ "CustKey" ] ~copy:[ "Nation" ] in
+  (* the paper's left outer (Appendix C.1) is "inner join plus ALL rows
+     from the left": every L row survives, with NULL R-columns *)
+  let pc, po = p_customers_orders () in
+  let pj = Ptable.inner_join pc po ~on:[ "CustKey" ] in
+  let l_rows =
+    Ptable.map pc ~dst:"Price" (fun _ _ -> 0)
+  in
+  let expected =
+    List.sort compare
+      (Ptable.rows_sorted pj [ "CustKey"; "Nation"; "Price" ]
+      @ Ptable.rows_sorted l_rows [ "CustKey"; "Nation"; "Price" ])
+  in
+  Alcotest.(check rows_t) "left outer (paper semantics)" expected
+    (Table.valid_rows_sorted j [ "CustKey"; "Nation"; "Price" ])
+
+let test_right_outer_join () =
+  let ctx = hm () in
+  let c, o = customers_orders ctx in
+  let j = Dataflow.right_outer_join c o ~on:[ "CustKey" ] ~copy:[ "Nation" ] in
+  (* all 6 order rows survive; order with CustKey 5 has Nation NULL(0) *)
+  Alcotest.(check rows_t) "right outer"
+    [
+      [ 1; 10; 50 ];
+      [ 2; 20; 20 ];
+      [ 2; 20; 30 ];
+      [ 2; 20; 100 ];
+      [ 3; 10; 70 ];
+      [ 5; 0; 999 ];
+    ]
+    (Table.valid_rows_sorted j [ "CustKey"; "Nation"; "Price" ])
+
+let test_full_outer_join () =
+  let ctx = hm () in
+  let c, o = customers_orders ctx in
+  let j = Dataflow.full_outer_join c o ~on:[ "CustKey" ] ~copy:[ "Nation" ] in
+  (* right rows + unmatched left (CustKey 4) with NULL price; matched left
+     rows appear too (full outer keeps everything: n + m rows, but matched
+     L rows carry NULL data columns from R) *)
+  Alcotest.(check int) "physical size n+m" 10 (Table.nrows j);
+  let rows = Table.valid_rows_sorted j [ "CustKey" ] in
+  Alcotest.(check rows_t) "all keys present"
+    [ [ 1 ]; [ 1 ]; [ 2 ]; [ 2 ]; [ 2 ]; [ 2 ]; [ 3 ]; [ 3 ]; [ 4 ]; [ 5 ] ]
+    rows
+
+let test_semi_join () =
+  for_all_kinds (fun ctx ->
+      let c, o = customers_orders ctx in
+      let s = Dataflow.semi_join c o ~on:[ "CustKey" ] in
+      Alcotest.(check rows_t) "semi join"
+        [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 10 ] ]
+        (Table.valid_rows_sorted s [ "CustKey"; "Nation" ]))
+
+let test_anti_join () =
+  for_all_kinds (fun ctx ->
+      let c, o = customers_orders ctx in
+      let a = Dataflow.anti_join c o ~on:[ "CustKey" ] in
+      Alcotest.(check rows_t) "anti join" [ [ 4; 30 ] ]
+        (Table.valid_rows_sorted a [ "CustKey"; "Nation" ]))
+
+let test_semi_join_duplicates_both_sides () =
+  let ctx = hm () in
+  let l =
+    Table.create ctx "L" [ ("K", 8, [| 1; 1; 2; 3; 3 |]); ("V", 8, [| 1; 2; 3; 4; 5 |]) ]
+  in
+  let r = Table.create ctx "R" [ ("K", 8, [| 1; 1; 3; 9 |]) ] in
+  let s = Dataflow.semi_join l r ~on:[ "K" ] in
+  Alcotest.(check rows_t) "semi with dups"
+    [ [ 1; 1 ]; [ 1; 2 ]; [ 3; 4 ]; [ 3; 5 ] ]
+    (Table.valid_rows_sorted s [ "K"; "V" ]);
+  let a = Dataflow.anti_join l r ~on:[ "K" ] in
+  Alcotest.(check rows_t) "anti with dups" [ [ 2; 3 ] ]
+    (Table.valid_rows_sorted a [ "K"; "V" ])
+
+let test_join_with_aggregation () =
+  (* the fused join-aggregation: sum of order prices per customer, computed
+     inside the join's control flow *)
+  let ctx = hm () in
+  let c, o = customers_orders ctx in
+  let j =
+    Dataflow.inner_join c o ~on:[ "CustKey" ]
+      ~aggs:
+        [
+          {
+            Dataflow.a_src = "Price";
+            a_dst = "Total";
+            a_func = Aggnet.Sum;
+            a_width = 16;
+          };
+        ]
+  in
+  (* the group total lands in the last row of each group; aggregate rows
+     are picked with a group-by afterwards in full queries. Here check via
+     max per key *)
+  let t' =
+    Dataflow.aggregate j ~keys:[ "CustKey" ]
+      ~aggs:[ { Dataflow.src = "Total"; dst = "T"; fn = Dataflow.Max } ]
+  in
+  Alcotest.(check rows_t) "join-fused sums"
+    [ [ 1; 50 ]; [ 2; 150 ]; [ 3; 70 ] ]
+    (Table.valid_rows_sorted t' [ "CustKey"; "T" ])
+
+let test_many_to_many_preaggregation () =
+  (* Section 3.6: COUNT over a many-to-many join via pre-aggregation of
+     multiplicities and post-multiplication *)
+  let ctx = hm () in
+  let l = Table.create ctx "L" [ ("K", 8, [| 1; 1; 2; 2; 2 |]) ] in
+  let r = Table.create ctx "R" [ ("K", 8, [| 1; 2; 2; 7 |]); ("Rid", 8, [| 1; 2; 3; 4 |]) ] in
+  (* pre-aggregate: multiplicity of each key in L *)
+  let lm =
+    Dataflow.aggregate l ~keys:[ "K" ]
+      ~aggs:[ { Dataflow.src = "K"; dst = "M"; fn = Dataflow.Count } ]
+  in
+  let j = Dataflow.inner_join lm r ~on:[ "K" ] ~copy:[ "M" ] in
+  let total =
+    Dataflow.aggregate
+      (Dataflow.map j ~dst:"One" Expr.(const 1))
+      ~keys:[ "One" ]
+      ~aggs:[ { Dataflow.src = "M"; dst = "Cnt"; fn = Dataflow.Sum } ]
+  in
+  (* |L x_K R| = 1*1 + 2*3... keys: k=1: 2 L-rows x 1 R-row = 2;
+     k=2: 3 L x 2 R = 6; total 8 *)
+  Alcotest.(check rows_t) "many-to-many count" [ [ 8 ] ]
+    (Table.valid_rows_sorted total [ "Cnt" ])
+
+let test_concat_tables () =
+  let ctx = hm () in
+  let a = Table.create ctx "A" [ ("X", 8, [| 1; 2 |]) ] in
+  let b = Table.create ctx "A" [ ("X", 8, [| 3 |]) ] in
+  let u = Dataflow.concat_tables a b in
+  Alcotest.(check rows_t) "union all" [ [ 1 ]; [ 2 ]; [ 3 ] ]
+    (Table.valid_rows_sorted u [ "X" ])
+
+(* ---------------- qcheck: joins vs plaintext ---------------- *)
+
+let qcheck_join_vs_plaintext =
+  QCheck.Test.make ~name:"random PK-FK joins match plaintext" ~count:12
+    QCheck.(pair (int_bound 10000) (int_bound 3))
+    (fun (seed, _) ->
+      let prg = Orq_util.Prg.create (seed + 101) in
+      let nl = 1 + Orq_util.Prg.int_below prg 8 in
+      let nr = 1 + Orq_util.Prg.int_below prg 12 in
+      (* unique left keys, arbitrary right keys *)
+      let lk =
+        Array.map (fun i -> i + 1) (Orq_shuffle.Localperm.random prg nl)
+      in
+      let lv = Array.init nl (fun _ -> Orq_util.Prg.int_below prg 50) in
+      let rk = Array.init nr (fun _ -> 1 + Orq_util.Prg.int_below prg (nl + 3)) in
+      let rv = Array.init nr (fun _ -> Orq_util.Prg.int_below prg 50) in
+      let ctx = Ctx.create ~seed:(seed + 7) Ctx.Sh_hm in
+      let l =
+        Table.create ctx "L" [ ("K", 8, lk); ("LV", 8, lv) ]
+      in
+      let r = Table.create ctx "R" [ ("K", 8, rk); ("RV", 8, rv) ] in
+      let j = Dataflow.inner_join l r ~on:[ "K" ] ~copy:[ "LV" ] in
+      let pl = Ptable.of_cols [ ("K", lk); ("LV", lv) ] in
+      let pr = Ptable.of_cols [ ("K", rk); ("RV", rv) ] in
+      let pj = Ptable.inner_join pl pr ~on:[ "K" ] in
+      Table.valid_rows_sorted j [ "K"; "LV"; "RV" ]
+      = Ptable.rows_sorted pj [ "K"; "LV"; "RV" ])
+
+let qcheck_groupby_vs_plaintext =
+  QCheck.Test.make ~name:"random group-bys match plaintext" ~count:12
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let prg = Orq_util.Prg.create (seed + 303) in
+      let n = 1 + Orq_util.Prg.int_below prg 15 in
+      let g = Array.init n (fun _ -> Orq_util.Prg.int_below prg 4) in
+      let x = Array.init n (fun _ -> Orq_util.Prg.int_below prg 30) in
+      let ctx = Ctx.create ~seed Ctx.Sh_hm in
+      let t = Table.create ctx "T" [ ("G", 4, g); ("X", 8, x) ] in
+      let t' =
+        Dataflow.aggregate t ~keys:[ "G" ]
+          ~aggs:
+            [
+              { Dataflow.src = "X"; dst = "S"; fn = Dataflow.Sum };
+              { Dataflow.src = "X"; dst = "C"; fn = Dataflow.Count };
+            ]
+      in
+      let p = Ptable.of_cols [ ("G", g); ("X", x) ] in
+      let pg =
+        Ptable.group_by p ~keys:[ "G" ]
+          ~aggs:
+            [
+              { Ptable.src = "X"; dst = "S"; fn = Ptable.Sum };
+              { Ptable.src = "X"; dst = "C"; fn = Ptable.Count };
+            ]
+      in
+      Table.valid_rows_sorted t' [ "G"; "S"; "C" ]
+      = Ptable.rows_sorted pg [ "G"; "S"; "C" ])
+
+(* ---------------- trimming heuristic ---------------- *)
+
+let test_trim_heuristic_values () =
+  (* the C.3 table: for 3PC and omega = 128, trim while alpha is below
+     lg(L) lg(omega) / 9 — e.g. L = 10k -> threshold about 10.3 *)
+  let ctx = Ctx.create Ctx.Sh_hm in
+  Alcotest.(check bool) "L=10k, R=100k trims" true
+    (Joinagg.should_trim ctx ~left_n:10_000 ~right_m:100_000);
+  Alcotest.(check bool) "L=10k, R=110k does not" false
+    (Joinagg.should_trim ctx ~left_n:10_000 ~right_m:110_000);
+  Alcotest.(check bool) "L=100, R=510 trims" true
+    (Joinagg.should_trim ctx ~left_n:100 ~right_m:510);
+  Alcotest.(check bool) "L=100, R=600 does not" false
+    (Joinagg.should_trim ctx ~left_n:100 ~right_m:600)
+
+(* ---------------- theta join ---------------- *)
+
+let test_theta_join () =
+  let ctx = hm () in
+  let l =
+    Table.create ctx "L"
+      [ ("k", 8, [| 1; 2; 3 |]); ("t0", 8, [| 10; 10; 10 |]) ]
+  in
+  let r =
+    Table.create ctx "R"
+      [ ("k", 8, [| 1; 1; 2; 3 |]); ("t1", 8, [| 5; 15; 20; 7 |]) ]
+  in
+  (* L.k = R.k AND R.t1 >= L.t0 : conjunctive theta with one equality *)
+  let j =
+    Dataflow.theta_join l r ~on:[ "k" ] ~copy:[ "t0" ]
+      ~theta:Expr.(col "t1" >=. col "t0")
+  in
+  Alcotest.(check rows_t) "theta join" [ [ 1; 15 ]; [ 2; 20 ] ]
+    (Table.valid_rows_sorted j [ "k"; "t1" ])
+
+(* ---------------- signedness ---------------- *)
+
+let test_signed_expressions () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "t" [ ("a", 8, [| 3; 10; 7 |]); ("b", 8, [| 9; 2; 7 |]) ]
+  in
+  (* (a - b) can be negative; signed comparison against a constant *)
+  let t' = Dataflow.filter t Expr.(col "a" -! col "b" <. const 0) in
+  Alcotest.(check rows_t) "negative difference detected" [ [ 3; 9 ] ]
+    (Table.valid_rows_sorted t' [ "a"; "b" ]);
+  (* signed sums aggregate correctly through group-by *)
+  let t2 =
+    Table.create ctx "t2"
+      [ ("g", 2, [| 1; 1; 1 |]); ("a", 8, [| 3; 10; 7 |]); ("b", 8, [| 9; 2; 7 |]) ]
+  in
+  let t2 = Dataflow.map t2 ~dst:"d" Expr.(col "a" -! col "b") in
+  let agg =
+    Dataflow.aggregate t2 ~keys:[ "g" ]
+      ~aggs:[ { Dataflow.src = "d"; dst = "s"; fn = Dataflow.Sum } ]
+  in
+  let w = Table.width agg "s" in
+  Alcotest.(check rows_t) "signed group sum (two's complement)"
+    [ [ 1; 2 land Orq_util.Ring.mask w ] ]
+    (Table.valid_rows_sorted agg [ "g"; "s" ])
+
+let test_order_by_signed () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "t" [ ("a", 8, [| 1; 5; 3 |]); ("b", 8, [| 4; 1; 9 |]) ]
+  in
+  let t = Dataflow.map t ~dst:"d" Expr.(col "a" -! col "b") in
+  (* d = -3, 4, -6 : signed order must be -6 < -3 < 4 *)
+  let t = Dataflow.order_by t [ ("d", Dataflow.Asc) ] in
+  let cols, _ = Table.peek t in
+  Alcotest.(check vec) "signed sort order" [| 3; 1; 5 |] (List.assoc "a" cols)
+
+(* ---------------- global aggregates with validity ---------------- *)
+
+let test_global_minmax_validity () =
+  let ctx = hm () in
+  let t = Table.create ctx "t" [ ("x", 8, [| 50; 1; 99; 30 |]) ] in
+  let t = Dataflow.filter t Expr.(col "x" >. const 1 &&. (col "x" <. const 99)) in
+  let g =
+    Dataflow.global_aggregate t
+      ~aggs:
+        [
+          { Dataflow.src = "x"; dst = "mn"; fn = Dataflow.Min };
+          { Dataflow.src = "x"; dst = "mx"; fn = Dataflow.Max };
+          { Dataflow.src = "x"; dst = "avg"; fn = Dataflow.Avg };
+        ]
+  in
+  Alcotest.(check rows_t) "masked extrema + avg" [ [ 30; 50; 40 ] ]
+    (Table.valid_rows_sorted g [ "mn"; "mx"; "avg" ])
+
+(* ---------------- semi/anti partition property ---------------- *)
+
+let qcheck_semi_anti_partition =
+  QCheck.Test.make ~name:"semi + anti partition the left table" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let prg = Orq_util.Prg.create (seed + 17) in
+      let nl = 2 + Orq_util.Prg.int_below prg 10 in
+      let nr = 1 + Orq_util.Prg.int_below prg 10 in
+      let lk = Array.init nl (fun _ -> Orq_util.Prg.int_below prg 6) in
+      let lid = Array.init nl (fun i -> i) in
+      let rk = Array.init nr (fun _ -> Orq_util.Prg.int_below prg 6) in
+      let ctx = Ctx.create ~seed Ctx.Sh_hm in
+      let l = Table.create ctx "L" [ ("k", 4, lk); ("id", 8, lid) ] in
+      let r = Table.create ctx "R" [ ("k", 4, rk) ] in
+      let s = Dataflow.semi_join l r ~on:[ "k" ] in
+      let a = Dataflow.anti_join l r ~on:[ "k" ] in
+      let rows t = Table.valid_rows_sorted t [ "k"; "id" ] in
+      List.sort compare (rows s @ rows a)
+      = Table.valid_rows_sorted l [ "k"; "id" ])
+
+(* ---------------- custom aggregations (Appendix C) ---------------- *)
+
+let test_custom_aggregation () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "t"
+      [ ("g", 4, [| 1; 1; 2; 2; 2 |]); ("x", 8, [| 0b0011; 0b0101; 0b1000; 0b0010; 0b0001 |]) ]
+  in
+  (* a user-defined self-decomposable function: bitwise OR of the group *)
+  let bit_or ctx a b = Orq_proto.Mpc.bor ~width:8 ctx a b in
+  let r =
+    Dataflow.aggregate t ~keys:[ "g" ]
+      ~aggs:[ { Dataflow.src = "x"; dst = "bits"; fn = Dataflow.Custom bit_or } ]
+  in
+  Alcotest.(check rows_t) "group bitwise OR"
+    [ [ 1; 0b0111 ]; [ 2; 0b1011 ] ]
+    (Table.valid_rows_sorted r [ "g"; "bits" ]);
+  (* the paper's Appendix C example: an oblivious group product *)
+  let prod ctx a b =
+    let aa = Orq_circuits.Convert.b2a ~w:8 ctx a in
+    let bb = Orq_circuits.Convert.b2a ~w:8 ctx b in
+    Orq_circuits.Convert.a2b ~w:16 ctx (Orq_proto.Mpc.mul ~width:16 ctx aa bb)
+  in
+  let t2 =
+    Table.create ctx "t2" [ ("g", 4, [| 1; 1; 1; 2 |]); ("x", 8, [| 2; 3; 4; 7 |]) ]
+  in
+  let r2 =
+    Dataflow.aggregate t2 ~keys:[ "g" ]
+      ~aggs:[ { Dataflow.src = "x"; dst = "p"; fn = Dataflow.Custom prod } ]
+  in
+  Alcotest.(check rows_t) "group product (paper's custom example)"
+    [ [ 1; 24 ]; [ 2; 7 ] ]
+    (Table.valid_rows_sorted r2 [ "g"; "p" ])
+
+(* ---------------- algebraic properties ---------------- *)
+
+let qcheck_tablesort_idempotent =
+  QCheck.Test.make ~name:"TableSort is idempotent" ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let prg = Orq_util.Prg.create (seed + 211) in
+      let n = 2 + Orq_util.Prg.int_below prg 12 in
+      let a = Array.init n (fun _ -> Orq_util.Prg.int_below prg 8) in
+      let b = Array.init n (fun _ -> Orq_util.Prg.int_below prg 8) in
+      let ctx = Ctx.create ~seed Ctx.Sh_hm in
+      let t = Table.create ctx "t" [ ("a", 4, a); ("b", 4, b) ] in
+      let once = Tablesort.sort t [ ("a", Tablesort.Asc); ("b", Tablesort.Desc) ] in
+      let twice =
+        Tablesort.sort once [ ("a", Tablesort.Asc); ("b", Tablesort.Desc) ]
+      in
+      fst (Table.peek once) = fst (Table.peek twice))
+
+let qcheck_join_output_bound =
+  QCheck.Test.make ~name:"trimmed join output bounded by |R|" ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let prg = Orq_util.Prg.create (seed + 401) in
+      let nl = 1 + Orq_util.Prg.int_below prg 8 in
+      let nr = 1 + Orq_util.Prg.int_below prg 12 in
+      let lk = Array.map (fun i -> i + 1) (Orq_shuffle.Localperm.random prg nl) in
+      let rk = Array.init nr (fun _ -> 1 + Orq_util.Prg.int_below prg (nl + 2)) in
+      let ctx = Ctx.create ~seed Ctx.Sh_hm in
+      let l = Table.create ctx "L" [ ("k", 8, lk) ] in
+      let r = Table.create ctx "R" [ ("k", 8, rk); ("rv", 8, rk) ] in
+      let j = Dataflow.inner_join ~trim:`Always l r ~on:[ "k" ] in
+      Table.nrows j = nr
+      && List.length (Table.valid_rows_sorted j [ "k" ]) <= nr)
+
+(* ---------------- unique-key (PSI-style) join ---------------- *)
+
+let test_join_unique () =
+  for_all_kinds (fun ctx ->
+      let l =
+        Table.create ctx "L"
+          [ ("k", 8, [| 1; 2; 3; 4 |]); ("lv", 8, [| 10; 20; 30; 40 |]) ]
+      in
+      let r =
+        Table.create ctx "R"
+          [ ("k", 8, [| 2; 4; 5 |]); ("rv", 8, [| 7; 8; 9 |]) ]
+      in
+      let j = Dataflow.inner_join_unique l r ~on:[ "k" ] ~copy:[ "lv" ] in
+      Alcotest.(check int) "bounded by min(n,m)" 3 (Table.nrows j);
+      Alcotest.(check rows_t) "psi join result"
+        [ [ 2; 20; 7 ]; [ 4; 40; 8 ] ]
+        (Table.valid_rows_sorted j [ "k"; "lv"; "rv" ]))
+
+let test_join_unique_cheaper () =
+  (* skipping the aggregation network must save bytes vs the general join *)
+  let run f =
+    let ctx = hm () in
+    let l = Table.create ctx "L" [ ("k", 16, Array.init 64 (fun i -> i)) ] in
+    let r =
+      Table.create ctx "R"
+        [ ("k", 16, Array.init 64 (fun i -> i + 32)); ("rv", 8, Array.make 64 5) ]
+    in
+    let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+    ignore (f l r);
+    (Orq_net.Comm.since ctx.Ctx.comm before).Orq_net.Comm.t_bits
+  in
+  let unique = run (fun l r -> Dataflow.inner_join_unique l r ~on:[ "k" ]) in
+  let general = run (fun l r -> Dataflow.inner_join ~trim:`Always l r ~on:[ "k" ]) in
+  Alcotest.(check bool) "unique join cheaper" true (unique < general)
+
+let test_join_unique_respects_validity () =
+  let ctx = hm () in
+  let l = Table.create ctx "L" [ ("k", 8, [| 1; 2 |]); ("lv", 8, [| 5; 6 |]) ] in
+  let l = Dataflow.filter l Expr.(col "k" <>. const 1) in
+  let r = Table.create ctx "R" [ ("k", 8, [| 1; 2 |]); ("rv", 8, [| 8; 9 |]) ] in
+  let j = Dataflow.inner_join_unique l r ~on:[ "k" ] ~copy:[ "lv" ] in
+  Alcotest.(check rows_t) "filtered key drops" [ [ 2; 6; 9 ] ]
+    (Table.valid_rows_sorted j [ "k"; "lv"; "rv" ])
+
+(* ---------------- count distinct ---------------- *)
+
+let test_count_distinct () =
+  let ctx = hm () in
+  let t =
+    Table.create ctx "t"
+      [ ("g", 4, [| 1; 1; 1; 2; 2 |]); ("x", 8, [| 5; 5; 7; 5; 5 |]) ]
+  in
+  let r = Dataflow.count_distinct t ~keys:[ "g" ] ~over:[ "x" ] ~dst:"nd" in
+  Alcotest.(check rows_t) "count distinct" [ [ 1; 2 ]; [ 2; 1 ] ]
+    (Table.valid_rows_sorted r [ "g"; "nd" ])
+
+(* ---------------- data-owner padding ---------------- *)
+
+let test_pad_rows () =
+  let ctx = hm () in
+  let t = Table.create ctx "t" [ ("x", 8, [| 3; 1 |]) ] in
+  let t = Table.pad_rows t 3 in
+  Alcotest.(check int) "physical rows grow" 5 (Table.nrows t);
+  Alcotest.(check rows_t) "dummies stay invisible" [ [ 1 ]; [ 3 ] ]
+    (Table.valid_rows_sorted t [ "x" ]);
+  (* padded rows survive a full operator pipeline without appearing *)
+  let agg =
+    Dataflow.aggregate t ~keys:[ "x" ]
+      ~aggs:[ { Dataflow.src = "x"; dst = "c"; fn = Dataflow.Count } ]
+  in
+  Alcotest.(check rows_t) "padding excluded from groups"
+    [ [ 1; 1 ]; [ 3; 1 ] ]
+    (Table.valid_rows_sorted agg [ "x"; "c" ])
+
+(* ---------------- limit edge cases ---------------- *)
+
+let test_limit_beyond_valid () =
+  let ctx = hm () in
+  let t = Table.create ctx "t" [ ("x", 8, [| 5; 2; 9 |]) ] in
+  let t = Dataflow.filter t Expr.(col "x" >. const 4) in
+  let t = Dataflow.limit (Dataflow.order_by t [ ("x", Dataflow.Asc) ]) 3 in
+  (* only 2 valid rows exist; the third slot must stay invalid *)
+  Alcotest.(check rows_t) "padding row stays invalid" [ [ 5 ]; [ 9 ] ]
+    (Table.valid_rows_sorted t [ "x" ])
+
+let suite =
+  [
+    Alcotest.test_case "create + peek" `Quick test_create_peek;
+    Alcotest.test_case "reveal masks invalid rows" `Quick
+      test_reveal_masks_invalid;
+    Alcotest.test_case "filters (and, cmp)" `Quick test_filter_exprs;
+    Alcotest.test_case "filters (or, not)" `Quick test_filter_or_not;
+    Alcotest.test_case "derived columns (Q3 revenue)" `Quick test_map_arith;
+    Alcotest.test_case "private division expression" `Quick
+      test_private_division_expr;
+    Alcotest.test_case "TableSort multi-key + stability" `Quick
+      test_tablesort_multikey;
+    Alcotest.test_case "AggNet sum + copy" `Quick test_aggnet_sum_copy;
+    Alcotest.test_case "AggNet min/max" `Quick test_aggnet_minmax;
+    Alcotest.test_case "AggNet non-pow2 padding" `Quick
+      test_aggnet_non_pow2_padding;
+    Alcotest.test_case "group-by sum/count/min/max" `Quick test_group_by;
+    Alcotest.test_case "group-by AVG (oblivious division)" `Quick
+      test_group_by_avg;
+    Alcotest.test_case "group-by excludes invalid rows" `Quick
+      test_group_by_respects_filter;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "order-by + limit" `Quick test_order_by_limit;
+    Alcotest.test_case "inner join vs plaintext" `Quick test_inner_join;
+    Alcotest.test_case "inner join with trim" `Quick test_inner_join_trim;
+    Alcotest.test_case "join respects validity" `Quick
+      test_join_respects_validity;
+    Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+    Alcotest.test_case "right outer join" `Quick test_right_outer_join;
+    Alcotest.test_case "full outer join" `Quick test_full_outer_join;
+    Alcotest.test_case "semi join" `Quick test_semi_join;
+    Alcotest.test_case "anti join" `Quick test_anti_join;
+    Alcotest.test_case "semi/anti with duplicates" `Quick
+      test_semi_join_duplicates_both_sides;
+    Alcotest.test_case "fused join-aggregation" `Quick
+      test_join_with_aggregation;
+    Alcotest.test_case "many-to-many via pre-aggregation" `Quick
+      test_many_to_many_preaggregation;
+    Alcotest.test_case "concat tables" `Quick test_concat_tables;
+    QCheck_alcotest.to_alcotest qcheck_join_vs_plaintext;
+    QCheck_alcotest.to_alcotest qcheck_groupby_vs_plaintext;
+    Alcotest.test_case "trim heuristic (C.3 table)" `Quick
+      test_trim_heuristic_values;
+    Alcotest.test_case "theta join" `Quick test_theta_join;
+    Alcotest.test_case "signed expressions" `Quick test_signed_expressions;
+    Alcotest.test_case "order-by signed column" `Quick test_order_by_signed;
+    Alcotest.test_case "global min/max/avg respect validity" `Quick
+      test_global_minmax_validity;
+    QCheck_alcotest.to_alcotest qcheck_semi_anti_partition;
+    Alcotest.test_case "custom aggregations (Appendix C)" `Quick
+      test_custom_aggregation;
+    QCheck_alcotest.to_alcotest qcheck_tablesort_idempotent;
+    QCheck_alcotest.to_alcotest qcheck_join_output_bound;
+    Alcotest.test_case "unique-key join" `Quick test_join_unique;
+    Alcotest.test_case "unique-key join saves bytes" `Quick
+      test_join_unique_cheaper;
+    Alcotest.test_case "unique-key join + validity" `Quick
+      test_join_unique_respects_validity;
+    Alcotest.test_case "count distinct" `Quick test_count_distinct;
+    Alcotest.test_case "data-owner padding" `Quick test_pad_rows;
+    Alcotest.test_case "limit beyond valid rows" `Quick test_limit_beyond_valid;
+  ]
+
+let () = Alcotest.run "orq_core" [ ("core", suite) ]

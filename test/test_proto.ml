@@ -1,0 +1,284 @@
+(* Unit and property tests for the MPC protocol layer: secret sharing,
+   linear operations, Beaver/replicated multiplication, opening, metering,
+   and malicious-abort behaviour. *)
+
+open Orq_util
+open Orq_proto
+
+let kinds = Ctx.all_kinds
+
+let vec_testable = Alcotest.(array int)
+
+let words_gen n =
+  QCheck.Gen.(array_size (return n) (map (fun x -> x land Ring.ones) int))
+
+let arb_words n = QCheck.make (words_gen n)
+
+let for_all_kinds f = List.iter (fun k -> f (Ctx.create ~seed:42 k)) kinds
+
+(* ---------------- sharing ---------------- *)
+
+let test_share_roundtrip () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 100 in
+      let sa = Mpc.share_a ctx x in
+      let sb = Mpc.share_b ctx x in
+      Alcotest.(check vec_testable) "arith roundtrip" x (Share.reconstruct sa);
+      Alcotest.(check vec_testable) "bool roundtrip" x (Share.reconstruct sb))
+
+let test_share_hides () =
+  (* the first share vector alone must not equal the plaintext (masked) *)
+  for_all_kinds (fun ctx ->
+      let x = Array.make 64 12345 in
+      let s = Mpc.share_a ctx x in
+      Alcotest.(check bool) "share-0 masked" false (Vec.equal s.Share.v.(0) x);
+      let distinct = ref 0 in
+      Array.iter (fun v -> if v <> s.Share.v.(1).(0) then incr distinct) s.Share.v.(1);
+      Alcotest.(check bool) "share-1 non-constant" true (!distinct > 0))
+
+let test_public () =
+  for_all_kinds (fun ctx ->
+      let s = Mpc.public_a ctx 5 7 in
+      Alcotest.(check vec_testable) "public const" (Array.make 5 7)
+        (Share.reconstruct s))
+
+(* ---------------- linear ops ---------------- *)
+
+let test_linear () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 50 and y = Prg.words ctx.Ctx.prg 50 in
+      let sx = Mpc.share_a ctx x and sy = Mpc.share_a ctx y in
+      Alcotest.(check vec_testable) "add" (Vec.add x y)
+        (Share.reconstruct (Mpc.add sx sy));
+      Alcotest.(check vec_testable) "sub" (Vec.sub x y)
+        (Share.reconstruct (Mpc.sub sx sy));
+      Alcotest.(check vec_testable) "neg" (Vec.neg x)
+        (Share.reconstruct (Mpc.neg sx));
+      Alcotest.(check vec_testable) "add_pub" (Vec.add_scalar x 9)
+        (Share.reconstruct (Mpc.add_pub sx 9));
+      Alcotest.(check vec_testable) "mul_pub" (Vec.mul_scalar x 3)
+        (Share.reconstruct (Mpc.mul_pub sx 3));
+      Alcotest.(check vec_testable) "mul_pub_vec" (Vec.mul x y)
+        (Share.reconstruct (Mpc.mul_pub_vec sx y)))
+
+let test_bool_linear () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 50 and y = Prg.words ctx.Ctx.prg 50 in
+      let sx = Mpc.share_b ctx x in
+      Alcotest.(check vec_testable) "xor" (Vec.xor x y)
+        (Share.reconstruct (Mpc.xor sx (Mpc.share_b ctx y)));
+      Alcotest.(check vec_testable) "xor_pub" (Vec.xor_scalar x 0xFF)
+        (Share.reconstruct (Mpc.xor_pub sx 0xFF));
+      Alcotest.(check vec_testable) "and_mask" (Vec.and_scalar x 0xF0F0)
+        (Share.reconstruct (Mpc.and_mask sx 0xF0F0));
+      Alcotest.(check vec_testable) "lshift" (Vec.shift_left x 3)
+        (Share.reconstruct (Mpc.lshift sx 3));
+      Alcotest.(check vec_testable) "rshift" (Vec.shift_right x 3)
+        (Share.reconstruct (Mpc.rshift sx 3)))
+
+let test_extend_bit () =
+  for_all_kinds (fun ctx ->
+      let bits = [| 0; 1; 1; 0; 1 |] in
+      let s = Mpc.share_b ctx bits in
+      let ext = Share.reconstruct (Mpc.extend_bit s) in
+      Alcotest.(check vec_testable) "extend"
+        (Array.map (fun b -> -b) bits)
+        ext)
+
+(* ---------------- interactive ops ---------------- *)
+
+let test_mul_correct =
+  QCheck.Test.make ~name:"mul correct (all protocols)" ~count:30
+    (QCheck.pair (arb_words 17) (arb_words 17))
+    (fun (x, y) ->
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:7 k in
+          let z =
+            Mpc.mul ctx (Mpc.share_a ctx x) (Mpc.share_a ctx y)
+            |> Share.reconstruct
+          in
+          Vec.equal z (Vec.mul x y))
+        kinds)
+
+let test_and_correct =
+  QCheck.Test.make ~name:"band correct (all protocols)" ~count:30
+    (QCheck.pair (arb_words 17) (arb_words 17))
+    (fun (x, y) ->
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:9 k in
+          let z =
+            Mpc.band ctx (Mpc.share_b ctx x) (Mpc.share_b ctx y)
+            |> Share.reconstruct
+          in
+          Vec.equal z (Vec.band x y))
+        kinds)
+
+let test_bor () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 20 and y = Prg.words ctx.Ctx.prg 20 in
+      let z =
+        Mpc.bor ctx (Mpc.share_b ctx x) (Mpc.share_b ctx y)
+        |> Share.reconstruct
+      in
+      Alcotest.(check vec_testable) "bor" (Vec.bor x y) z)
+
+let test_open () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 33 in
+      let s = Mpc.share_a ctx x in
+      let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+      let opened = Mpc.open_ ctx s in
+      let tl = Orq_net.Comm.since ctx.Ctx.comm before in
+      Alcotest.(check vec_testable) "open value" x opened;
+      Alcotest.(check int) "open is 1 round" 1 tl.Orq_net.Comm.t_rounds;
+      Alcotest.(check bool) "open moved bits" true (tl.Orq_net.Comm.t_bits > 0))
+
+let test_mul_metering () =
+  (* one multiplication of n elements: 1 online round; bits per the
+     per-protocol constants (2PC: 4wn, 3PC: 3wn, 4PC: 12wn) *)
+  let expect = [ (Ctx.Sh_dm, 4); (Ctx.Sh_hm, 3); (Ctx.Mal_hm, 12) ] in
+  List.iter
+    (fun (k, factor) ->
+      let ctx = Ctx.create k in
+      let n = 10 in
+      let x = Mpc.share_a ctx (Array.make n 3) in
+      let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+      ignore (Mpc.mul ctx x x);
+      let tl = Orq_net.Comm.since ctx.Ctx.comm before in
+      Alcotest.(check int)
+        (Ctx.kind_label k ^ " rounds")
+        1 tl.Orq_net.Comm.t_rounds;
+      Alcotest.(check int)
+        (Ctx.kind_label k ^ " bits")
+        (factor * ctx.Ctx.ell * n)
+        tl.Orq_net.Comm.t_bits)
+    expect
+
+let test_width_metering () =
+  (* single-bit AND should be charged 1 bit per element, not a word *)
+  let ctx = Ctx.create Ctx.Sh_hm in
+  let n = 8 in
+  let b = Mpc.share_b ctx (Array.make n 1) in
+  let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+  ignore (Mpc.band ~width:1 ctx b b);
+  let tl = Orq_net.Comm.since ctx.Ctx.comm before in
+  Alcotest.(check int) "1-bit AND bits" (3 * 1 * n) tl.Orq_net.Comm.t_bits
+
+let test_reshare () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 40 in
+      let s = Mpc.share_a ctx x in
+      let s' = Mpc.reshare_unmetered ctx s in
+      Alcotest.(check vec_testable) "reshare preserves secret" x
+        (Share.reconstruct s');
+      Alcotest.(check bool) "reshare rerandomizes" false
+        (Vec.equal s.Share.v.(0) s'.Share.v.(0)))
+
+let test_sum_prefix () =
+  for_all_kinds (fun ctx ->
+      let x = [| 1; 2; 3; 4; 5 |] in
+      let s = Mpc.share_a ctx x in
+      Alcotest.(check vec_testable) "sum_all" [| 15 |]
+        (Share.reconstruct (Mpc.sum_all s));
+      Alcotest.(check vec_testable) "prefix_sum" [| 1; 3; 6; 10; 15 |]
+        (Share.reconstruct (Mpc.prefix_sum s)))
+
+(* ---------------- dealer ---------------- *)
+
+let test_beaver_triple () =
+  for_all_kinds (fun ctx ->
+      let { Dealer.ta; tb; tc } = Dealer.beaver ctx Share.Arith 25 in
+      Alcotest.(check vec_testable) "c = a*b"
+        (Vec.mul (Share.reconstruct ta) (Share.reconstruct tb))
+        (Share.reconstruct tc);
+      let { Dealer.ta; tb; tc } = Dealer.beaver ctx Share.Bool 25 in
+      Alcotest.(check vec_testable) "c = a&b"
+        (Vec.band (Share.reconstruct ta) (Share.reconstruct tb))
+        (Share.reconstruct tc))
+
+let test_dabits () =
+  for_all_kinds (fun ctx ->
+      let { Dealer.da_bool; da_arith } = Dealer.dabits ctx 64 in
+      let b = Share.reconstruct da_bool and a = Share.reconstruct da_arith in
+      Alcotest.(check vec_testable) "dabit consistency" b a;
+      Array.iter (fun x -> Alcotest.(check bool) "bit" true (x = 0 || x = 1)) b)
+
+let test_edabits () =
+  for_all_kinds (fun ctx ->
+      let { Dealer.ed_arith; ed_bool } = Dealer.edabits ctx 32 in
+      Alcotest.(check vec_testable) "edabit consistency"
+        (Share.reconstruct ed_arith)
+        (Share.reconstruct ed_bool))
+
+let test_preproc_metered_separately () =
+  let ctx = Ctx.create Ctx.Sh_dm in
+  let before_on = Orq_net.Comm.snapshot ctx.Ctx.comm in
+  ignore (Dealer.beaver ctx Share.Arith 10);
+  let on = Orq_net.Comm.since ctx.Ctx.comm before_on in
+  Alcotest.(check int) "dealer does not touch online counter" 0
+    on.Orq_net.Comm.t_bits;
+  Alcotest.(check bool) "dealer metered on preproc" true
+    (ctx.Ctx.preproc.Orq_net.Comm.bits > 0)
+
+(* ---------------- malicious abort ---------------- *)
+
+let test_malicious_abort_mul () =
+  let ctx = Ctx.create Ctx.Mal_hm in
+  let x = Mpc.share_a ctx [| 1; 2; 3 |] in
+  let tampered ~party ~op =
+    if party = 2 && op = "mul" then Some 99 else None
+  in
+  Alcotest.check_raises "tampered mul aborts"
+    (Ctx.Abort "mul: cross-term verification failed") (fun () ->
+      Ctx.with_tamper ctx tampered (fun () -> ignore (Mpc.mul ctx x x)))
+
+let test_malicious_abort_open () =
+  let ctx = Ctx.create Ctx.Mal_hm in
+  let x = Mpc.share_a ctx [| 5 |] in
+  let tampered ~party ~op = if party = 0 && op = "open" then Some 1 else None in
+  Alcotest.check_raises "tampered open aborts"
+    (Ctx.Abort "open: share/hash mismatch detected") (fun () ->
+      Ctx.with_tamper ctx tampered (fun () -> ignore (Mpc.open_ ctx x)))
+
+let test_semi_honest_no_detection () =
+  (* semi-honest protocols do not verify: the tamper hook is ignored *)
+  List.iter
+    (fun k ->
+      let ctx = Ctx.create k in
+      let x = Mpc.share_a ctx [| 1; 2 |] in
+      let tampered ~party:_ ~op:_ = Some 1 in
+      Ctx.with_tamper ctx tampered (fun () -> ignore (Mpc.mul ctx x x)))
+    [ Ctx.Sh_dm; Ctx.Sh_hm ]
+
+let suite =
+  [
+    Alcotest.test_case "share roundtrip" `Quick test_share_roundtrip;
+    Alcotest.test_case "shares hide plaintext" `Quick test_share_hides;
+    Alcotest.test_case "public constants" `Quick test_public;
+    Alcotest.test_case "arith linear ops" `Quick test_linear;
+    Alcotest.test_case "bool linear ops" `Quick test_bool_linear;
+    Alcotest.test_case "extend_bit" `Quick test_extend_bit;
+    QCheck_alcotest.to_alcotest test_mul_correct;
+    QCheck_alcotest.to_alcotest test_and_correct;
+    Alcotest.test_case "bor" `Quick test_bor;
+    Alcotest.test_case "open value + metering" `Quick test_open;
+    Alcotest.test_case "mul metering constants" `Quick test_mul_metering;
+    Alcotest.test_case "width-aware metering" `Quick test_width_metering;
+    Alcotest.test_case "reshare" `Quick test_reshare;
+    Alcotest.test_case "sum/prefix-sum" `Quick test_sum_prefix;
+    Alcotest.test_case "beaver triples" `Quick test_beaver_triple;
+    Alcotest.test_case "daBits" `Quick test_dabits;
+    Alcotest.test_case "edaBits" `Quick test_edabits;
+    Alcotest.test_case "preproc metered separately" `Quick
+      test_preproc_metered_separately;
+    Alcotest.test_case "Mal-HM abort on tampered mul" `Quick
+      test_malicious_abort_mul;
+    Alcotest.test_case "Mal-HM abort on tampered open" `Quick
+      test_malicious_abort_open;
+    Alcotest.test_case "semi-honest ignores tamper hook" `Quick
+      test_semi_honest_no_detection;
+  ]
+
+let () = Alcotest.run "orq_proto" [ ("proto", suite) ]

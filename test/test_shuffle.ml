@@ -1,0 +1,247 @@
+(* Tests for the oblivious shuffle stack: local permutations, sharded
+   permutations, and Protocols 4-8 (shuffle, elementwise application,
+   composition, conversion, inversion), under all three MPC protocols. *)
+
+open Orq_util
+open Orq_proto
+open Orq_shuffle
+
+let kinds = Ctx.all_kinds
+let vec = Alcotest.(array int)
+let for_all_kinds f = List.iter (fun k -> f (Ctx.create ~seed:21 k)) kinds
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+(* ---------------- local permutations ---------------- *)
+
+let test_localperm_random () =
+  let prg = Prg.create 1 in
+  let p = Localperm.random prg 100 in
+  Alcotest.(check bool) "is permutation" true (Localperm.is_permutation p);
+  let q = Localperm.random prg 100 in
+  Alcotest.(check bool) "distinct draws" false (p = q)
+
+let test_localperm_algebra () =
+  let prg = Prg.create 2 in
+  let p = Localperm.random prg 50 and q = Localperm.random prg 50 in
+  let x = Prg.words prg 50 in
+  (* apply then inverse is identity *)
+  Alcotest.(check vec) "apply/inverse" x
+    (Localperm.apply_inverse (Localperm.apply x p) p);
+  (* invert *)
+  Alcotest.(check vec) "invert" x
+    (Localperm.apply (Localperm.apply x p) (Localperm.invert p));
+  (* compose: apply (compose p q) == apply q then p *)
+  Alcotest.(check vec) "compose"
+    (Localperm.apply (Localperm.apply x q) p)
+    (Localperm.apply x (Localperm.compose p q))
+
+let qcheck_localperm_compose =
+  QCheck.Test.make ~name:"compose associativity" ~count:30
+    QCheck.(small_nat)
+    (fun seed ->
+      let prg = Prg.create (seed + 3) in
+      let n = 20 in
+      let a = Localperm.random prg n
+      and b = Localperm.random prg n
+      and c = Localperm.random prg n in
+      Localperm.compose (Localperm.compose a b) c
+      = Localperm.compose a (Localperm.compose b c))
+
+(* ---------------- sharded permutations ---------------- *)
+
+let test_sharded_apply () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 64 in
+      let p = Shardedperm.gen ctx 64 in
+      let y = Shardedperm.apply ctx (Mpc.share_b ctx x) p |> Share.reconstruct in
+      Alcotest.(check vec) "is plaintext perm"
+        (Localperm.apply x (Shardedperm.plaintext p))
+        y;
+      Alcotest.(check vec) "multiset preserved" (sorted_copy x) (sorted_copy y))
+
+let test_sharded_inverse () =
+  for_all_kinds (fun ctx ->
+      let x = Prg.words ctx.Ctx.prg 40 in
+      let p = Shardedperm.gen ctx 40 in
+      let y = Shardedperm.apply ctx (Mpc.share_a ctx x) p in
+      let z = Shardedperm.apply_inverse ctx y p |> Share.reconstruct in
+      Alcotest.(check vec) "inverse undoes apply" x z)
+
+let test_sharded_metering () =
+  (* Table 1: applySharded totals (bits, rounds): 2PC (2ln, 2);
+     3PC (6ln, 3); 4PC (24ln, 4) *)
+  let expect = [ (Ctx.Sh_dm, 2, 2); (Ctx.Sh_hm, 6, 3); (Ctx.Mal_hm, 24, 4) ] in
+  List.iter
+    (fun (k, factor, rounds) ->
+      let ctx = Ctx.create k in
+      let n = 16 in
+      let x = Mpc.share_b ctx (Array.make n 5) in
+      let p = Shardedperm.gen ctx n in
+      let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+      ignore (Shardedperm.apply ctx x p);
+      let tl = Orq_net.Comm.since ctx.Ctx.comm before in
+      Alcotest.(check int)
+        (Ctx.kind_label k ^ " bits")
+        (factor * ctx.Ctx.ell * n)
+        tl.Orq_net.Comm.t_bits;
+      Alcotest.(check int) (Ctx.kind_label k ^ " rounds") rounds
+        tl.Orq_net.Comm.t_rounds)
+    expect
+
+let test_sharded_table_rounds () =
+  for_all_kinds (fun ctx ->
+      let n = 8 in
+      let cols = List.init 5 (fun i -> Mpc.share_b ctx (Array.make n i)) in
+      let p = Shardedperm.gen ctx n in
+      let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+      let single = Shardedperm.apply ctx (List.hd cols) p in
+      let tl1 = Orq_net.Comm.since ctx.Ctx.comm before in
+      ignore single;
+      let before2 = Orq_net.Comm.snapshot ctx.Ctx.comm in
+      ignore (Shardedperm.apply_table ctx cols p);
+      let tl2 = Orq_net.Comm.since ctx.Ctx.comm before2 in
+      Alcotest.(check int) "table apply same rounds as single"
+        tl1.Orq_net.Comm.t_rounds tl2.Orq_net.Comm.t_rounds;
+      Alcotest.(check int) "table apply 5x bits" (5 * tl1.Orq_net.Comm.t_bits)
+        tl2.Orq_net.Comm.t_bits)
+
+let test_sharded_malicious_abort () =
+  let ctx = Ctx.create Ctx.Mal_hm in
+  let x = Mpc.share_b ctx [| 1; 2; 3; 4 |] in
+  let p = Shardedperm.gen ctx 4 in
+  let tampered ~party ~op = if party = 1 && op = "shuffle" then Some 1 else None in
+  Alcotest.check_raises "tampered reshare aborts"
+    (Ctx.Abort "shuffle: reshare verification failed") (fun () ->
+      Ctx.with_tamper ctx tampered (fun () -> ignore (Shardedperm.apply ctx x p)))
+
+(* ---------------- Protocols 4-8 ---------------- *)
+
+let test_shuffle () =
+  for_all_kinds (fun ctx ->
+      let x = Array.init 50 (fun i -> i * 10) in
+      let y = Permops.shuffle ctx (Mpc.share_b ctx x) |> Share.reconstruct in
+      Alcotest.(check vec) "multiset preserved" (sorted_copy x) (sorted_copy y);
+      Alcotest.(check bool) "actually moved" false (Vec.equal x y))
+
+let test_shuffle_table_consistent () =
+  for_all_kinds (fun ctx ->
+      let x = Array.init 30 (fun i -> i) in
+      let y = Array.init 30 (fun i -> 100 + i) in
+      match
+        Permops.shuffle_table ctx [ Mpc.share_b ctx x; Mpc.share_b ctx y ]
+      with
+      | [ sx; sy ] ->
+          let x' = Share.reconstruct sx and y' = Share.reconstruct sy in
+          Array.iteri
+            (fun i xi ->
+              Alcotest.(check int) "rows move together" (xi + 100) y'.(i))
+            x'
+      | _ -> Alcotest.fail "arity")
+
+let test_apply_elementwise () =
+  for_all_kinds (fun ctx ->
+      let n = 25 in
+      let x = Prg.words ctx.Ctx.prg n in
+      let rho = Localperm.random ctx.Ctx.prg n in
+      let y =
+        Permops.apply_elementwise ctx (Mpc.share_b ctx x)
+          (Mpc.share_a ctx rho)
+        |> Share.reconstruct
+      in
+      Alcotest.(check vec) "rho(x)" (Localperm.apply x rho) y)
+
+let test_apply_elementwise_table () =
+  for_all_kinds (fun ctx ->
+      let n = 12 in
+      let x = Array.init n (fun i -> i) in
+      let y = Array.init n (fun i -> i * i) in
+      let rho = Localperm.random ctx.Ctx.prg n in
+      match
+        Permops.apply_elementwise_table ctx
+          [ Mpc.share_b ctx x; Mpc.share_b ctx y ]
+          (Mpc.share_b ctx rho)
+      with
+      | [ sx; sy ] ->
+          Alcotest.(check vec) "col x" (Localperm.apply x rho)
+            (Share.reconstruct sx);
+          Alcotest.(check vec) "col y" (Localperm.apply y rho)
+            (Share.reconstruct sy)
+      | _ -> Alcotest.fail "arity")
+
+let test_compose () =
+  for_all_kinds (fun ctx ->
+      let n = 20 in
+      let sigma = Localperm.random ctx.Ctx.prg n in
+      let rho = Localperm.random ctx.Ctx.prg n in
+      let got =
+        Permops.compose ctx (Mpc.share_b ctx sigma) (Mpc.share_b ctx rho)
+        |> Share.reconstruct
+      in
+      Alcotest.(check vec) "rho o sigma" (Localperm.compose rho sigma) got)
+
+let test_invert () =
+  for_all_kinds (fun ctx ->
+      let n = 20 in
+      let pi = Localperm.random ctx.Ctx.prg n in
+      let got = Permops.invert ctx (Mpc.share_b ctx pi) |> Share.reconstruct in
+      Alcotest.(check vec) "pi^{-1}" (Localperm.invert pi) got)
+
+let test_convert () =
+  for_all_kinds (fun ctx ->
+      let n = 20 in
+      let pi = Localperm.random ctx.Ctx.prg n in
+      let a = Permops.convert ctx (Mpc.share_b ctx pi) Share.Arith in
+      Alcotest.(check bool) "enc changed" true (a.Share.enc = Share.Arith);
+      Alcotest.(check vec) "value preserved" pi (Share.reconstruct a);
+      let b = Permops.convert ctx a Share.Bool in
+      Alcotest.(check vec) "roundtrip" pi (Share.reconstruct b))
+
+let qcheck_perm_protocols_compose_invert =
+  QCheck.Test.make ~name:"invert(compose) laws under MPC" ~count:10
+    QCheck.small_nat
+    (fun seed ->
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:(seed + 31) k in
+          let n = 16 in
+          let sigma = Localperm.random ctx.Ctx.prg n in
+          let inv =
+            Permops.invert ctx (Mpc.share_b ctx sigma) |> Share.reconstruct
+          in
+          let composed =
+            Permops.compose ctx (Mpc.share_b ctx sigma) (Mpc.share_b ctx inv)
+            |> Share.reconstruct
+          in
+          composed = Localperm.identity n)
+        kinds)
+
+let suite =
+  [
+    Alcotest.test_case "fisher-yates" `Quick test_localperm_random;
+    Alcotest.test_case "local perm algebra" `Quick test_localperm_algebra;
+    QCheck_alcotest.to_alcotest qcheck_localperm_compose;
+    Alcotest.test_case "sharded apply" `Quick test_sharded_apply;
+    Alcotest.test_case "sharded inverse" `Quick test_sharded_inverse;
+    Alcotest.test_case "sharded metering (Table 1)" `Quick test_sharded_metering;
+    Alcotest.test_case "table apply batches rounds" `Quick
+      test_sharded_table_rounds;
+    Alcotest.test_case "Mal-HM abort on tampered shuffle" `Quick
+      test_sharded_malicious_abort;
+    Alcotest.test_case "Protocol 4: shuffle" `Quick test_shuffle;
+    Alcotest.test_case "shuffle_table row consistency" `Quick
+      test_shuffle_table_consistent;
+    Alcotest.test_case "Protocol 5: applyElementwisePerm" `Quick
+      test_apply_elementwise;
+    Alcotest.test_case "Protocol 5 (table variant)" `Quick
+      test_apply_elementwise_table;
+    Alcotest.test_case "Protocol 6: composePerms" `Quick test_compose;
+    Alcotest.test_case "Protocol 8: invertElementwisePerm" `Quick test_invert;
+    Alcotest.test_case "Protocol 7: convertElementwisePerm" `Quick test_convert;
+    QCheck_alcotest.to_alcotest qcheck_perm_protocols_compose_invert;
+  ]
+
+let () = Alcotest.run "orq_shuffle" [ ("shuffle", suite) ]

@@ -1,0 +1,359 @@
+(* Tests for the oblivious sorting layer: genBitPerm, hybrid radixsort,
+   compose-based radixsort, iterative quicksort, bitonic network, and the
+   sorting wrapper with permutation extraction. *)
+
+open Orq_util
+open Orq_proto
+open Orq_sort
+
+let kinds = Ctx.all_kinds
+let vec = Alcotest.(array int)
+let for_all_kinds f = List.iter (fun k -> f (Ctx.create ~seed:33 k)) kinds
+
+let sorted_asc a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let sorted_desc a =
+  let b = sorted_asc a in
+  Vec.rev b
+
+let is_sorted a = Array.for_all2 ( = ) a (sorted_asc a)
+
+(* ---------------- genBitPerm ---------------- *)
+
+let test_genbitperm () =
+  for_all_kinds (fun ctx ->
+      let bits = [| 1; 0; 1; 0; 0; 1; 0 |] in
+      let sigma =
+        Genbitperm.gen ctx (Mpc.share_b ctx bits) |> Share.reconstruct
+      in
+      (* stable: zeros keep order at the front, ones after *)
+      Alcotest.(check vec) "destinations" [| 4; 0; 5; 1; 2; 6; 3 |] sigma)
+
+let qcheck_genbitperm =
+  QCheck.Test.make ~name:"genBitPerm is the stable bit-sort permutation"
+    ~count:25
+    QCheck.(list_of_size Gen.(int_range 1 40) bool)
+    (fun bl ->
+      let bits = Array.of_list (List.map (fun b -> if b then 1 else 0) bl) in
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:17 k in
+          let sigma =
+            Genbitperm.gen ctx (Mpc.share_b ctx bits) |> Share.reconstruct
+          in
+          Orq_shuffle.Localperm.is_permutation sigma
+          && is_sorted (Orq_shuffle.Localperm.apply bits sigma))
+        kinds)
+
+(* ---------------- radixsort ---------------- *)
+
+let test_radix_basic () =
+  for_all_kinds (fun ctx ->
+      let x = [| 9; 3; 7; 3; 0; 15; 3; 8 |] in
+      let y, _ = Radixsort.sort ctx ~bits:4 (Mpc.share_b ctx x) [] in
+      Alcotest.(check vec) "ascending" (sorted_asc x) (Share.reconstruct y))
+
+let test_radix_desc () =
+  for_all_kinds (fun ctx ->
+      let x = [| 9; 3; 7; 3; 0; 15; 3; 8 |] in
+      let y, _ =
+        Radixsort.sort ctx ~bits:4 ~dir:Radixsort.Desc (Mpc.share_b ctx x) []
+      in
+      Alcotest.(check vec) "descending" (sorted_desc x) (Share.reconstruct y))
+
+let test_radix_carry_and_stability () =
+  for_all_kinds (fun ctx ->
+      (* carry column records original position; equal keys must keep
+         their original relative order (stability) *)
+      let x = [| 5; 1; 5; 1; 5; 0 |] in
+      let pos = [| 0; 1; 2; 3; 4; 5 |] in
+      let y, carry =
+        Radixsort.sort ctx ~bits:3 (Mpc.share_b ctx x)
+          [ Mpc.share_b ctx pos ]
+      in
+      Alcotest.(check vec) "keys" [| 0; 1; 1; 5; 5; 5 |] (Share.reconstruct y);
+      match carry with
+      | [ c ] ->
+          Alcotest.(check vec) "stable carry" [| 5; 1; 3; 0; 2; 4 |]
+            (Share.reconstruct c)
+      | _ -> Alcotest.fail "arity")
+
+let test_radix_skip () =
+  for_all_kinds (fun ctx ->
+      (* sorting on bits [2..3] only groups by the high part *)
+      let x = [| 0b1100; 0b0001; 0b1000; 0b0111 |] in
+      let y, _ =
+        Radixsort.sort ctx ~bits:2 ~skip:2 (Mpc.share_b ctx x) []
+      in
+      Alcotest.(check vec) "high bits sorted" [| 0b0001; 0b0111; 0b1000; 0b1100 |]
+        (Share.reconstruct y))
+
+let qcheck_radix =
+  QCheck.Test.make ~name:"radixsort sorts" ~count:15
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_bound 1023))
+    (fun xl ->
+      let x = Array.of_list xl in
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:19 k in
+          let y, _ = Radixsort.sort ctx ~bits:10 (Mpc.share_b ctx x) [] in
+          Share.reconstruct y = sorted_asc x)
+        kinds)
+
+(* ---------------- compose-based radixsort (Asharov) ---------------- *)
+
+let test_radix_compose_matches () =
+  for_all_kinds (fun ctx ->
+      let x = [| 12; 4; 4; 30; 0; 7; 19; 7 |] in
+      let y, _ = Radix_compose.sort ctx ~bits:5 (Mpc.share_b ctx x) [] in
+      Alcotest.(check vec) "compose variant sorts" (sorted_asc x)
+        (Share.reconstruct y))
+
+let test_radix_compose_perm () =
+  for_all_kinds (fun ctx ->
+      let x = [| 3; 1; 2; 0 |] in
+      let (_, _), sigma =
+        Radix_compose.sort_with_perm ctx ~bits:2 (Mpc.share_b ctx x) []
+      in
+      let s = Share.reconstruct sigma in
+      Alcotest.(check bool) "perm" true (Orq_shuffle.Localperm.is_permutation s);
+      Alcotest.(check vec) "perm sorts input" (sorted_asc x)
+        (Orq_shuffle.Localperm.apply x s))
+
+let test_hybrid_fewer_rounds () =
+  (* the paper's Appendix B.3 claim: the hybrid saves rounds vs compose *)
+  List.iter
+    (fun k ->
+      let run f =
+        let ctx = Ctx.create ~seed:23 k in
+        let x = Mpc.share_b ctx (Array.init 32 (fun i -> (i * 37) land 255)) in
+        let before = Orq_net.Comm.snapshot ctx.Ctx.comm in
+        f ctx x;
+        (Orq_net.Comm.since ctx.Ctx.comm before).Orq_net.Comm.t_rounds
+      in
+      let hybrid = run (fun ctx x -> ignore (Radixsort.sort ctx ~bits:8 x [])) in
+      let compose =
+        run (fun ctx x -> ignore (Radix_compose.sort ctx ~bits:8 x []))
+      in
+      Alcotest.(check bool)
+        (Ctx.kind_label k ^ " hybrid fewer rounds")
+        true (hybrid < compose))
+    kinds
+
+(* ---------------- quicksort ---------------- *)
+
+let test_quicksort_unique () =
+  for_all_kinds (fun ctx ->
+      let x = [| 42; 17; 99; 3; 55; 21; 0; 63; 8 |] in
+      match
+        Quicksort.sort ctx
+          ~keys:[ { Quicksort.col = Mpc.share_b ctx x; width = 8; dir = Asc } ]
+          []
+      with
+      | [ y ], [] ->
+          Alcotest.(check vec) "sorted" (sorted_asc x) (Share.reconstruct y)
+      | _ -> Alcotest.fail "arity")
+
+let test_quicksort_desc_carry () =
+  for_all_kinds (fun ctx ->
+      let x = [| 4; 9; 1; 6 |] in
+      let tag = [| 40; 90; 10; 60 |] in
+      match
+        Quicksort.sort ctx
+          ~keys:[ { Quicksort.col = Mpc.share_b ctx x; width = 8; dir = Desc } ]
+          [ Mpc.share_b ctx tag ]
+      with
+      | [ y ], [ t ] ->
+          Alcotest.(check vec) "desc keys" [| 9; 6; 4; 1 |]
+            (Share.reconstruct y);
+          Alcotest.(check vec) "carry follows" [| 90; 60; 40; 10 |]
+            (Share.reconstruct t)
+      | _ -> Alcotest.fail "arity")
+
+let test_quicksort_composite () =
+  for_all_kinds (fun ctx ->
+      let k1 = [| 2; 1; 2; 1 |] and k2 = [| 0; 5; 3; 2 |] in
+      match
+        Quicksort.sort ctx
+          ~keys:
+            [
+              { Quicksort.col = Mpc.share_b ctx k1; width = 4; dir = Asc };
+              { Quicksort.col = Mpc.share_b ctx k2; width = 4; dir = Desc };
+            ]
+          []
+      with
+      | [ a; b ], [] ->
+          Alcotest.(check vec) "k1" [| 1; 1; 2; 2 |] (Share.reconstruct a);
+          Alcotest.(check vec) "k2 desc within k1" [| 5; 2; 3; 0 |]
+            (Share.reconstruct b)
+      | _ -> Alcotest.fail "arity")
+
+let qcheck_quicksort =
+  QCheck.Test.make ~name:"quicksort sorts unique keys" ~count:15
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let prg = Prg.create (seed + 71) in
+      let n = 1 + Prg.int_below prg 60 in
+      (* unique keys via a random permutation *)
+      let x =
+        Array.map (fun i -> i * 3) (Orq_shuffle.Localperm.random prg n)
+      in
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:(seed + 5) k in
+          match
+            Quicksort.sort ctx
+              ~keys:
+                [ { Quicksort.col = Mpc.share_b ctx x; width = 16; dir = Asc } ]
+              []
+          with
+          | [ y ], [] -> Share.reconstruct y = sorted_asc x
+          | _ -> false)
+        kinds)
+
+(* ---------------- bitonic ---------------- *)
+
+let test_bitonic () =
+  for_all_kinds (fun ctx ->
+      let x = [| 7; 7; 2; 9; 0; 2; 5; 1 |] in
+      match
+        Bitonic.sort ctx
+          ~keys:[ { Bitonic.col = Mpc.share_b ctx x; width = 4; dir = Asc } ]
+          []
+      with
+      | [ y ], [] ->
+          Alcotest.(check vec) "bitonic sorts with duplicates" (sorted_asc x)
+            (Share.reconstruct y)
+      | _ -> Alcotest.fail "arity")
+
+let qcheck_bitonic =
+  QCheck.Test.make ~name:"bitonic sorts" ~count:10
+    QCheck.(list_of_size (Gen.return 16) (int_bound 31))
+    (fun xl ->
+      let x = Array.of_list xl in
+      List.for_all
+        (fun k ->
+          let ctx = Ctx.create ~seed:29 k in
+          match
+            Bitonic.sort ctx
+              ~keys:[ { Bitonic.col = Mpc.share_b ctx x; width = 5; dir = Asc } ]
+              []
+          with
+          | [ y ], [] -> Share.reconstruct y = sorted_asc x
+          | _ -> false)
+        kinds)
+
+(* ---------------- wrapper ---------------- *)
+
+let check_wrapper ctx algo dir x =
+  let expected =
+    match dir with Sortwrap.Asc -> sorted_asc x | Sortwrap.Desc -> sorted_desc x
+  in
+  let key = Mpc.share_b ctx x in
+  let tag = Mpc.share_b ctx (Array.mapi (fun i _ -> 100 + i) x) in
+  let key', carry', sigma =
+    Sortwrap.sort_with_perm ctx ~algo ~dir ~w:8 key [ tag ]
+  in
+  Alcotest.(check vec) "wrapper sorts" expected (Share.reconstruct key');
+  (* sigma must send the original rows to their sorted positions *)
+  let s = Share.reconstruct sigma in
+  Alcotest.(check bool) "sigma is a permutation" true
+    (Orq_shuffle.Localperm.is_permutation s);
+  Alcotest.(check vec) "sigma sorts the input" expected
+    (Orq_shuffle.Localperm.apply x s);
+  (* carried column moved under the same permutation *)
+  match carry' with
+  | [ t ] ->
+      let tags = Share.reconstruct t in
+      Alcotest.(check vec) "carry consistent"
+        (Orq_shuffle.Localperm.apply (Array.mapi (fun i _ -> 100 + i) x) s)
+        tags
+  | _ -> Alcotest.fail "arity"
+
+let test_wrapper_all () =
+  for_all_kinds (fun ctx ->
+      let x = [| 12; 3; 200; 3; 77; 0; 12; 150 |] in
+      check_wrapper ctx Sortwrap.Radixsort Sortwrap.Asc x;
+      check_wrapper ctx Sortwrap.Radixsort Sortwrap.Desc x;
+      check_wrapper ctx Sortwrap.Quicksort Sortwrap.Asc x;
+      check_wrapper ctx Sortwrap.Quicksort Sortwrap.Desc x)
+
+let test_wrapper_stability () =
+  (* equal keys keep their original order for both algorithms *)
+  for_all_kinds (fun ctx ->
+      List.iter
+        (fun algo ->
+          let x = [| 1; 0; 1; 0; 1 |] in
+          let pos = [| 0; 1; 2; 3; 4 |] in
+          let _, carry', _ =
+            Sortwrap.sort_with_perm ctx ~algo ~dir:Sortwrap.Asc ~w:2
+              (Mpc.share_b ctx x)
+              [ Mpc.share_b ctx pos ]
+          in
+          match carry' with
+          | [ c ] ->
+              Alcotest.(check vec) "stable" [| 1; 3; 0; 2; 4 |]
+                (Share.reconstruct c)
+          | _ -> Alcotest.fail "arity")
+        [ Sortwrap.Radixsort; Sortwrap.Quicksort ])
+
+let test_triple_budget () =
+  (* Appendix B.4: the 2 n lg n budget exceeds the expectation by at least
+     43% for n >= 1300, with overflow probability below 2^-10 *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "budget > expectation at n=%d" n)
+        true
+        (float_of_int (Triple_budget.comparison_budget n)
+        > Triple_budget.expected_comparisons n))
+    [ 10; 100; 1300; 100_000 ];
+  Alcotest.(check bool) "epsilon >= 0.43 at n=1300" true
+    (Triple_budget.epsilon 1300 >= 0.43);
+  Alcotest.(check bool) "overflow prob < 2^-10 at n=10000" true
+    (Triple_budget.overflow_probability_bound 10_000 < 1. /. 1024.);
+  Alcotest.(check bool) "small-n additive buffer" true
+    (Triple_budget.comparison_budget 100 > 10_000);
+  Alcotest.(check bool) "per-sort triples scale with width" true
+    (Triple_budget.triples_for_sort ~n:1000 ~w:64 ~perm_bits:32
+    > Triple_budget.triples_for_sort ~n:1000 ~w:32 ~perm_bits:32)
+
+let test_default_algo () =
+  Alcotest.(check bool) "narrow keys use radixsort" true
+    (Sortwrap.default_algo_for_width 32 = Sortwrap.Radixsort);
+  Alcotest.(check bool) "wide keys use quicksort" true
+    (Sortwrap.default_algo_for_width 64 = Sortwrap.Quicksort)
+
+let suite =
+  [
+    Alcotest.test_case "genBitPerm destinations" `Quick test_genbitperm;
+    QCheck_alcotest.to_alcotest qcheck_genbitperm;
+    Alcotest.test_case "radixsort basic" `Quick test_radix_basic;
+    Alcotest.test_case "radixsort descending" `Quick test_radix_desc;
+    Alcotest.test_case "radixsort carry + stability" `Quick
+      test_radix_carry_and_stability;
+    Alcotest.test_case "radixsort skip bits" `Quick test_radix_skip;
+    QCheck_alcotest.to_alcotest qcheck_radix;
+    Alcotest.test_case "compose radixsort sorts" `Quick
+      test_radix_compose_matches;
+    Alcotest.test_case "compose radixsort perm" `Quick test_radix_compose_perm;
+    Alcotest.test_case "hybrid beats compose on rounds" `Quick
+      test_hybrid_fewer_rounds;
+    Alcotest.test_case "quicksort unique keys" `Quick test_quicksort_unique;
+    Alcotest.test_case "quicksort desc + carry" `Quick test_quicksort_desc_carry;
+    Alcotest.test_case "quicksort composite keys" `Quick test_quicksort_composite;
+    QCheck_alcotest.to_alcotest qcheck_quicksort;
+    Alcotest.test_case "bitonic with duplicates" `Quick test_bitonic;
+    QCheck_alcotest.to_alcotest qcheck_bitonic;
+    Alcotest.test_case "wrapper: all algos and directions" `Quick
+      test_wrapper_all;
+    Alcotest.test_case "wrapper: stability" `Quick test_wrapper_stability;
+    Alcotest.test_case "quicksort triple budget (B.4)" `Quick
+      test_triple_budget;
+    Alcotest.test_case "default algorithm choice" `Quick test_default_algo;
+  ]
+
+let () = Alcotest.run "orq_sort" [ ("sort", suite) ]

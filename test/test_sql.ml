@@ -1,0 +1,148 @@
+(* Tests for the SQL front-end: lexing/parsing, lowering to logical plans,
+   execution against the plaintext reference, aggregates, joins (incl.
+   the automatic many-to-many rewrite reached from SQL), ORDER BY/LIMIT,
+   and parse-error reporting. *)
+
+open Orq_proto
+open Orq_core
+open Orq_planner
+
+let rows_t = Alcotest.(list (list int))
+let hm () = Ctx.create ~seed:71 Ctx.Sh_hm
+
+let catalog ctx : Sql.catalog =
+  let customers =
+    Table.create ctx "customers"
+      [ ("cust", 8, [| 1; 2; 3; 4 |]); ("seg", 4, [| 1; 2; 1; 2 |]) ]
+  in
+  let orders =
+    Table.create ctx "orders"
+      [
+        ("cust", 8, [| 2; 1; 2; 3; 2; 9 |]);
+        ("oid", 8, [| 1; 2; 3; 4; 5; 6 |]);
+        ("price", 10, [| 10; 20; 30; 40; 50; 60 |]);
+        ("disc", 7, [| 0; 50; 10; 25; 0; 0 |]);
+      ]
+  in
+  let visits_a = Table.create ctx "va" [ ("pid", 4, [| 1; 1; 2 |]) ] in
+  let visits_b =
+    Table.create ctx "vb" [ ("pid", 4, [| 1; 2; 2 |]); ("cost", 8, [| 5; 7; 9 |]) ]
+  in
+  fun name ->
+    match name with
+    | "customers" -> (customers, [ [ "cust" ] ])
+    | "orders" -> (orders, [ [ "oid" ] ])
+    | "va" -> (visits_a, [])
+    | "vb" -> (visits_b, [])
+    | _ -> raise Not_found
+
+let run sql =
+  let ctx = hm () in
+  let t, cols, fb = Sql.run (catalog ctx) sql in
+  (Table.valid_rows_sorted t cols, fb)
+
+let test_select_where () =
+  let rows, fb = run "SELECT oid, price FROM orders WHERE price >= 30 AND disc < 25" in
+  Alcotest.(check int) "no fallback" 0 fb;
+  Alcotest.(check rows_t) "filtered rows" [ [ 3; 30 ]; [ 5; 50 ]; [ 6; 60 ] ] rows
+
+let test_derived_column () =
+  let rows, _ =
+    run "SELECT oid, price * (100 - disc) / 100 AS net FROM orders WHERE disc > 0"
+  in
+  Alcotest.(check rows_t) "net prices" [ [ 2; 10 ]; [ 3; 27 ]; [ 4; 30 ] ] rows
+
+let test_join_group () =
+  let rows, fb =
+    run
+      "SELECT cust, SUM(price) AS total, COUNT(*) AS n FROM customers JOIN \
+       orders USING (cust) WHERE seg = 2 GROUP BY cust"
+  in
+  Alcotest.(check int) "no fallback" 0 fb;
+  Alcotest.(check rows_t) "per-customer totals" [ [ 2; 90; 3 ] ] rows
+
+let test_join_on_syntax () =
+  let rows, _ =
+    run "SELECT cust, oid FROM customers JOIN orders ON cust = cust WHERE seg = 1"
+  in
+  Alcotest.(check rows_t) "ON join" [ [ 1; 2 ]; [ 3; 4 ] ] rows
+
+let test_order_limit () =
+  let ctx = hm () in
+  let t, _, _ =
+    Sql.run (catalog ctx)
+      "SELECT oid, price FROM orders ORDER BY price DESC LIMIT 2"
+  in
+  let cols, _ = Table.peek t in
+  Alcotest.(check (array int)) "top-2 by price" [| 60; 50 |]
+    (List.assoc "price" cols)
+
+let test_min_max_avg () =
+  let rows, _ =
+    run
+      "SELECT seg, MIN(price) AS lo, MAX(price) AS hi, AVG(price) AS mean \
+       FROM customers JOIN orders USING (cust) GROUP BY seg"
+  in
+  (* seg 1: cust 1,3 -> prices 20,40 ; seg 2: cust 2 -> 10,30,50 *)
+  Alcotest.(check rows_t) "min/max/avg"
+    [ [ 1; 20; 40; 30 ]; [ 2; 10; 50; 30 ] ]
+    rows
+
+let test_many_to_many_from_sql () =
+  (* duplicates on both sides: the planner must auto pre-aggregate *)
+  let rows, fb =
+    run "SELECT pid, SUM(cost) AS s FROM va JOIN vb USING (pid) GROUP BY pid"
+  in
+  Alcotest.(check int) "rewritten, no quadratic fallback" 0 fb;
+  (* pid 1: 2 left rows x cost 5 = 10; pid 2: 1 x (7 + 9) = 16 *)
+  Alcotest.(check rows_t) "m2m sum via SQL" [ [ 1; 10 ]; [ 2; 16 ] ] rows
+
+let test_parse_errors () =
+  let expect_err sql =
+    match run sql with
+    | exception Sql.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" sql
+  in
+  expect_err "SELECT";
+  expect_err "SELECT x FROM";
+  expect_err "SELECT x FROM t LIMIT 3";
+  expect_err "SELECT SUM(x) AS s FROM orders";
+  expect_err "SELECT x FROM orders WHERE price !";
+  expect_err "SELECT cust FROM customers JOIN orders ON cust = oid"
+
+let test_vs_plaintext () =
+  (* cross-check the SQL path against the plaintext engine *)
+  let module P = Orq_plaintext.Ptable in
+  let rows, _ =
+    run
+      "SELECT seg, SUM(price) AS total FROM customers JOIN orders USING \
+       (cust) WHERE price < 50 GROUP BY seg"
+  in
+  let pc = P.of_cols [ ("cust", [| 1; 2; 3; 4 |]); ("seg", [| 1; 2; 1; 2 |]) ] in
+  let po =
+    P.of_cols
+      [
+        ("cust", [| 2; 1; 2; 3; 2; 9 |]);
+        ("oid", [| 1; 2; 3; 4; 5; 6 |]);
+        ("price", [| 10; 20; 30; 40; 50; 60 |]);
+      ]
+  in
+  let j = P.inner_join pc po ~on:[ "cust" ] in
+  let j = P.filter j (fun g r -> g "price" r < 50) in
+  let g = P.group_by j ~keys:[ "seg" ] ~aggs:[ { P.src = "price"; dst = "total"; fn = P.Sum } ] in
+  Alcotest.(check rows_t) "sql = plaintext" (P.rows_sorted g [ "seg"; "total" ]) rows
+
+let suite =
+  [
+    Alcotest.test_case "select + where" `Quick test_select_where;
+    Alcotest.test_case "derived columns (AS)" `Quick test_derived_column;
+    Alcotest.test_case "join + group by" `Quick test_join_group;
+    Alcotest.test_case "ON join syntax" `Quick test_join_on_syntax;
+    Alcotest.test_case "order by + limit" `Quick test_order_limit;
+    Alcotest.test_case "min/max/avg" `Quick test_min_max_avg;
+    Alcotest.test_case "many-to-many via SQL" `Quick test_many_to_many_from_sql;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "sql vs plaintext" `Quick test_vs_plaintext;
+  ]
+
+let () = Alcotest.run "orq_sql" [ ("sql", suite) ]
