@@ -1,0 +1,22 @@
+# Convenience wrapper; everything below is plain dune.
+
+.PHONY: check build test kernels-smoke bench clean
+
+check: build test kernels-smoke
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Quick micro-kernel benchmark at 2 domains: exercises the pool dispatch
+# path end to end and refreshes BENCH_kernels.json (quick sizes, ~10s).
+kernels-smoke:
+	ORQ_KERNELS_QUICK=1 dune exec bench/main.exe -- micro-kernels --domains 2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

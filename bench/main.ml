@@ -7,13 +7,16 @@
       dune exec bench/main.exe -- fig4         # one experiment
       dune exec bench/main.exe -- fig4 --sf 0.002 --n 2000   # bigger
     Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-                 table1 table2 table7 ablation micro
+                 table1 table2 table7 ablation micro micro-kernels
     Flags: --sf F (TPC-H scale), --n N (other datasets),
-           --domains D (data-parallel local loops, §4) *)
+           --domains D (data-parallel local loops, §4; also honors the
+           ORQ_DOMAINS env var — the flag wins). micro-kernels runs only
+           when named explicitly and writes BENCH_kernels.json. *)
 
 let experiments =
   [ "all"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-    "fig12"; "table1"; "table2"; "table7"; "ablation"; "micro" ]
+    "fig12"; "table1"; "table2"; "table7"; "ablation"; "micro";
+    "micro-kernels" ]
 
 let usage () =
   Printf.printf "usage: main.exe [%s] [--sf F] [--n N]\n"
@@ -21,6 +24,7 @@ let usage () =
   exit 1
 
 let () =
+  Orq_util.Parallel.init_from_env ();
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse (cmds, sf, nn) = function
     | [] -> (cmds, sf, nn)
@@ -58,5 +62,8 @@ let () =
   if has "fig12" then Fig_queries.fig12 ~sf ();
   if has "ablation" then Ablation.all ~n:512 ();
   if has "micro" then Micro.run ();
+  (* explicit-only: the domain sweep over 1M-element vectors is not part of
+     the quick "all" pass *)
+  if List.mem "micro-kernels" cmds then Kernels.run ();
   Printf.printf "\ntotal bench wall time: %.1fs\n"
     (Unix.gettimeofday () -. t0)

@@ -236,12 +236,26 @@ let validate_t =
     value & flag
     & info [ "validate" ] ~doc:"Check the result against the plaintext engine.")
 
+let domains_t =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Data-parallel domains for local vector work (default: the \
+           ORQ_DOMAINS environment variable, else 1).")
+
+let run_with_domains domains list_only query sql proto sf n profile validate =
+  if domains > 0 then Orq_util.Parallel.set_num_domains domains;
+  run list_only query sql proto sf n profile validate
+
 let cmd =
   let doc = "run ORQ oblivious relational queries under MPC" in
   Cmd.v
     (Cmd.info "orq_cli" ~doc)
     Term.(
-      const run $ list_t $ query_t $ sql_t $ proto_t $ sf_t $ n_t
-      $ profile_t $ validate_t)
+      const run_with_domains $ domains_t $ list_t $ query_t $ sql_t $ proto_t
+      $ sf_t $ n_t $ profile_t $ validate_t)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Orq_util.Parallel.init_from_env ();
+  exit (Cmd.eval' cmd)

@@ -95,6 +95,13 @@ let rshift a k =
 (** Bitwise NOT over the full word (circuits mask to their logical width). *)
 let bnot a = xor_pub a Ring.ones
 
+(** Isolate bit [k] of each element into the LSB — the fused form of
+    [and_mask (rshift a k) 1], one pass per share vector (linear over
+    GF(2): both shift and mask are). Radixsort's bit extraction. *)
+let extract_bit a k =
+  Share.check_enc Bool a;
+  Share.map_vectors (fun vk -> Vec.bit_extract vk k) a
+
 (** Replicate the LSB of each element across the whole word — a linear
     operation per share vector (each output bit equals the input LSB), used
     to turn a single-bit condition into a mux mask. *)
@@ -134,65 +141,83 @@ let open_ ?width (ctx : Ctx.t) (s : shared) : Vec.t =
 
 (* Zero sharing: alpha_k = r_k (-|xor) r_{k+1 mod nvec}, so the alphas sum
    (or xor) to zero. In the real protocols these come from pairwise PRG
-   seeds; the lockstep simulation draws them from the session PRG. *)
+   seeds; the lockstep simulation draws them from the session PRG — in the
+   same order as before the in-place rewrite, so PRG streams are unchanged.
+   The combination is computed in place over the PRG vectors (plus one
+   saved copy of r_0 for the wrap-around term): nvec + 1 allocations
+   instead of 2·nvec. *)
 let zero_sharing (ctx : Ctx.t) (enc : Share.enc) n =
   let r = Array.init ctx.nvec (fun _ -> Prg.words ctx.prg n) in
-  Array.init ctx.nvec (fun k ->
-      let r' = r.((k + 1) mod ctx.nvec) in
-      match enc with
-      | Arith -> Vec.sub r.(k) r'
-      | Bool -> Vec.xor r.(k) r')
+  let r0 = Vec.copy r.(0) in
+  for k = 0 to ctx.nvec - 1 do
+    let r' = if k = ctx.nvec - 1 then r0 else r.(k + 1) in
+    match enc with
+    | Arith -> Vec.sub_into r.(k) r'
+    | Bool -> Vec.xor_into r.(k) r'
+  done;
+  r
+
+(* Opened difference d = x - t (Arith) or x ⊕ t (Bool) without
+   materializing the intermediate sharing — in Beaver the masked
+   difference is only ever reconstructed, so fold the per-vector
+   differences straight into the opened accumulator: one allocation
+   instead of nvec + 1. *)
+let open_diff (enc : Share.enc) (x : shared) (t : shared) : Vec.t =
+  let n = Share.length x in
+  let out = Vec.zeros n in
+  for k = 0 to Array.length x.Share.v - 1 do
+    match enc with
+    | Arith -> Vec.sub_acc_into out x.Share.v.(k) t.Share.v.(k)
+    | Bool -> Vec.xor_acc_into out x.Share.v.(k) t.Share.v.(k)
+  done;
+  out
 
 (* 2PC Beaver multiplication: open d = x - a and e = y - b (one batched
    round), then z = c + d*b + e*a + d*e with the public d*e folded into one
-   share vector. The boolean case is identical over GF(2). *)
+   share vector. The boolean case is identical over GF(2). Recombination is
+   the fused one-pass {!Vec.beaver_arith}/{!Vec.beaver_bool} kernel: the
+   whole multiplication allocates d, e and the nvec result vectors. *)
 let beaver_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
   let n = Share.length x in
   let { Dealer.ta; tb; tc } = Dealer.beaver ctx enc n in
-  let combine, distribute =
-    match (enc : Share.enc) with
-    | Arith -> (Vec.sub, Vec.mul)
-    | Bool -> (Vec.xor, Vec.band)
-  in
-  let acc =
-    match (enc : Share.enc) with Arith -> Vec.add | Bool -> Vec.xor
-  in
-  let d_sh = Share.map2_vectors combine x ta in
-  let e_sh = Share.map2_vectors combine y tb in
   (* both openings batched: one round, each party sends both its shares *)
   Comm.round ctx.comm ~bits:(2 * 2 * w * n) ~messages:2;
-  let d = Share.reconstruct d_sh and e = Share.reconstruct e_sh in
+  let d = open_diff enc x ta and e = open_diff enc y tb in
   let v =
     Array.init ctx.nvec (fun k ->
-        let open_terms =
-          acc (distribute d tb.Share.v.(k)) (distribute e ta.Share.v.(k))
-        in
-        let base = acc tc.Share.v.(k) open_terms in
-        if k = 0 then acc base (distribute d e) else base)
+        let with_de = k = 0 in
+        match (enc : Share.enc) with
+        | Arith ->
+            Vec.beaver_arith ~tc:tc.Share.v.(k) ~d ~tb:tb.Share.v.(k) ~e
+              ~ta:ta.Share.v.(k) ~with_de
+        | Bool ->
+            Vec.beaver_bool ~tc:tc.Share.v.(k) ~d ~tb:tb.Share.v.(k) ~e
+              ~ta:ta.Share.v.(k) ~with_de)
   in
   { Share.enc; v }
 
 (* 3PC replicated multiplication (Araki et al.): party i computes
    z_i = x_i y_i + x_i y_{i+1} + x_{i+1} y_i + alpha_i and sends it to its
-   neighbour to restore replication: one round, one ring element per party. *)
+   neighbour to restore replication: one round, one ring element per party.
+   The cross terms are accumulated directly into the (freshly generated)
+   alpha vectors by the fused {!Vec.rep3_arith_into} kernel — no
+   per-term intermediates. *)
 let rep3_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
   let n = Share.length x in
   let alpha = zero_sharing ctx enc n in
   let xv = x.Share.v and yv = y.Share.v in
-  let term, acc =
+  for i = 0 to 2 do
+    let j = (i + 1) mod 3 in
     match (enc : Share.enc) with
-    | Arith -> (Vec.mul, Vec.add)
-    | Bool -> (Vec.band, Vec.xor)
-  in
-  let v =
-    Array.init 3 (fun i ->
-        let j = (i + 1) mod 3 in
-        let t = acc (term xv.(i) yv.(i)) (term xv.(i) yv.(j)) in
-        let t = acc t (term xv.(j) yv.(i)) in
-        acc t alpha.(i))
-  in
+    | Arith ->
+        Vec.rep3_arith_into alpha.(i) ~xi:xv.(i) ~yi:yv.(i) ~xj:xv.(j)
+          ~yj:yv.(j)
+    | Bool ->
+        Vec.rep3_bool_into alpha.(i) ~xi:xv.(i) ~yi:yv.(i) ~xj:xv.(j)
+          ~yj:yv.(j)
+  done;
   Comm.round ctx.comm ~bits:(3 * w * n) ~messages:3;
-  { Share.enc; v }
+  { Share.enc; v = alpha }
 
 (* 4PC Fantastic-Four-style multiplication. Each cross term x_i y_j is
    computable by the >= 2 parties holding both shares; the lowest-index
@@ -204,17 +229,10 @@ let rep3_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
 let rep4_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
   let n = Share.length x in
   let xv = x.Share.v and yv = y.Share.v in
-  let term, acc =
-    match (enc : Share.enc) with
-    | Arith -> (Vec.mul, Vec.add)
-    | Bool -> (Vec.band, Vec.xor)
-  in
-  let contrib = Array.init 4 (fun _ -> Vec.zeros n) in
-  let acc_into dst t =
-    match (enc : Share.enc) with
-    | Arith -> Vec.add_into dst t
-    | Bool -> Vec.xor_into dst t
-  in
+  (* contributions accumulate straight into the fresh alpha vectors via the
+     fused multiply-accumulate kernels: zero-sharing noise plus cross terms
+     in nvec + 1 allocations total, no per-term intermediates *)
+  let alpha = zero_sharing ctx enc n in
   for i = 0 to 3 do
     for j = 0 to 3 do
       (* parties eligible for term (i, j): those holding x_i and y_j,
@@ -224,21 +242,20 @@ let rep4_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
       in
       match eligible with
       | assignee :: verifier :: _ ->
-          let t = term xv.(i) yv.(j) in
           let delta = Ctx.tamper_delta ctx ~party:assignee ~op:"mul" in
           if delta <> 0 then
             (* the verifier recomputes the same term from its own copies of
                x_i and y_j; any additive corruption mismatches *)
             raise (Ctx.Abort "mul: cross-term verification failed");
           ignore verifier;
-          acc_into contrib.(assignee) t
+          (match (enc : Share.enc) with
+          | Arith -> Vec.mul_add_into alpha.(assignee) xv.(i) yv.(j)
+          | Bool -> Vec.xor_band_into alpha.(assignee) xv.(i) yv.(j))
       | _ -> assert false
     done
   done;
-  let alpha = zero_sharing ctx enc n in
-  let v = Array.init 4 (fun k -> acc contrib.(k) alpha.(k)) in
   Comm.round ctx.comm ~bits:(4 * 3 * w * n) ~messages:12;
-  { Share.enc; v }
+  { Share.enc; v = alpha }
 
 (** Secure elementwise multiplication of arithmetic shares. *)
 let mul ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
@@ -262,8 +279,11 @@ let band ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
   | Sh_hm -> rep3_mul ctx Bool w x y
   | Mal_hm -> rep4_mul ctx Bool w x y
 
-(** OR via De Morgan / inclusion–exclusion: x ∨ y = x ⊕ y ⊕ (x ∧ y). *)
-let bor ?width ctx x y = xor (xor x y) (band ?width ctx x y)
+(** OR via De Morgan / inclusion–exclusion: x ∨ y = x ⊕ y ⊕ (x ∧ y); the
+    two local xors are fused into one {!Vec.xor3} pass per share vector. *)
+let bor ?width ctx x y =
+  let z = band ?width ctx x y in
+  Share.map3_vectors Vec.xor3 x y z
 
 (* ------------------------------------------------------------------ *)
 (* Resharing (used by the shuffle stack)                               *)
@@ -271,17 +291,17 @@ let bor ?width ctx x y = xor (xor x y) (band ?width ctx x y)
 
 (** Rerandomize a sharing without changing the secret; traffic is metered by
     the caller (the shuffle protocols account whole-protocol totals per the
-    paper's Table 1). *)
+    paper's Table 1). The input's share vectors are folded into the fresh
+    zero-sharing vectors in place, so no further allocation happens. *)
 let reshare_unmetered (ctx : Ctx.t) (s : shared) : shared =
   let n = Share.length s in
   let alpha = zero_sharing ctx s.Share.enc n in
-  let v =
-    Array.init ctx.nvec (fun k ->
-        match s.Share.enc with
-        | Arith -> Vec.add s.Share.v.(k) alpha.(k)
-        | Bool -> Vec.xor s.Share.v.(k) alpha.(k))
-  in
-  { s with Share.v = v }
+  for k = 0 to ctx.nvec - 1 do
+    match s.Share.enc with
+    | Arith -> Vec.add_into alpha.(k) s.Share.v.(k)
+    | Bool -> Vec.xor_into alpha.(k) s.Share.v.(k)
+  done;
+  { s with Share.v = alpha }
 
 (* ------------------------------------------------------------------ *)
 (* Reductions                                                          *)

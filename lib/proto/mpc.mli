@@ -51,6 +51,11 @@ val rshift : shared -> int -> shared
 val bnot : shared -> shared
 (** Bitwise NOT over the full word (circuits mask to their width). *)
 
+val extract_bit : shared -> int -> shared
+(** Isolate bit [k] of each element into the LSB — fused
+    [and_mask (rshift a k) 1] in one pass per share vector (linear over
+    GF(2)). *)
+
 val extend_bit : shared -> shared
 (** Replicate each element's LSB across the whole word — linear per share
     vector; turns a single-bit condition into a mux mask. *)

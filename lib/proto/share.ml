@@ -95,6 +95,11 @@ let map2_vectors f a b =
   check_same_len a b;
   { enc = a.enc; v = Array.init (nvec a) (fun k -> f a.v.(k) b.v.(k)) }
 
+let map3_vectors f a b c =
+  check_same_len a b;
+  check_same_len a c;
+  { enc = a.enc; v = Array.init (nvec a) (fun k -> f a.v.(k) b.v.(k) c.v.(k)) }
+
 let copy s = map_vectors Vec.copy s
 
 (** Concatenate two shared vectors of the same encoding (used to batch

@@ -41,6 +41,12 @@ val map2_vectors :
   (Orq_util.Vec.t -> Orq_util.Vec.t -> Orq_util.Vec.t) ->
   shared -> shared -> shared
 
+val map3_vectors :
+  (Orq_util.Vec.t -> Orq_util.Vec.t -> Orq_util.Vec.t -> Orq_util.Vec.t) ->
+  shared -> shared -> shared -> shared
+(** Combine three sharings per share vector — used to drive fused kernels
+    such as {!Orq_util.Vec.xor3} and {!Orq_util.Vec.add_sub}. *)
+
 val copy : shared -> shared
 
 val append : shared -> shared -> shared

@@ -28,18 +28,21 @@ let apply (x : Vec.t) (p : int array) : Vec.t = Parallel.apply_perm x p
 (** [apply_inverse x p] undoes {!apply}: result.(i) = x.(p.(i)). *)
 let apply_inverse (x : Vec.t) (p : int array) : Vec.t = Vec.gather x p
 
-(** [invert p]: the permutation q with q.(p.(i)) = i. *)
+(** [invert p]: the permutation q with q.(p.(i)) = i. Parallel: inversion
+    writes every output slot exactly once, so spans get full write access
+    like {!apply}. *)
 let invert (p : int array) =
   let n = Array.length p in
   let q = Array.make n 0 in
-  for i = 0 to n - 1 do
-    q.(p.(i)) <- i
-  done;
+  Parallel.run_spans n (fun pos len ->
+      for i = pos to pos + len - 1 do
+        q.(p.(i)) <- i
+      done);
   q
 
 (** [compose pi rho] is pi ∘ rho (apply rho first): (pi ∘ rho).(i) =
-    pi.(rho.(i)). *)
-let compose (pi : int array) (rho : int array) = Array.map (fun j -> pi.(j)) rho
+    pi.(rho.(i)) — a gather of [pi] by [rho], parallel over output spans. *)
+let compose (pi : int array) (rho : int array) = Vec.gather pi rho
 
 let is_permutation p =
   let n = Array.length p in

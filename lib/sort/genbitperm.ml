@@ -28,6 +28,7 @@ let gen (ctx : Ctx.t) (bit : Share.shared) : Share.shared =
   let s0 = Mpc.prefix_sum f0 in
   let s1 = Mpc.prefix_sum b_a in
   let z = broadcast_last s0 in
-  let t = Mpc.add z (Mpc.sub s1 s0) in
+  (* destination offset Z + s1 - s0, fused into one pass per share vector *)
+  let t = Share.map3_vectors Orq_util.Vec.add_sub z s1 s0 in
   let prod = Mpc.mul ~width:ctx.perm_bits ctx b_a t in
   Mpc.add_pub (Mpc.add s0 prod) (-1)

@@ -25,7 +25,9 @@ let sort (ctx : Ctx.t) ~bits ?(skip = 0) ?(dir = Asc) (key : Share.shared)
   Share.check_enc Bool key;
   let y = ref key and rest = ref carry in
   for i = skip to skip + bits - 1 do
-    let b = Mpc.and_mask (Mpc.rshift !y i) 1 in
+    (* fused bit extraction: one pass per share vector instead of a shift
+       pass plus a mask pass *)
+    let b = Mpc.extract_bit !y i in
     let b = match dir with Asc -> b | Desc -> Mpc.xor_pub b 1 in
     let sigma = Genbitperm.gen ctx b in
     match Orq_shuffle.Permops.apply_elementwise_table ctx (!y :: !rest) sigma with

@@ -1,0 +1,51 @@
+(** Optional hot-path sanity checks.
+
+    Scatter and permutation application silently corrupt their output (or
+    raise a bare [Invalid_argument] deep inside a protocol) when handed an
+    index vector that is out of range or not a permutation. These validators
+    produce actionable errors instead. They cost O(n) time and a scratch
+    byte per element, so they are off by default and enabled for tests and
+    debugging via {!set_checks} or the [ORQ_DEBUG_CHECKS] environment
+    variable. *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "ORQ_DEBUG_CHECKS" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let set_checks b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(** [validate_indices ~op idx n] checks every index lies in [0, n);
+    duplicates are allowed (gather semantics). *)
+let validate_indices ~op (idx : int array) n =
+  Array.iteri
+    (fun i j ->
+      if j < 0 || j >= n then
+        invalid_arg
+          (Printf.sprintf "%s: index %d at position %d out of range [0,%d)" op
+             j i n))
+    idx
+
+(** [validate_perm ~op p n] checks [p] is a permutation of [0, n): right
+    length, in range, and no destination written twice. *)
+let validate_perm ~op (p : int array) n =
+  if Array.length p <> n then
+    invalid_arg
+      (Printf.sprintf "%s: permutation length %d <> vector length %d" op
+         (Array.length p) n);
+  let seen = Bytes.make (max n 1) '\000' in
+  Array.iteri
+    (fun i j ->
+      if j < 0 || j >= n then
+        invalid_arg
+          (Printf.sprintf "%s: index %d at position %d out of range [0,%d)" op
+             j i n);
+      if Bytes.get seen j <> '\000' then
+        invalid_arg
+          (Printf.sprintf
+             "%s: duplicate destination %d (position %d) — not a permutation"
+             op j i);
+      Bytes.set seen j '\001')
+    p

@@ -1,17 +1,33 @@
-(** Data-parallel execution of local vector work over OCaml 5 domains.
+(** Data-parallel execution of local vector work over a persistent pool of
+    OCaml 5 domains.
 
     ORQ's engine is data-parallel within each computing party (§4): workers
-    operate on disjoint partitions of a vector. We mirror that with a small
-    chunked-parallel layer. The number of domains defaults to 1 so that unit
-    tests are deterministic and cheap; benchmarks enable more via
-    {!set_num_domains}. Only *local* (communication-free) loops go through
-    this module — metering of simulated network traffic stays single-threaded.
-*)
+    operate on disjoint partitions of a vector. We mirror that with a
+    chunked-parallel layer backed by a *persistent* domain pool — workers
+    are spawned once and parked on a condition variable between dispatches,
+    so the per-call overhead is a lock/signal pair rather than a
+    [Domain.spawn]/[join] (hundreds of µs) per operation. The calling
+    domain participates in draining the span queue, so [k] configured
+    domains means [k] lanes of work, not [k + 1].
+
+    The number of domains defaults to 1 so unit tests are deterministic and
+    cheap; benchmarks and the CLI enable more via {!set_num_domains} (or
+    the [ORQ_DOMAINS] environment variable through {!init_from_env}). The
+    minimum per-span element count that justifies a dispatch is
+    configurable with {!set_min_chunk} — the old hardcoded 65536-element
+    cutoff kept every shipped bench size on the sequential path.
+
+    Only *local* (communication-free) loops go through this module: all
+    {!Orq_net.Comm} metering and PRG consumption stays on the calling
+    domain, which is what keeps traffic tallies and protocol randomness
+    byte-identical whatever the domain count (asserted by the
+    metering-invariance tests). *)
 
 let num_domains = ref 1
+let min_chunk = ref 1024
 
-let set_num_domains n = num_domains := max 1 n
-let get_num_domains () = !num_domains
+let set_min_chunk c = min_chunk := max 1 c
+let get_min_chunk () = !min_chunk
 
 (** [chunks n k] splits [0, n) into at most [k] contiguous (pos, len) spans. *)
 let chunks n k =
@@ -22,23 +38,179 @@ let chunks n k =
       let len = base + if i < rem then 1 else 0 in
       (pos, len))
 
-(** [run_spans n f] calls [f pos len] for each chunk of [0, n), in parallel
-    when more than one domain is configured. [f] must only write to disjoint
-    output ranges determined by its span. Domains are spawned per call, so
-    parallelism only pays for itself on large vectors — small inputs stay
-    sequential regardless of the configured domain count. *)
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  m : Mutex.t;
+  ready : Condition.t;  (** work arrived, or shutdown requested *)
+  finished : Condition.t;  (** all spans of the current dispatch completed *)
+  mutable job : int -> int -> unit;
+  mutable queue : (int * int) list;  (** unclaimed spans *)
+  mutable pending : int;  (** spans claimed or queued, not yet completed *)
+  mutable failed : exn option;  (** first exception raised by any span *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let pool : pool option ref = ref None
+
+(* True while a dispatch is in flight. A span function that itself calls
+   back into this module (nested data parallelism) must run sequentially:
+   re-dispatching would clobber the active job. *)
+let busy = Atomic.make false
+
+let record_failure p e =
+  Mutex.lock p.m;
+  if p.failed = None then p.failed <- Some e;
+  Mutex.unlock p.m
+
+let rec worker p =
+  Mutex.lock p.m;
+  while p.queue = [] && not p.stop do
+    Condition.wait p.ready p.m
+  done;
+  match p.queue with
+  | (pos, len) :: rest ->
+      p.queue <- rest;
+      let f = p.job in
+      Mutex.unlock p.m;
+      (try f pos len with e -> record_failure p e);
+      Mutex.lock p.m;
+      p.pending <- p.pending - 1;
+      if p.pending = 0 then Condition.broadcast p.finished;
+      Mutex.unlock p.m;
+      worker p
+  | [] ->
+      (* stop requested and the queue is drained *)
+      Mutex.unlock p.m
+
+let shutdown_pool () =
+  match !pool with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.m;
+      p.stop <- true;
+      Condition.broadcast p.ready;
+      Mutex.unlock p.m;
+      List.iter Domain.join p.workers;
+      pool := None
+
+let exit_hook_registered = ref false
+
+(* The pool holds [num_domains - 1] parked workers; the calling domain is
+   the remaining lane. Created lazily on first parallel dispatch, torn down
+   and respawned when the configured size changes. *)
+let ensure_pool () =
+  match !pool with
+  | Some p when List.length p.workers = !num_domains - 1 -> p
+  | _ ->
+      shutdown_pool ();
+      let p =
+        {
+          m = Mutex.create ();
+          ready = Condition.create ();
+          finished = Condition.create ();
+          job = (fun _ _ -> ());
+          queue = [];
+          pending = 0;
+          failed = None;
+          stop = false;
+          workers = [];
+        }
+      in
+      p.workers <-
+        List.init (!num_domains - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+      pool := Some p;
+      if not !exit_hook_registered then begin
+        exit_hook_registered := true;
+        at_exit shutdown_pool
+      end;
+      p
+
+let set_num_domains n =
+  let n = max 1 n in
+  if n <> !num_domains then begin
+    num_domains := n;
+    (* resize lazily at the next dispatch; tear down eagerly when going
+       sequential so no idle domains outlive their use *)
+    if n = 1 then shutdown_pool ()
+  end
+
+let get_num_domains () = !num_domains
+
+let init_from_env () =
+  (match Sys.getenv_opt "ORQ_DOMAINS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n -> set_num_domains n
+      | None -> ())
+  | None -> ());
+  match Sys.getenv_opt "ORQ_MIN_CHUNK" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some c -> set_min_chunk c
+      | None -> ())
+  | None -> ()
+
+(* Publish spans, drain the queue from the calling domain too, then wait
+   for stragglers. The first exception raised by any span is re-raised
+   here once every span has completed. *)
+let dispatch p spans f =
+  Atomic.set busy true;
+  Mutex.lock p.m;
+  p.job <- f;
+  p.queue <- spans;
+  p.pending <- List.length spans;
+  Condition.broadcast p.ready;
+  let rec drain () =
+    match p.queue with
+    | (pos, len) :: rest ->
+        p.queue <- rest;
+        Mutex.unlock p.m;
+        (try f pos len with e -> record_failure p e);
+        Mutex.lock p.m;
+        p.pending <- p.pending - 1;
+        if p.pending = 0 then Condition.broadcast p.finished;
+        drain ()
+    | [] ->
+        while p.pending > 0 do
+          Condition.wait p.finished p.m
+        done
+  in
+  drain ();
+  let fail = p.failed in
+  p.failed <- None;
+  Mutex.unlock p.m;
+  Atomic.set busy false;
+  match fail with Some e -> raise e | None -> ()
+
+(** [run_spans n f] calls [f pos len] for each chunk of [0, n), on the pool
+    when more than one domain is configured and the spans clear the
+    {!set_min_chunk} threshold. [f] must only write to disjoint output
+    ranges determined by its span. *)
 let run_spans n f =
   let d = !num_domains in
-  if d <= 1 || n < 65536 then f 0 n
-  else
-    match chunks n d with
-    | [] -> ()
-    | (p0, l0) :: rest ->
-        let workers =
-          List.map (fun (pos, len) -> Domain.spawn (fun () -> f pos len)) rest
-        in
-        f p0 l0;
-        List.iter Domain.join workers
+  let k = if n <= 0 then 1 else min d (n / !min_chunk) in
+  if d <= 1 || k <= 1 || Atomic.get busy then f 0 n
+  else dispatch (ensure_pool ()) (chunks n k) f
+
+(** [run_tasks k f] runs the indexed tasks [f 0 .. f (k-1)] on the pool
+    (sequentially when only one domain is configured). Used for blocked
+    algorithms — e.g. the two-pass parallel prefix sum — that need an
+    explicit chunk decomposition shared across phases. *)
+let run_tasks k f =
+  let d = !num_domains in
+  if d <= 1 || k <= 1 || Atomic.get busy then
+    for i = 0 to k - 1 do
+      f i
+    done
+  else dispatch (ensure_pool ()) (List.init k (fun i -> (i, 1))) (fun pos _ -> f pos)
+
+(* ------------------------------------------------------------------ *)
+(* Convenience maps                                                    *)
+(* ------------------------------------------------------------------ *)
 
 (** Parallel elementwise map over an int vector. *)
 let map f (a : int array) =
@@ -66,6 +238,7 @@ let map2 f (a : int array) (b : int array) =
     to the output because a permutation writes every slot exactly once. *)
 let apply_perm (a : int array) (perm : int array) =
   let n = Array.length a in
+  if Debug.enabled () then Debug.validate_perm ~op:"Parallel.apply_perm" perm n;
   let out = Array.make n 0 in
   run_spans n (fun pos len ->
       for i = pos to pos + len - 1 do
