@@ -1,6 +1,10 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test kernels-smoke bench clean
+.PHONY: check build test kernels-smoke bench bench-service serve clean
+
+# Query-service knobs (flags win; see DESIGN.md "Query service")
+ORQ_SOCKET ?= /tmp/orq-service.sock
+ORQ_SF ?= 0.001
 
 check: build test kernels-smoke
 
@@ -17,6 +21,16 @@ kernels-smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Foreground query service on $(ORQ_SOCKET); query it with
+#   dune exec bin/orq_cli.exe -- query --socket $(ORQ_SOCKET) "SELECT ..."
+serve:
+	dune exec bin/orq_cli.exe -- serve --socket $(ORQ_SOCKET) --sf $(ORQ_SF) -v
+
+# Closed-loop service throughput sweep; refreshes BENCH_service.json.
+# ORQ_SERVICE_QUICK=1 shrinks it to a few seconds.
+bench-service:
+	dune exec bench/service.exe
 
 clean:
 	dune clean

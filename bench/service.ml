@@ -1,0 +1,140 @@
+(* Closed-loop throughput benchmark of the query service (DESIGN.md,
+   "Query service"): an in-process server on a Unix-domain socket, [C]
+   client threads each issuing queries back-to-back, measured as
+   queries/sec per (protocol kind, concurrency, cache mode).
+
+   Two cache modes bracket the service:
+     - cache=off: every query runs the full oblivious plan through the
+       single execution worker, so throughput measures the scheduler +
+       engine and does not scale with concurrency (by design — the
+       serialization point later PRs will shard);
+     - cache=on : the steady state of a repeated dashboard workload;
+       responses replay from the plan cache, so throughput measures the
+       wire protocol + session layer and does scale.
+
+   Writes BENCH_service.json. ORQ_SERVICE_QUICK=1 shrinks iteration
+   counts. *)
+
+module Service = Orq_service.Service
+module Client = Orq_service.Client
+
+let quick () =
+  match Sys.getenv_opt "ORQ_SERVICE_QUICK" with
+  | Some ("0" | "") | None -> false
+  | Some _ -> true
+
+let queries =
+  [|
+    "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+     o_orderpriority";
+    "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment";
+    "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey";
+    "SELECT s_nationkey, COUNT(*) AS n FROM supplier GROUP BY s_nationkey";
+  |]
+
+type run = {
+  proto : string;
+  concurrency : int;
+  cached : bool;
+  n_queries : int;
+  wall_s : float;
+  qps : float;
+}
+
+let bench_one ~sf ~proto ~concurrency ~cached ~per_client : run =
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "orq-bench-%d-%d.sock" (Unix.getpid ())
+         (concurrency + if cached then 100 else 0))
+  in
+  let cfg =
+    {
+      (Service.default_config ~socket_path ()) with
+      Service.sf;
+      cache_capacity = (if cached then 64 else 0);
+      max_jobs = (2 * concurrency) + 4;
+    }
+  in
+  let srv = Service.start cfg in
+  Fun.protect ~finally:(fun () -> Service.stop srv) @@ fun () ->
+  let run_client iters =
+    let c = Client.connect socket_path in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (match Client.set_protocol c proto with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    for i = 0 to iters - 1 do
+      match Client.query c queries.(i mod Array.length queries) with
+      | Ok _ -> ()
+      | Error (_, m) -> failwith ("bench query failed: " ^ m)
+    done
+  in
+  (* warm: share the catalog for this protocol (and fill the cache when
+     measuring cache hits) so the measured window is steady-state *)
+  run_client (Array.length queries);
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init concurrency (fun _ -> Thread.create run_client per_client)
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let n_queries = concurrency * per_client in
+  {
+    proto;
+    concurrency;
+    cached;
+    n_queries;
+    wall_s;
+    qps = float_of_int n_queries /. wall_s;
+  }
+
+let () =
+  let sf = 0.001 in
+  let protos = [ "sh-hm"; "sh-dm"; "mal-hm" ] in
+  let concurrencies = [ 1; 2; 4 ] in
+  let per_cached = if quick () then 10 else 50 in
+  let per_cold = if quick () then 2 else 6 in
+  Printf.printf
+    "service throughput benchmark (sf=%g, closed loop, single worker)\n%!" sf;
+  Printf.printf "%-8s %4s %-6s %10s %9s\n%!" "proto" "C" "cache" "queries/s"
+    "wall";
+  let runs =
+    List.concat_map
+      (fun proto ->
+        List.concat_map
+          (fun concurrency ->
+            List.map
+              (fun cached ->
+                let r =
+                  bench_one ~sf ~proto ~concurrency ~cached
+                    ~per_client:(if cached then per_cached else per_cold)
+                in
+                Printf.printf "%-8s %4d %-6s %10.1f %8.2fs\n%!" r.proto
+                  r.concurrency
+                  (if r.cached then "hit" else "cold")
+                  r.qps r.wall_s;
+                r)
+              [ false; true ])
+          concurrencies)
+      protos
+  in
+  let oc = open_out "BENCH_service.json" in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n  \"schema\": \"orq-service-v1\",\n";
+  pf "  \"quick\": %b,\n  \"sf\": %g,\n" (quick ()) sf;
+  pf "  \"note\": \"closed-loop qps over a Unix-domain socket; cold = full \
+      oblivious execution through the single worker (serialized by design), \
+      hit = plan-cache replay (scales with concurrency)\",\n";
+  pf "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "    {\"proto\": %S, \"concurrency\": %d, \"cache\": %b, \
+         \"queries\": %d, \"wall_s\": %.4f, \"qps\": %.2f}%s\n"
+        r.proto r.concurrency r.cached r.n_queries r.wall_s r.qps
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  pf "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json (%d runs)\n" (List.length runs)

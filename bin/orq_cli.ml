@@ -1,18 +1,28 @@
-(* orq_cli — run any registered query of the workload suite under a chosen
-   MPC protocol and deployment profile, print the (opened) result and the
-   protocol costs, and optionally validate against the plaintext engine.
+(* orq_cli — run ORQ oblivious relational queries under MPC.
+
+   Three modes:
+     - the default (also `orq_cli run`): one-shot batch execution of a
+       registered workload query or ad-hoc SQL, as in the paper's §5;
+     - `orq_cli serve`: long-running query service on a Unix-domain
+       socket (framed Wire protocol, session scheduler, plan cache);
+     - `orq_cli query`: client for a running service.
 
    Examples:
      orq_cli --list
      orq_cli -q Q3 -p sh-hm --sf 0.001
      orq_cli -q Comorbidity -p mal-hm -n 1000 --validate
-     orq_cli -q Q21 -p sh-dm --profile wan
      orq_cli --sql "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
-                    GROUP BY o_orderpriority" *)
+                    GROUP BY o_orderpriority"
+     orq_cli serve --socket /tmp/orq.sock --sf 0.001 &
+     orq_cli query --socket /tmp/orq.sock -p sh-hm \
+       "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY o_orderpriority" *)
 
 open Orq_proto
 open Orq_workloads
 module Netsim = Orq_net.Netsim
+module Wire = Orq_net.Wire
+module Service = Orq_service.Service
+module Client = Orq_service.Client
 
 type runnable = {
   r_name : string;
@@ -63,11 +73,10 @@ let runnables : runnable list =
         })
       Secretflow_queries.all
 
-let protocol_of_string = function
-  | "sh-dm" | "2pc" -> Ok Ctx.Sh_dm
-  | "sh-hm" | "3pc" -> Ok Ctx.Sh_hm
-  | "mal-hm" | "4pc" -> Ok Ctx.Mal_hm
-  | s -> Error (`Msg ("unknown protocol " ^ s ^ " (sh-dm|sh-hm|mal-hm)"))
+let protocol_of_string s =
+  match Service.proto_of_label s with
+  | Ok k -> Ok k
+  | Error msg -> Error (`Msg msg)
 
 let profile_of_string = function
   | "lan" -> Ok Netsim.lan
@@ -77,24 +86,11 @@ let profile_of_string = function
 
 (* --sql: run an ad-hoc SQL query against the TPC-H catalog through the
    automatic planner (lib/planner). *)
-let tpch_catalog (db : Tpch_gen.mpc) : Orq_planner.Sql.catalog =
- fun name ->
-  match name with
-  | "region" -> (db.Tpch_gen.m_region, [ [ "r_regionkey" ] ])
-  | "nation" -> (db.Tpch_gen.m_nation, [ [ "n_nationkey" ] ])
-  | "supplier" -> (db.Tpch_gen.m_supplier, [ [ "s_suppkey" ] ])
-  | "customer" -> (db.Tpch_gen.m_customer, [ [ "c_custkey" ] ])
-  | "part" -> (db.Tpch_gen.m_part, [ [ "p_partkey" ] ])
-  | "partsupp" -> (db.Tpch_gen.m_partsupp, [ [ "ps_partkey"; "ps_suppkey" ] ])
-  | "orders" -> (db.Tpch_gen.m_orders, [ [ "o_orderkey" ] ])
-  | "lineitem" -> (db.Tpch_gen.m_lineitem, [])
-  | _ -> raise Not_found
-
 let run_sql sql proto sf profile =
   let ctx = Ctx.create proto in
   let db = Tpch_gen.share ctx (Tpch_gen.generate sf) in
   Printf.printf "planning and running under %s...\n%!" (Ctx.kind_label proto);
-  match Orq_planner.Sql.run (tpch_catalog db) sql with
+  match Orq_planner.Sql.run (Tpch_gen.catalog db) sql with
   | exception Orq_planner.Sql.Parse_error msg ->
       Printf.eprintf "SQL error: %s\n" msg;
       1
@@ -185,6 +181,82 @@ let run list_only query sql proto sf n profile validate =
     | Some sql -> run_sql sql proto sf profile
     | None -> run_registered query proto sf n profile validate
 
+(* ------------------------------------------------------------------ *)
+(* serve / query: the long-running service and its client              *)
+(* ------------------------------------------------------------------ *)
+
+let serve socket sf seed max_jobs max_rows cache_cap verbose =
+  let cfg =
+    {
+      Service.socket_path = socket;
+      sf;
+      seed;
+      max_jobs;
+      max_rows;
+      cache_capacity = cache_cap;
+      verbose;
+      job_hook = None;
+    }
+  in
+  let t = Service.start cfg in
+  Printf.printf
+    "orq service listening on %s (sf=%g, max-jobs=%d, max-rows=%d, \
+     cache=%d)\n\
+     stop with Ctrl-C; query with: orq_cli query --socket %s \"SELECT ...\"\n\
+     %!"
+    socket sf max_jobs max_rows cache_cap socket;
+  Service.wait t;
+  0
+
+let client_query socket proto sql =
+  match Client.connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s (is the server running?)\n"
+        socket (Unix.error_message e);
+      1
+  | c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.set_protocol c proto with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok label -> (
+          match Client.query c sql with
+          | Error (code, msg) ->
+              Printf.eprintf "error (%s): %s\n" (Wire.err_label code) msg;
+              1
+          | Ok r ->
+              let n = List.length r.Wire.r_rows in
+              Printf.printf "result (%d rows%s, under %s%s):\n  %s\n" n
+                (if r.Wire.r_truncated then ", truncated" else "")
+                label
+                (if r.Wire.r_cache_hit then ", plan-cache hit" else "")
+                (String.concat " | " r.Wire.r_cols);
+              List.iteri
+                (fun i row ->
+                  if i < 20 then
+                    Printf.printf "  %s\n"
+                      (String.concat " | " (List.map string_of_int row)))
+                r.Wire.r_rows;
+              if n > 20 then Printf.printf "  ... (%d more)\n" (n - 20);
+              if r.Wire.r_fallbacks > 0 then
+                Printf.printf "note: %d quadratic join fallback(s)\n"
+                  r.Wire.r_fallbacks;
+              Printf.printf
+                "costs: %d online rounds | %.2f MiB online | %.2f MiB \
+                 preprocessing | est. LAN %.3fs | est. WAN %.3fs\n"
+                r.Wire.r_tally.Orq_net.Comm.t_rounds
+                (float_of_int r.Wire.r_tally.Orq_net.Comm.t_bits /. 8.
+                /. 1024. /. 1024.)
+                (float_of_int r.Wire.r_pre.Orq_net.Comm.t_bits /. 8. /. 1024.
+               /. 1024.)
+                r.Wire.r_lan_s r.Wire.r_wan_s;
+              0))
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
 open Cmdliner
 
 let list_t =
@@ -206,10 +278,13 @@ let sql_t =
            automatic planner, e.g. \"SELECT o_orderpriority, COUNT(*) AS n \
            FROM orders GROUP BY o_orderpriority\".")
 
+let proto_conv =
+  Arg.conv (protocol_of_string, fun ppf k -> Fmt.string ppf (Ctx.kind_label k))
+
 let proto_t =
   Arg.(
     value
-    & opt (conv (protocol_of_string, fun ppf k -> Fmt.string ppf (Ctx.kind_label k))) Ctx.Sh_hm
+    & opt proto_conv Ctx.Sh_hm
     & info [ "p"; "protocol" ] ~docv:"PROTO"
         ~doc:"MPC protocol: sh-dm (2PC), sh-hm (3PC) or mal-hm (4PC).")
 
@@ -248,13 +323,94 @@ let run_with_domains domains list_only query sql proto sf n profile validate =
   if domains > 0 then Orq_util.Parallel.set_num_domains domains;
   run list_only query sql proto sf n profile validate
 
+let run_term =
+  Term.(
+    const run_with_domains $ domains_t $ list_t $ query_t $ sql_t $ proto_t
+    $ sf_t $ n_t $ profile_t $ validate_t)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"one-shot batch execution (the default)") run_term
+
+(* serve flags: defaults honor ORQ_SERVICE_MAX_JOBS / ORQ_SERVICE_MAX_ROWS
+   like the ORQ_DOMAINS plumbing above — env sets the default, flag wins. *)
+let service_defaults = Service.default_config ()
+
+let socket_t =
+  Arg.(
+    value
+    & opt string service_defaults.Service.socket_path
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let max_jobs_t =
+    Arg.(
+      value
+      & opt int service_defaults.Service.max_jobs
+      & info [ "max-jobs" ] ~docv:"K"
+          ~doc:
+            "Admission control: maximum in-flight queries (default: the \
+             ORQ_SERVICE_MAX_JOBS environment variable, else 4).")
+  in
+  let max_rows_t =
+    Arg.(
+      value
+      & opt int service_defaults.Service.max_rows
+      & info [ "max-rows" ] ~docv:"R"
+          ~doc:
+            "Truncate responses beyond this many rows (default: the \
+             ORQ_SERVICE_MAX_ROWS environment variable, else 10000).")
+  in
+  let cache_t =
+    Arg.(
+      value
+      & opt int service_defaults.Service.cache_capacity
+      & info [ "cache" ] ~docv:"C"
+          ~doc:"Plan-cache capacity in entries; 0 disables caching.")
+  in
+  let seed_t =
+    Arg.(
+      value
+      & opt int service_defaults.Service.seed
+      & info [ "seed" ] ~docv:"S" ~doc:"Catalog generation seed.")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log sessions to stderr.")
+  in
+  let serve_with_domains domains socket sf seed max_jobs max_rows cache verbose
+      =
+    if domains > 0 then Orq_util.Parallel.set_num_domains domains;
+    serve socket sf seed max_jobs max_rows cache verbose
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"start the oblivious query service on a Unix-domain socket")
+    Term.(
+      const serve_with_domains $ domains_t $ socket_t $ sf_t $ seed_t
+      $ max_jobs_t $ max_rows_t $ cache_t $ verbose_t)
+
+let query_cmd =
+  let sql_pos_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"The SQL query text.")
+  in
+  let proto_label_t =
+    Arg.(
+      value
+      & opt string "sh-hm"
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:"Session protocol: sh-dm, sh-hm or mal-hm.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"send one SQL query to a running service")
+    Term.(const client_query $ socket_t $ proto_label_t $ sql_pos_t)
+
 let cmd =
   let doc = "run ORQ oblivious relational queries under MPC" in
-  Cmd.v
+  Cmd.group ~default:run_term
     (Cmd.info "orq_cli" ~doc)
-    Term.(
-      const run_with_domains $ domains_t $ list_t $ query_t $ sql_t $ proto_t
-      $ sf_t $ n_t $ profile_t $ validate_t)
+    [ run_cmd; serve_cmd; query_cmd ]
 
 let () =
   Orq_util.Parallel.init_from_env ();

@@ -1,0 +1,83 @@
+(** Framed binary wire protocol for the query service (DESIGN.md, "Query
+    service").
+
+    Unlike {!Comm}/{!Netsim}, which *model* MPC traffic analytically, this
+    module moves real bytes over real file descriptors: every message is a
+    length-prefixed frame
+
+    {v [u32 body length | u8 tag | payload] v}
+
+    written to and read from a (Unix-domain) socket. Integers are
+    big-endian; values are 64-bit two's complement; strings and lists are
+    length-prefixed. Frames larger than {!max_frame} are rejected before
+    allocation so a malformed or hostile length prefix cannot OOM the
+    server. *)
+
+exception Wire_error of string
+(** Malformed input: oversized frame, truncated stream mid-frame, unknown
+    tag, or payload that does not decode. Clean EOF at a frame boundary is
+    not an error — the [recv_*] functions return [None] there. *)
+
+val max_frame : int
+(** Maximum accepted frame body size in bytes (16 MiB). *)
+
+(** {2 Messages} *)
+
+type err_code =
+  | Bad_request  (** unparseable SQL, unknown table, bad proto label *)
+  | Busy  (** admission control: the bounded job queue is full *)
+  | Too_large  (** query or result exceeds the configured limits *)
+  | Internal  (** execution failure (including a malicious-protocol abort) *)
+
+val err_label : err_code -> string
+
+type query_result = {
+  r_cols : string list;  (** output column order of the SELECT list *)
+  r_rows : int list list;  (** row-major, canonical (sorted) order *)
+  r_truncated : bool;  (** rows were cut to the server's max-rows limit *)
+  r_fallbacks : int;  (** quadratic oblivious join fallbacks taken *)
+  r_cache_hit : bool;  (** served from the plan cache *)
+  r_tally : Comm.tally;  (** online traffic scoped to this query *)
+  r_pre : Comm.tally;  (** preprocessing traffic scoped to this query *)
+  r_lan_s : float;  (** modeled LAN network time for [r_tally] *)
+  r_wan_s : float;  (** modeled WAN network time for [r_tally] *)
+}
+(** A completed query: the opened result plus its own mini §5 report —
+    scoped communication tallies and modeled LAN/WAN times. *)
+
+type stats = {
+  s_sessions : int;  (** currently connected sessions *)
+  s_jobs : int;  (** queries executed since startup *)
+  s_rejected : int;  (** queries refused by admission control *)
+  s_cache_hits : int;
+  s_cache_misses : int;
+}
+
+type request =
+  | Hello of string  (** set the session protocol: "sh-dm"|"sh-hm"|"mal-hm" *)
+  | Query of string  (** SQL text *)
+  | Ping
+  | Stats_req
+
+type response =
+  | Hello_ok of { session : int; proto : string }
+  | Result of query_result
+  | Error_r of { code : err_code; msg : string }
+  | Pong
+  | Stats_r of stats
+
+(** {2 Framed I/O} *)
+
+val send_request : Unix.file_descr -> request -> unit
+val send_response : Unix.file_descr -> response -> unit
+
+val recv_request : Unix.file_descr -> request option
+(** Read one request frame; [None] on clean EOF before the first header
+    byte. @raise Wire_error on malformed input. *)
+
+val recv_response : Unix.file_descr -> response option
+
+(** {2 Raw framing (tests, fuzzing)} *)
+
+val write_frame : Unix.file_descr -> bytes -> unit
+val read_frame : Unix.file_descr -> bytes option

@@ -293,10 +293,13 @@ let parse_query (cat : catalog) (sql : string) : Plan.node * string list =
   done;
   let items = List.rev !items in
   expect_kw st "FROM";
+  (* Catalogs signal unknown names with [Not_found]; convert here so a
+     bad table name surfaces as a clean [Parse_error] (the query service
+     turns it into an error frame) instead of a raw [Not_found]. *)
   let scan_of name =
     match cat name with
     | t, keys -> Plan.scan ~keys t
-    | exception Not_found -> fail "unknown table %s" name
+    | exception Not_found -> fail "unknown table: %s" name
   in
   let plan = ref (scan_of (ident st)) in
   while accept_kw st "JOIN" do

@@ -1,0 +1,40 @@
+module Wire = Orq_net.Wire
+
+exception Service_error of string
+
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t (req : Wire.request) : Wire.response =
+  Wire.send_request t.fd req;
+  match Wire.recv_response t.fd with
+  | Some r -> r
+  | None -> raise (Service_error "connection closed by server")
+
+let set_protocol t label =
+  match rpc t (Wire.Hello label) with
+  | Wire.Hello_ok { proto; _ } -> Ok proto
+  | Wire.Error_r { msg; _ } -> Error msg
+  | _ -> raise (Service_error "unexpected response to Hello")
+
+let query t sql =
+  match rpc t (Wire.Query sql) with
+  | Wire.Result r -> Ok r
+  | Wire.Error_r { code; msg } -> Error (code, msg)
+  | _ -> raise (Service_error "unexpected response to Query")
+
+let ping t = match rpc t Wire.Ping with Wire.Pong -> true | _ -> false
+
+let stats t =
+  match rpc t Wire.Stats_req with
+  | Wire.Stats_r s -> s
+  | _ -> raise (Service_error "unexpected response to Stats")

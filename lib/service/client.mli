@@ -1,0 +1,22 @@
+(** Blocking client for the query service: one Unix-domain connection,
+    request/response in lockstep over the {!Orq_net.Wire} protocol. *)
+
+exception Service_error of string
+(** Connection closed or an unexpected response arrived. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the service socket at the given path. *)
+
+val close : t -> unit
+
+val set_protocol : t -> string -> (string, string) result
+(** [Hello]: select this session's protocol ("sh-dm"|"sh-hm"|"mal-hm");
+    returns the server's canonical label, or the server's error. *)
+
+val query : t -> string -> (Orq_net.Wire.query_result, Orq_net.Wire.err_code * string) result
+(** Run one SQL query; blocks until the result (or error) frame. *)
+
+val ping : t -> bool
+val stats : t -> Orq_net.Wire.stats

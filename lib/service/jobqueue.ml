@@ -1,0 +1,58 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable running : int;  (** popped but not yet finished *)
+  mutable closed : bool;
+  m : Mutex.t;
+  c : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Jobqueue.create: negative capacity";
+  {
+    capacity;
+    q = Queue.create ();
+    running = 0;
+    closed = false;
+    m = Mutex.create ();
+    c = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.q + t.running >= t.capacity then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.c;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then begin
+          t.running <- t.running + 1;
+          Some (Queue.pop t.q)
+        end
+        else if t.closed then None
+        else begin
+          Condition.wait t.c t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let finish t =
+  with_lock t (fun () ->
+      if t.running > 0 then t.running <- t.running - 1)
+
+let in_flight t = with_lock t (fun () -> Queue.length t.q + t.running)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.c)

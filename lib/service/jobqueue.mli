@@ -1,0 +1,29 @@
+(** Bounded job queue with admission control.
+
+    Capacity bounds the number of *in-flight* jobs — queued plus currently
+    executing — so a server with [capacity = k] never holds more than [k]
+    admitted queries at once. Admission is non-blocking ({!try_push}
+    returns [false] when full: the caller replies "busy" instead of
+    stalling the session); consumption blocks ({!pop} parks the worker
+    until a job or {!close} arrives). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 0]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Admit a job if in-flight < capacity and the queue is open. *)
+
+val pop : 'a t -> 'a option
+(** Block until a job is available ([Some job], now counted as executing)
+    or the queue is closed and drained ([None]). *)
+
+val finish : 'a t -> unit
+(** Mark one executing job as done, freeing its in-flight slot. *)
+
+val in_flight : 'a t -> int
+(** Queued + executing jobs (admission-control view). *)
+
+val close : 'a t -> unit
+(** Reject future pushes; wake blocked consumers once drained. *)

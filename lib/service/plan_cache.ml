@@ -1,0 +1,66 @@
+module Sql = Orq_planner.Sql
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (** insertion order for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  m : Mutex.t;
+}
+
+let create ~capacity =
+  {
+    capacity = max 0 capacity;
+    tbl = Hashtbl.create 64;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    m = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let normalize (sql : string) : string =
+  match Sql.lex sql with
+  | exception Sql.Parse_error _ -> String.trim sql
+  | toks ->
+      toks
+      |> List.filter_map (function
+           | Sql.Ident s -> Some s
+           | Sql.Int i -> Some (string_of_int i)
+           | Sql.Kw k -> Some k
+           | Sql.Sym s -> Some s
+           | Sql.Eof -> None)
+      |> String.concat " "
+
+let key ~proto ~version ~sql =
+  Printf.sprintf "%s|%d|%s" proto version (normalize sql)
+
+let find t ~proto ~version ~sql =
+  let k = key ~proto ~version ~sql in
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t ~proto ~version ~sql v =
+  if t.capacity > 0 then
+    let k = key ~proto ~version ~sql in
+    with_lock t (fun () ->
+        if not (Hashtbl.mem t.tbl k) then begin
+          if Queue.length t.order >= t.capacity then
+            Hashtbl.remove t.tbl (Queue.pop t.order);
+          Hashtbl.replace t.tbl k v;
+          Queue.push k t.order
+        end)
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let length t = with_lock t (fun () -> Hashtbl.length t.tbl)

@@ -1,0 +1,30 @@
+(** Plan/result cache for the query service.
+
+    Keyed by the *normalized* SQL text (token stream re-rendered
+    canonically, so whitespace and keyword case do not fragment the
+    cache), the session's protocol kind, and the server's catalog
+    version. A hit returns exactly the value stored by the cold run —
+    the service stores the full response payload, so a cached reply is
+    byte-identical to the uncached one, tallies included.
+
+    Bounded FIFO eviction; [capacity = 0] disables storage (every lookup
+    is a countable miss). Thread-safe. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val normalize : string -> string
+(** Canonical form of a SQL query: lexed with {!Orq_planner.Sql.lex} and
+    re-rendered one-space-separated with uppercase keywords. Unlexable
+    input normalizes to its trimmed self (it will fail in parsing, and
+    error responses are never cached). *)
+
+val find : 'a t -> proto:string -> version:int -> sql:string -> 'a option
+(** Lookup, counting a hit or miss. *)
+
+val add : 'a t -> proto:string -> version:int -> sql:string -> 'a -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val length : 'a t -> int

@@ -1,0 +1,351 @@
+open Orq_proto
+module Wire = Orq_net.Wire
+module Comm = Orq_net.Comm
+module Netsim = Orq_net.Netsim
+module Sql = Orq_planner.Sql
+module Table = Orq_core.Table
+module Tpch_gen = Orq_workloads.Tpch_gen
+
+type config = {
+  socket_path : string;
+  sf : float;
+  seed : int;
+  max_jobs : int;
+  max_rows : int;
+  cache_capacity : int;
+  verbose : bool;
+  job_hook : (unit -> unit) option;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some v when v >= 0 -> v
+    | _ -> default)
+  | None -> default
+
+let default_config ?(socket_path = "/tmp/orq-service.sock") () =
+  {
+    socket_path;
+    sf = 0.001;
+    seed = 42;
+    max_jobs = env_int "ORQ_SERVICE_MAX_JOBS" 4;
+    max_rows = env_int "ORQ_SERVICE_MAX_ROWS" 10_000;
+    cache_capacity = 64;
+    verbose = false;
+    job_hook = None;
+  }
+
+let proto_of_label = function
+  | "sh-dm" | "2pc" -> Ok Ctx.Sh_dm
+  | "sh-hm" | "3pc" -> Ok Ctx.Sh_hm
+  | "mal-hm" | "4pc" -> Ok Ctx.Mal_hm
+  | s -> Error (Printf.sprintf "unknown protocol %S (sh-dm|sh-hm|mal-hm)" s)
+
+(* One backend per protocol kind: a long-lived context plus the shared
+   database. Built lazily on first use, by the worker thread only. *)
+type backend = { b_ctx : Ctx.t; b_db : Tpch_gen.mpc }
+
+type job = {
+  j_sql : string;
+  j_proto : Ctx.kind;
+  mutable j_reply : Wire.response option;
+  j_m : Mutex.t;
+  j_c : Condition.t;
+}
+
+type session = { s_id : int; s_fd : Unix.file_descr }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  plain : Tpch_gen.plain;
+  backends : (Ctx.kind, backend) Hashtbl.t;
+  cache : Wire.query_result Plan_cache.t;
+  jobs : job Jobqueue.t;
+  catalog_version : int;
+  mutable running : bool;
+  mutable sessions : session list;
+  mutable next_session : int;
+  mutable jobs_done : int;
+  mutable rejected : int;
+  m : Mutex.t;  (** sessions / counters / running *)
+  mutable threads : Thread.t list;
+}
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "[orq-service] %s\n%!" s)
+    fmt
+
+let socket_path t = t.cfg.socket_path
+
+(* ------------------------------------------------------------------ *)
+(* Query execution (worker thread)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let backend t kind =
+  match Hashtbl.find_opt t.backends kind with
+  | Some b -> b
+  | None ->
+      let b_ctx = Ctx.create ~seed:t.cfg.seed kind in
+      let b_db = Tpch_gen.share b_ctx t.plain in
+      let b = { b_ctx; b_db } in
+      Hashtbl.replace t.backends kind b;
+      logf t "shared catalog for %s (%d parties)" (Ctx.kind_label kind)
+        b_ctx.Ctx.parties;
+      b
+
+(* Canonical response rows: [Table.reveal] shuffles before opening (order
+   carries no information), so we sort rows lexicographically to make
+   responses deterministic — required for cache-hit ≡ cold-run equality. *)
+let rows_of_opened (opened : (string * int array) list) (cols : string list) =
+  let present = List.filter (fun c -> List.mem_assoc c opened) cols in
+  let arrays = List.map (fun c -> List.assoc c opened) present in
+  let n = match arrays with a :: _ -> Array.length a | [] -> 0 in
+  let rows = List.init n (fun i -> List.map (fun a -> a.(i)) arrays) in
+  (present, List.sort compare rows)
+
+let execute t (j : job) : Wire.response =
+  let proto_label = Ctx.kind_label j.j_proto in
+  match
+    Plan_cache.find t.cache ~proto:proto_label ~version:t.catalog_version
+      ~sql:j.j_sql
+  with
+  | Some r -> Wire.Result { r with Wire.r_cache_hit = true }
+  | None -> (
+      let b = backend t j.j_proto in
+      let c0 = Comm.snapshot b.b_ctx.Ctx.comm in
+      let p0 = Comm.snapshot b.b_ctx.Ctx.preproc in
+      match Sql.run (Tpch_gen.catalog b.b_db) j.j_sql with
+      | exception Sql.Parse_error msg ->
+          Wire.Error_r { code = Wire.Bad_request; msg }
+      | exception Ctx.Abort msg ->
+          Wire.Error_r { code = Wire.Internal; msg = "protocol abort: " ^ msg }
+      | exception e ->
+          Wire.Error_r { code = Wire.Internal; msg = Printexc.to_string e }
+      | tbl, cols, fallbacks ->
+          let opened = Table.reveal tbl in
+          let r_tally = Comm.since b.b_ctx.Ctx.comm c0 in
+          let r_pre = Comm.since b.b_ctx.Ctx.preproc p0 in
+          let r_cols, rows = rows_of_opened opened cols in
+          let r_truncated = List.length rows > t.cfg.max_rows in
+          let r_rows =
+            if r_truncated then List.filteri (fun i _ -> i < t.cfg.max_rows) rows
+            else rows
+          in
+          let r =
+            {
+              Wire.r_cols;
+              r_rows;
+              r_truncated;
+              r_fallbacks = fallbacks;
+              r_cache_hit = false;
+              r_tally;
+              r_pre;
+              r_lan_s = Netsim.network_time Netsim.lan r_tally;
+              r_wan_s = Netsim.network_time Netsim.wan r_tally;
+            }
+          in
+          Plan_cache.add t.cache ~proto:proto_label ~version:t.catalog_version
+            ~sql:j.j_sql r;
+          Wire.Result r)
+
+let worker t () =
+  let rec loop () =
+    match Jobqueue.pop t.jobs with
+    | None -> ()
+    | Some j ->
+        (match t.cfg.job_hook with Some h -> h () | None -> ());
+        let reply =
+          try execute t j
+          with e ->
+            Wire.Error_r { code = Wire.Internal; msg = Printexc.to_string e }
+        in
+        Jobqueue.finish t.jobs;
+        with_lock t (fun () -> t.jobs_done <- t.jobs_done + 1);
+        Mutex.lock j.j_m;
+        j.j_reply <- Some reply;
+        Condition.signal j.j_c;
+        Mutex.unlock j.j_m;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Sessions (one handler thread per connection)                        *)
+(* ------------------------------------------------------------------ *)
+
+let stats t : Wire.stats =
+  with_lock t (fun () ->
+      {
+        Wire.s_sessions = List.length t.sessions;
+        s_jobs = t.jobs_done;
+        s_rejected = t.rejected;
+        s_cache_hits = Plan_cache.hits t.cache;
+        s_cache_misses = Plan_cache.misses t.cache;
+      })
+
+let submit t proto sql : Wire.response =
+  let j =
+    {
+      j_sql = sql;
+      j_proto = proto;
+      j_reply = None;
+      j_m = Mutex.create ();
+      j_c = Condition.create ();
+    }
+  in
+  if not (Jobqueue.try_push t.jobs j) then begin
+    with_lock t (fun () -> t.rejected <- t.rejected + 1);
+    Wire.Error_r
+      {
+        code = Wire.Busy;
+        msg =
+          Printf.sprintf "server busy: %d jobs in flight (max %d)"
+            (Jobqueue.in_flight t.jobs) t.cfg.max_jobs;
+      }
+  end
+  else begin
+    Mutex.lock j.j_m;
+    while j.j_reply = None do
+      Condition.wait j.j_c j.j_m
+    done;
+    let r = Option.get j.j_reply in
+    Mutex.unlock j.j_m;
+    r
+  end
+
+let handle_session t (s : session) =
+  let proto = ref Ctx.Sh_hm in
+  (try
+     let rec loop () =
+       match Wire.recv_request s.s_fd with
+       | None -> logf t "session %d: closed" s.s_id
+       | Some req ->
+           (match req with
+           | Wire.Hello label -> (
+               match proto_of_label label with
+               | Ok k ->
+                   proto := k;
+                   Wire.send_response s.s_fd
+                     (Wire.Hello_ok
+                        { session = s.s_id; proto = Ctx.kind_label k })
+               | Error msg ->
+                   Wire.send_response s.s_fd
+                     (Wire.Error_r { code = Wire.Bad_request; msg }))
+           | Wire.Ping -> Wire.send_response s.s_fd Wire.Pong
+           | Wire.Stats_req ->
+               Wire.send_response s.s_fd (Wire.Stats_r (stats t))
+           | Wire.Query sql ->
+               logf t "session %d: query under %s: %s" s.s_id
+                 (Ctx.kind_label !proto) sql;
+               Wire.send_response s.s_fd (submit t !proto sql));
+           loop ()
+     in
+     loop ()
+   with
+  | Wire.Wire_error msg ->
+      logf t "session %d: malformed frame: %s" s.s_id msg;
+      (* best-effort error frame; the connection is then dropped *)
+      (try
+         Wire.send_response s.s_fd
+           (Wire.Error_r
+              { code = Wire.Bad_request; msg = "malformed frame: " ^ msg })
+       with _ -> ())
+  | Unix.Unix_error _ | Sys_error _ ->
+      (* client went away mid-exchange; session-local, server lives on *)
+      logf t "session %d: connection error" s.s_id);
+  with_lock t (fun () ->
+      t.sessions <- List.filter (fun s' -> s'.s_id <> s.s_id) t.sessions);
+  try Unix.close s.s_fd with _ -> ()
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> if t.running then loop ()
+    | exception _ -> if t.running then loop ()
+    | fd, _ ->
+        let s =
+          with_lock t (fun () ->
+              let id = t.next_session in
+              t.next_session <- id + 1;
+              let s = { s_id = id; s_fd = fd } in
+              t.sessions <- s :: t.sessions;
+              s)
+        in
+        logf t "session %d: accepted" s.s_id;
+        let th = Thread.create (fun () -> handle_session t s) () in
+        with_lock t (fun () -> t.threads <- th :: t.threads);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start (cfg : config) : t =
+  (* a dying client must not kill the server on write *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      cfg;
+      listen_fd;
+      plain = Tpch_gen.generate ~seed:cfg.seed cfg.sf;
+      backends = Hashtbl.create 4;
+      cache = Plan_cache.create ~capacity:cfg.cache_capacity;
+      jobs = Jobqueue.create ~capacity:cfg.max_jobs;
+      catalog_version = 1;
+      running = true;
+      sessions = [];
+      next_session = 1;
+      jobs_done = 0;
+      rejected = 0;
+      m = Mutex.create ();
+      threads = [];
+    }
+  in
+  let worker_th = Thread.create (worker t) () in
+  with_lock t (fun () -> t.threads <- worker_th :: t.threads);
+  let accept_th = Thread.create (accept_loop t) () in
+  with_lock t (fun () -> t.threads <- accept_th :: t.threads);
+  logf t "listening on %s (sf=%g, max-jobs=%d, max-rows=%d, cache=%d)"
+    cfg.socket_path cfg.sf cfg.max_jobs cfg.max_rows cfg.cache_capacity;
+  t
+
+let stop t =
+  let was_running = with_lock t (fun () ->
+      let r = t.running in
+      t.running <- false;
+      r)
+  in
+  if was_running then begin
+    Jobqueue.close t.jobs;
+    (* shutdown before close: close alone does not wake a thread blocked
+       in accept on Linux *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* wake handler threads blocked in read *)
+    with_lock t (fun () ->
+        List.iter
+          (fun s ->
+            try Unix.shutdown s.s_fd Unix.SHUTDOWN_ALL with _ -> ())
+          t.sessions);
+    let ths = with_lock t (fun () -> t.threads) in
+    List.iter (fun th -> try Thread.join th with _ -> ()) ths;
+    try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()
+  end
+
+let wait t =
+  let ths = with_lock t (fun () -> t.threads) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) ths

@@ -1,0 +1,51 @@
+(** Long-running oblivious query service (DESIGN.md, "Query service").
+
+    Serves SQL queries over the shared TPC-H database through the
+    automatic planner, on a Unix-domain socket speaking the {!Orq_net.Wire}
+    framed protocol. Each connection is a session with its own protocol
+    kind (sh-dm / sh-hm / mal-hm, selected by [Hello]); queries from all
+    sessions funnel through a bounded job queue (admission control: a full
+    queue refuses with a [Busy] error frame rather than stalling) into a
+    single execution worker, whose per-query scoped {!Orq_net.Comm}
+    tallies and {!Orq_net.Netsim} LAN/WAN estimates travel back in the
+    response — every reply is a mini §5 report. A plan cache keyed by
+    normalized SQL + protocol + catalog version replays the exact cold
+    response (rows and tallies byte-identical).
+
+    The server process ignores SIGPIPE and treats per-session failures
+    (client disconnect mid-query, malformed frames) as session-local:
+    the session is closed, the server keeps serving. *)
+
+type config = {
+  socket_path : string;
+  sf : float;  (** TPC-H scale factor of the served catalog *)
+  seed : int;  (** data-generation and protocol randomness seed *)
+  max_jobs : int;  (** in-flight query bound (admission control) *)
+  max_rows : int;  (** response row cap; larger results are truncated *)
+  cache_capacity : int;  (** plan-cache entries; 0 disables caching *)
+  verbose : bool;  (** log sessions/queries to stderr *)
+  job_hook : (unit -> unit) option;
+      (** test instrumentation: runs in the worker before each query *)
+}
+
+val default_config : ?socket_path:string -> unit -> config
+(** Defaults: sf 0.001, seed 42, [ORQ_SERVICE_MAX_JOBS] (else 4),
+    [ORQ_SERVICE_MAX_ROWS] (else 10000), cache 64, quiet. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (replacing any stale file), spawn the accept loop and
+    the execution worker, and return immediately. *)
+
+val stop : t -> unit
+(** Close the listener and all sessions, drain the worker, remove the
+    socket file. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the server is stopped (for a foreground [serve]). *)
+
+val socket_path : t -> string
+
+val proto_of_label : string -> (Orq_proto.Ctx.kind, string) result
+(** "sh-dm" | "2pc" | "sh-hm" | "3pc" | "mal-hm" | "4pc". *)

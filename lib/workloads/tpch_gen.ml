@@ -283,3 +283,24 @@ let total_rows (db : plain) =
   let n t = Orq_plaintext.Ptable.nrows t in
   n db.region + n db.nation + n db.supplier + n db.customer + n db.part
   + n db.partsupp + n db.orders + n db.lineitem
+
+(* ------------------------------------------------------------------ *)
+(* Planner catalog                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Resolve TPC-H table names for the SQL planner, with each table's
+    declared candidate keys (used by the optimizer's key reasoning).
+    Raises [Not_found] for unknown names — the planner converts that to a
+    [Parse_error]. *)
+let catalog (db : mpc) (name : string) :
+    Orq_core.Table.t * string list list =
+  match name with
+  | "region" -> (db.m_region, [ [ "r_regionkey" ] ])
+  | "nation" -> (db.m_nation, [ [ "n_nationkey" ] ])
+  | "supplier" -> (db.m_supplier, [ [ "s_suppkey" ] ])
+  | "customer" -> (db.m_customer, [ [ "c_custkey" ] ])
+  | "part" -> (db.m_part, [ [ "p_partkey" ] ])
+  | "partsupp" -> (db.m_partsupp, [ [ "ps_partkey"; "ps_suppkey" ] ])
+  | "orders" -> (db.m_orders, [ [ "o_orderkey" ] ])
+  | "lineitem" -> (db.m_lineitem, [])
+  | _ -> raise Not_found

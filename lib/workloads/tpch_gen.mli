@@ -49,3 +49,8 @@ val share : Orq_proto.Ctx.t -> plain -> mpc
 
 val total_rows : plain -> int
 (** Total input rows — the paper's query-size metric. *)
+
+val catalog : mpc -> string -> Orq_core.Table.t * string list list
+(** Planner catalog over the shared database: table name -> (shared
+    table, candidate keys). Matches {!Orq_planner.Sql.catalog}; raises
+    [Not_found] for unknown tables. *)

@@ -1,0 +1,409 @@
+(* Tests for the query service subsystem: wire-protocol round-trips, the
+   bounded job queue, SQL normalization, and the live server over
+   Unix-domain sockets — concurrent clients with independent results,
+   admission-control rejection, plan-cache hit ≡ cold execution, and
+   survival of mid-query client disconnects and malformed frames. *)
+
+open Orq_proto
+open Orq_core
+open Orq_workloads
+module Wire = Orq_net.Wire
+module Service = Orq_service.Service
+module Client = Orq_service.Client
+module Jobqueue = Orq_service.Jobqueue
+module Plan_cache = Orq_service.Plan_cache
+
+let rows_t = Alcotest.(list (list int))
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_response (r : Wire.response) : Wire.response =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+  @@ fun () ->
+  Wire.send_response a r;
+  Option.get (Wire.recv_response b)
+
+let roundtrip_request (r : Wire.request) : Wire.request =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+  @@ fun () ->
+  Wire.send_request a r;
+  Option.get (Wire.recv_request b)
+
+let test_wire_requests () =
+  List.iter
+    (fun r -> assert (roundtrip_request r = r))
+    [ Wire.Hello "sh-dm"; Wire.Query "SELECT x FROM t"; Wire.Ping;
+      Wire.Stats_req ]
+
+let test_wire_responses () =
+  let result =
+    Wire.Result
+      {
+        r_cols = [ "a"; "b" ];
+        r_rows = [ [ 1; -7 ]; [ max_int; min_int + 1 ] ];
+        r_truncated = true;
+        r_fallbacks = 2;
+        r_cache_hit = false;
+        r_tally = { Orq_net.Comm.t_rounds = 3; t_bits = 12345; t_messages = 9 };
+        r_pre = Orq_net.Comm.zero_tally;
+        (* >= 2.0 exercises the full-64-bit float path (sign-bit bug) *)
+        r_lan_s = 3.875;
+        r_wan_s = 0.0125;
+      }
+  in
+  List.iter
+    (fun r -> assert (roundtrip_response r = r))
+    [
+      Wire.Hello_ok { session = 7; proto = "SH-HM" };
+      result;
+      Wire.Error_r { code = Wire.Busy; msg = "queue full" };
+      Wire.Pong;
+      Wire.Stats_r
+        {
+          s_sessions = 1;
+          s_jobs = 2;
+          s_rejected = 3;
+          s_cache_hits = 4;
+          s_cache_misses = 5;
+        };
+    ]
+
+let test_wire_rejects_oversized () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+  @@ fun () ->
+  (* a hostile length prefix larger than max_frame must raise before any
+     allocation of that size *)
+  let hdr = Bytes.of_string "\xff\xff\xff\xff" in
+  assert (Unix.write a hdr 0 4 = 4);
+  Unix.shutdown a Unix.SHUTDOWN_SEND;
+  Alcotest.check_raises "oversized frame"
+    (Wire.Wire_error
+       (Printf.sprintf "frame length %d exceeds max_frame" 0xffffffff))
+    (fun () -> ignore (Wire.recv_request b))
+
+(* ------------------------------------------------------------------ *)
+(* Job queue and plan cache                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_jobqueue_admission () =
+  let q = Jobqueue.create ~capacity:2 in
+  assert (Jobqueue.try_push q 1);
+  assert (Jobqueue.try_push q 2);
+  Alcotest.(check bool) "full" false (Jobqueue.try_push q 3);
+  (* popping moves a job to 'running': still counted in-flight *)
+  assert (Jobqueue.pop q = Some 1);
+  Alcotest.(check bool) "still full" false (Jobqueue.try_push q 3);
+  Jobqueue.finish q;
+  Alcotest.(check bool) "slot freed" true (Jobqueue.try_push q 3);
+  Jobqueue.close q;
+  Alcotest.(check bool) "closed" false (Jobqueue.try_push q 4);
+  (* close drains the queue before returning None *)
+  assert (Jobqueue.pop q = Some 2);
+  assert (Jobqueue.pop q = Some 3);
+  assert (Jobqueue.pop q = None)
+
+let test_normalize () =
+  let n = Plan_cache.normalize in
+  Alcotest.(check string)
+    "whitespace and keyword case"
+    (n "SELECT a, COUNT(*) AS n FROM t GROUP BY a")
+    (n "select   a ,\n count( * ) as n\tfrom t group by a");
+  Alcotest.(check bool)
+    "different queries stay different" false
+    (n "SELECT a FROM t" = n "SELECT b FROM t")
+
+(* ------------------------------------------------------------------ *)
+(* Live server                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let counter = ref 0
+
+let with_server ?(max_jobs = 4) ?(max_rows = 10_000) ?(cache = 64) ?job_hook f
+    =
+  incr counter;
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "orq-test-%d-%d.sock" (Unix.getpid ()) !counter)
+  in
+  let cfg =
+    {
+      Service.socket_path;
+      sf = 0.001;
+      seed = 42;
+      max_jobs;
+      max_rows;
+      cache_capacity = cache;
+      verbose = false;
+      job_hook;
+    }
+  in
+  let t = Service.start cfg in
+  Fun.protect ~finally:(fun () -> Service.stop t) (fun () -> f socket_path)
+
+(* Reference results straight through the planner on the same catalog
+   (same seed and scale factor as the server). *)
+let expected_rows sql =
+  let ctx = Ctx.create ~seed:42 Ctx.Sh_hm in
+  let db = Tpch_gen.share ctx (Tpch_gen.generate ~seed:42 0.001) in
+  let t, cols, _ = Orq_planner.Sql.run (Tpch_gen.catalog db) sql in
+  Table.valid_rows_sorted t cols
+
+let query_ok c sql =
+  match Client.query c sql with
+  | Ok r -> r
+  | Error (code, msg) ->
+      Alcotest.failf "query failed (%s): %s" (Wire.err_label code) msg
+
+let test_concurrent_clients () =
+  let cases =
+    [
+      "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+       o_orderpriority";
+      "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY \
+       c_mktsegment";
+      "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey";
+    ]
+  in
+  let expected = List.map expected_rows cases in
+  with_server @@ fun socket ->
+  let results = Array.make (List.length cases) [] in
+  let threads =
+    List.mapi
+      (fun i sql ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect socket in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            (match Client.set_protocol c "sh-hm" with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "hello: %s" m);
+            results.(i) <- (query_ok c sql).Wire.r_rows)
+          ())
+      cases
+  in
+  List.iter Thread.join threads;
+  List.iteri
+    (fun i exp ->
+      Alcotest.(check rows_t)
+        (Printf.sprintf "client %d rows" i)
+        exp results.(i))
+    expected
+
+let test_per_session_protocol () =
+  with_server @@ fun socket ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  let run proto =
+    let c = Client.connect socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (match Client.set_protocol c proto with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "hello: %s" m);
+    query_ok c sql
+  in
+  let r2 = run "sh-dm" and r3 = run "sh-hm" and r4 = run "mal-hm" in
+  Alcotest.(check rows_t) "2pc = 3pc rows" r2.Wire.r_rows r3.Wire.r_rows;
+  Alcotest.(check rows_t) "3pc = 4pc rows" r3.Wire.r_rows r4.Wire.r_rows;
+  (* different protocols really ran: their traffic differs *)
+  Alcotest.(check bool)
+    "2pc and 4pc tallies differ" false
+    (r2.Wire.r_tally = r4.Wire.r_tally)
+
+let test_admission_control () =
+  with_server ~max_jobs:1 ~cache:0
+    ~job_hook:(fun () -> Thread.delay 0.4)
+  @@ fun socket ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  let slow_result = ref None in
+  let slow =
+    Thread.create
+      (fun () ->
+        let c = Client.connect socket in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        slow_result := Some (Client.query c sql))
+      ()
+  in
+  Thread.delay 0.15;
+  (* the single job slot is taken: admission control must refuse *)
+  let c = Client.connect socket in
+  (match Client.query c sql with
+  | Error (Wire.Busy, _) -> ()
+  | Ok _ -> Alcotest.fail "expected busy rejection, got a result"
+  | Error (code, msg) ->
+      Alcotest.failf "expected busy, got %s: %s" (Wire.err_label code) msg);
+  Client.close c;
+  Thread.join slow;
+  (match !slow_result with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "admitted query should still succeed");
+  (* and the server accepts work again afterwards *)
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore (query_ok c sql)
+
+let test_plan_cache_hit_equals_cold () =
+  with_server @@ fun socket ->
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let cold =
+    query_ok c
+      "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+       o_orderpriority"
+  in
+  Alcotest.(check bool) "cold miss" false cold.Wire.r_cache_hit;
+  (* same query, different whitespace and keyword case: normalized key *)
+  let hit =
+    query_ok c
+      "select   o_orderpriority, count(*) as n\n\
+       from orders group by o_orderpriority"
+  in
+  Alcotest.(check bool) "hit" true hit.Wire.r_cache_hit;
+  Alcotest.(check rows_t) "identical table" cold.Wire.r_rows hit.Wire.r_rows;
+  Alcotest.(check (list string)) "identical cols" cold.Wire.r_cols hit.Wire.r_cols;
+  Alcotest.(check bool)
+    "identical online tally" true
+    (cold.Wire.r_tally = hit.Wire.r_tally);
+  Alcotest.(check bool)
+    "identical preprocessing tally" true
+    (cold.Wire.r_pre = hit.Wire.r_pre);
+  Alcotest.(check bool)
+    "identical netsim estimates" true
+    (cold.Wire.r_lan_s = hit.Wire.r_lan_s
+    && cold.Wire.r_wan_s = hit.Wire.r_wan_s)
+
+let test_cache_disabled () =
+  with_server ~cache:0 @@ fun socket ->
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  let a = query_ok c sql in
+  let b = query_ok c sql in
+  Alcotest.(check bool) "no hit" false (a.Wire.r_cache_hit || b.Wire.r_cache_hit);
+  Alcotest.(check rows_t) "still deterministic" a.Wire.r_rows b.Wire.r_rows
+
+let test_max_rows_truncation () =
+  with_server ~max_rows:3 @@ fun socket ->
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let r =
+    query_ok c
+      "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+       o_orderpriority"
+  in
+  Alcotest.(check bool) "truncated" true r.Wire.r_truncated;
+  Alcotest.(check int) "3 rows" 3 (List.length r.Wire.r_rows)
+
+let test_sql_error_frame () =
+  with_server @@ fun socket ->
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.query c "SELECT x FROM nosuch" with
+  | Error (Wire.Bad_request, msg) ->
+      Alcotest.(check string) "clean error" "unknown table: nosuch" msg
+  | _ -> Alcotest.fail "expected bad-request");
+  (* the session survives the error *)
+  ignore
+    (query_ok c "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey")
+
+let test_survives_disconnect_mid_query () =
+  with_server ~cache:0 @@ fun socket ->
+  (* fire a query and slam the connection before the reply *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Wire.send_request fd
+    (Wire.Query
+       "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+        o_orderpriority");
+  Unix.close fd;
+  Thread.delay 0.05;
+  (* the server must still be alive and serving *)
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore
+    (query_ok c "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey");
+  let s = Client.stats c in
+  Alcotest.(check bool) "jobs ran" true (s.Wire.s_jobs >= 1)
+
+let test_survives_malformed_frame () =
+  with_server @@ fun socket ->
+  (* hostile length prefix *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  assert (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4 = 4);
+  (match Wire.recv_response fd with
+  | Some (Wire.Error_r { code = Wire.Bad_request; _ }) | None -> ()
+  | _ -> Alcotest.fail "expected error frame or close");
+  Unix.close fd;
+  (* unknown tag in a well-sized frame *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  assert (Unix.write fd (Bytes.of_string "\x00\x00\x00\x01\x7f") 0 5 = 5);
+  (match Wire.recv_response fd with
+  | Some (Wire.Error_r { code = Wire.Bad_request; _ }) | None -> ()
+  | _ -> Alcotest.fail "expected error frame or close");
+  Unix.close fd;
+  (* fresh sessions still work *)
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  assert (Client.ping c);
+  ignore
+    (query_ok c "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey")
+
+let test_stats () =
+  with_server @@ fun socket ->
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  ignore (query_ok c sql);
+  ignore (query_ok c sql);
+  let s = Client.stats c in
+  Alcotest.(check int) "jobs" 2 s.Wire.s_jobs;
+  Alcotest.(check bool) "one hit" true (s.Wire.s_cache_hits >= 1);
+  Alcotest.(check int) "sessions" 1 s.Wire.s_sessions
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request round-trips" `Quick test_wire_requests;
+          Alcotest.test_case "response round-trips" `Quick test_wire_responses;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_wire_rejects_oversized;
+        ] );
+      ( "queue+cache",
+        [
+          Alcotest.test_case "bounded admission" `Quick test_jobqueue_admission;
+          Alcotest.test_case "sql normalization" `Quick test_normalize;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "per-session protocol" `Quick
+            test_per_session_protocol;
+          Alcotest.test_case "admission control" `Quick test_admission_control;
+          Alcotest.test_case "plan-cache hit = cold" `Quick
+            test_plan_cache_hit_equals_cold;
+          Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+          Alcotest.test_case "max-rows truncation" `Quick
+            test_max_rows_truncation;
+          Alcotest.test_case "sql error frame" `Quick test_sql_error_frame;
+          Alcotest.test_case "survives disconnect" `Quick
+            test_survives_disconnect_mid_query;
+          Alcotest.test_case "survives malformed frame" `Quick
+            test_survives_malformed_frame;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

@@ -110,6 +110,16 @@ let test_parse_errors () =
   expect_err "SELECT x FROM orders WHERE price !";
   expect_err "SELECT cust FROM customers JOIN orders ON cust = oid"
 
+let test_unknown_table () =
+  (* a catalog miss (raw [Not_found]) must surface as a clean
+     [Parse_error] so servers can return an error frame *)
+  match run "SELECT x FROM nosuch" with
+  | exception Sql.Parse_error msg ->
+      Alcotest.(check string) "message" "unknown table: nosuch" msg
+  | exception e ->
+      Alcotest.failf "expected Parse_error, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Parse_error"
+
 let test_vs_plaintext () =
   (* cross-check the SQL path against the plaintext engine *)
   let module P = Orq_plaintext.Ptable in
@@ -142,6 +152,7 @@ let suite =
     Alcotest.test_case "min/max/avg" `Quick test_min_max_avg;
     Alcotest.test_case "many-to-many via SQL" `Quick test_many_to_many_from_sql;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "unknown table" `Quick test_unknown_table;
     Alcotest.test_case "sql vs plaintext" `Quick test_vs_plaintext;
   ]
 
