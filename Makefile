@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test kernels-smoke bench bench-service serve clean
+.PHONY: check build test kernels-smoke bench bench-rounds bench-service serve clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -21,6 +21,12 @@ kernels-smoke:
 
 bench:
 	dune exec bench/main.exe
+
+# Round-fusion audit: every query fused vs ORQ_NO_FUSION=1, asserting
+# byte-identical traffic and plaintext-validated results; refreshes
+# BENCH_rounds.json. ORQ_ROUNDS_QUICK=1 runs a representative subset.
+bench-rounds:
+	dune exec bench/main.exe -- rounds --sf 0.0002 --n 400
 
 # Foreground query service on $(ORQ_SOCKET); query it with
 #   dune exec bin/orq_cli.exe -- query --socket $(ORQ_SOCKET) "SELECT ..."

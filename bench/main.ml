@@ -16,7 +16,7 @@
 let experiments =
   [ "all"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
     "fig12"; "table1"; "table2"; "table7"; "ablation"; "micro";
-    "micro-kernels" ]
+    "micro-kernels"; "rounds" ]
 
 let usage () =
   Printf.printf "usage: main.exe [%s] [--sf F] [--n N]\n"
@@ -65,5 +65,8 @@ let () =
   (* explicit-only: the domain sweep over 1M-element vectors is not part of
      the quick "all" pass *)
   if List.mem "micro-kernels" cmds then Kernels.run ();
+  (* explicit-only: fused-vs-unfused round comparison over the query
+     workloads; writes BENCH_rounds.json *)
+  if List.mem "rounds" cmds then Rounds.run ~sf ~other_n:n ();
   Printf.printf "\ntotal bench wall time: %.1fs\n"
     (Unix.gettimeofday () -. t0)

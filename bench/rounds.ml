@@ -1,0 +1,180 @@
+(** Cross-lane round-fusion benchmark: every workload query runs twice —
+    fusion on and off ([Mpc.set_fusion]) — under identical seeds, checking
+    that [bits] and [messages] are byte-identical in both modes (fusion
+    must only merge rounds, never change traffic), that both modes match
+    the plaintext reference, and reporting the round reduction plus the
+    modeled LAN/WAN/geo network-time deltas. Writes BENCH_rounds.json.
+
+    Quick mode (ORQ_ROUNDS_QUICK=1) restricts to the headline queries. *)
+
+open Orq_proto
+open Orq_workloads
+open Bench_util
+module Comm = Orq_net.Comm
+module Netsim = Orq_net.Netsim
+
+type qrow = {
+  r_name : string;
+  r_fused : Comm.tally;
+  r_unfused : Comm.tally;
+  r_ok_fused : bool;
+  r_ok_unfused : bool;
+}
+
+(* The queries the fusion work targets (multi-leg filters, aggregation
+   networks, batched finishes). *)
+let targets =
+  [ "Q1"; "Q4"; "Q6"; "Q12"; "Q13"; "Q19"; "Aspirin"; "Comorbidity" ]
+
+let with_fusion fused f =
+  let prev = Mpc.fusion_enabled () in
+  Mpc.set_fusion fused;
+  Fun.protect ~finally:(fun () -> Mpc.set_fusion prev) f
+
+let run_tpch kind plain (q : Tpch.query) ~fused =
+  with_fusion fused (fun () ->
+      let ctx = Ctx.create ~seed:5 kind in
+      let mdb = Tpch_gen.share ctx plain in
+      let before = Comm.snapshot ctx.Ctx.comm in
+      let ok, _, _ = Tpch.validate q plain mdb in
+      (ok, Comm.since ctx.Ctx.comm before))
+
+let run_other kind oplain (q : Other_queries.query) ~fused =
+  with_fusion fused (fun () ->
+      let ctx = Ctx.create ~seed:13 kind in
+      let mdb = Other_gen.share ctx oplain in
+      let before = Comm.snapshot ctx.Ctx.comm in
+      let ok, _, _ = Other_queries.validate q oplain mdb in
+      (ok, Comm.since ctx.Ctx.comm before))
+
+let reduction_pct (r : qrow) =
+  if r.r_unfused.Comm.t_rounds = 0 then 0.
+  else
+    100.
+    *. float_of_int (r.r_unfused.Comm.t_rounds - r.r_fused.Comm.t_rounds)
+    /. float_of_int r.r_unfused.Comm.t_rounds
+
+let profiles = [ ("lan", Netsim.lan); ("wan", Netsim.wan); ("geo", Netsim.geo) ]
+
+let json_of_row (r : qrow) =
+  let net =
+    String.concat ","
+      (List.map
+         (fun (lbl, p) ->
+           Printf.sprintf
+             "\"%s\":{\"fused_s\":%.6f,\"unfused_s\":%.6f}" lbl
+             (Netsim.network_time p r.r_fused)
+             (Netsim.network_time p r.r_unfused))
+         profiles)
+  in
+  Printf.sprintf
+    "    {\"name\":\"%s\",\"rounds_fused\":%d,\"rounds_unfused\":%d,\
+     \"reduction_pct\":%.1f,\"bits\":%d,\"messages\":%d,\
+     \"bits_match\":%b,\"ok_fused\":%b,\"ok_unfused\":%b,\"net\":{%s}}"
+    r.r_name r.r_fused.Comm.t_rounds r.r_unfused.Comm.t_rounds
+    (reduction_pct r) r.r_fused.Comm.t_bits r.r_fused.Comm.t_messages
+    (r.r_fused.Comm.t_bits = r.r_unfused.Comm.t_bits
+    && r.r_fused.Comm.t_messages = r.r_unfused.Comm.t_messages)
+    r.r_ok_fused r.r_ok_unfused net
+
+let run ~sf ~other_n () =
+  let quick =
+    match Sys.getenv_opt "ORQ_ROUNDS_QUICK" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false
+  in
+  let kind = Ctx.Sh_hm in
+  section
+    (Printf.sprintf
+       "Round fusion: per-query rounds fused vs unfused (%s, TPC-H @ SF=%g, \
+        others @ n=%d%s)"
+       (Ctx.kind_label kind) sf other_n
+       (if quick then ", quick" else ""))
+  ;
+  (* dataset seeds match the validation suite's: every query is known to
+     be non-degenerate (nonempty result) at these sizes *)
+  let plain = Tpch_gen.generate ~seed:99 sf in
+  let oplain = Other_gen.generate ~seed:31 other_n in
+  let keep name = (not quick) || List.mem name targets in
+  let rows =
+    List.filter_map
+      (fun (q : Tpch.query) ->
+        if not (keep q.Tpch.name) then None
+        else
+          let ok_f, f = run_tpch kind plain q ~fused:true in
+          let ok_u, u = run_tpch kind plain q ~fused:false in
+          Some
+            {
+              r_name = q.Tpch.name;
+              r_fused = f;
+              r_unfused = u;
+              r_ok_fused = ok_f;
+              r_ok_unfused = ok_u;
+            })
+      Tpch.all
+    @ List.filter_map
+        (fun (q : Other_queries.query) ->
+          if not (keep q.Other_queries.name) then None
+          else
+            let ok_f, f = run_other kind oplain q ~fused:true in
+            let ok_u, u = run_other kind oplain q ~fused:false in
+            Some
+              {
+                r_name = q.Other_queries.name;
+                r_fused = f;
+                r_unfused = u;
+                r_ok_fused = ok_f;
+                r_ok_unfused = ok_u;
+              })
+        Other_queries.all
+  in
+  hdr "%-14s %9s %9s %7s %12s %6s %10s %10s" "query" "rounds" "fused"
+    "cut%" "bits" "b/m=" "WAN-net" "WAN-fused";
+  List.iter
+    (fun r ->
+      hdr "%-14s %9d %9d %6.1f%% %12d %6s %10s %10s" r.r_name
+        r.r_unfused.Comm.t_rounds r.r_fused.Comm.t_rounds (reduction_pct r)
+        r.r_fused.Comm.t_bits
+        (if
+           r.r_fused.Comm.t_bits = r.r_unfused.Comm.t_bits
+           && r.r_fused.Comm.t_messages = r.r_unfused.Comm.t_messages
+         then "yes"
+         else "NO")
+        (pretty_time (Netsim.network_time Netsim.wan r.r_unfused))
+        (pretty_time (Netsim.network_time Netsim.wan r.r_fused)))
+    rows;
+  let bad_traffic =
+    List.filter
+      (fun r ->
+        r.r_fused.Comm.t_bits <> r.r_unfused.Comm.t_bits
+        || r.r_fused.Comm.t_messages <> r.r_unfused.Comm.t_messages)
+      rows
+  in
+  let bad_valid =
+    List.filter (fun r -> not (r.r_ok_fused && r.r_ok_unfused)) rows
+  in
+  let hit =
+    List.filter
+      (fun r -> List.mem r.r_name targets && reduction_pct r >= 30.)
+      rows
+  in
+  hdr "\ntarget queries with >=30%% round reduction: %d/%d"
+    (List.length hit)
+    (List.length (List.filter (fun r -> List.mem r.r_name targets) rows));
+  if bad_traffic <> [] then
+    hdr "TRAFFIC MISMATCH (fusion must not change bits/messages): %s"
+      (String.concat ", " (List.map (fun r -> r.r_name) bad_traffic));
+  if bad_valid <> [] then
+    hdr "VALIDATION FAILURES: %s"
+      (String.concat ", " (List.map (fun r -> r.r_name) bad_valid));
+  let oc = open_out "BENCH_rounds.json" in
+  Printf.fprintf oc
+    "{\n  \"protocol\": \"%s\",\n  \"sf\": %g,\n  \"other_n\": %d,\n\
+    \  \"quick\": %b,\n  \"queries\": [\n%s\n  ],\n\
+    \  \"targets_with_30pct\": %d\n}\n"
+    (Ctx.kind_label kind) sf other_n quick
+    (String.concat ",\n" (List.map json_of_row rows))
+    (List.length hit);
+  close_out oc;
+  hdr "wrote BENCH_rounds.json";
+  if bad_traffic <> [] || bad_valid <> [] then exit 1

@@ -1,7 +1,9 @@
 (** Kogge–Stone addition and subtraction over boolean shares: [O(log w)]
     AND rounds for [w]-bit operands (generate/propagate updates of each
     prefix level batched into one round). Backs A2B conversion, division,
-    and arithmetic on boolean columns. *)
+    and arithmetic on boolean columns. The [_many] entry points run k
+    independent adder lanes in lockstep — each prefix level is one fused
+    round across lanes, so batched depth is the max lane depth. *)
 
 open Orq_proto
 
@@ -10,10 +12,21 @@ val prefix_gp :
   Share.shared * Share.shared
 (** Full-prefix (G, P) from initial generate/propagate words. *)
 
+val prefix_gp_many :
+  Ctx.t -> (Share.shared * Share.shared * int) array ->
+  (Share.shared * Share.shared) array
+(** Lockstep prefix (G, P) over (g, p, width) lanes. *)
+
 val add :
   ?cin:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
   Share.shared
 (** Boolean-shared sum modulo 2^w (optional public carry-in). *)
+
+val add_many :
+  ?cin:bool -> Ctx.t -> (Share.shared * Share.shared * int) array ->
+  Share.shared array
+(** k independent sums (lanes are (x, y, width)) in max-lane-depth fused
+    rounds; [cin] applies to every lane. *)
 
 val sub : Ctx.t -> w:int -> Share.shared -> Share.shared -> Share.shared
 (** x - y = x + not y + 1, modulo 2^w. *)
@@ -23,9 +36,19 @@ val add_pub :
   Share.shared
 (** Addition with a public operand (saves the initial AND round). *)
 
+val add_pub_many :
+  ?cin:bool -> Ctx.t -> (Share.shared * Orq_util.Vec.t * int) array ->
+  Share.shared array
+(** k independent public-operand additions (lanes are (x, c, width)). *)
+
 val sub_pub_minuend :
   Ctx.t -> w:int -> Orq_util.Vec.t -> Share.shared -> Share.shared
 (** Public vector minus shared value — the A2B finishing step. *)
+
+val sub_pub_minuend_many :
+  Ctx.t -> (Orq_util.Vec.t * Share.shared * int) array -> Share.shared array
+(** k independent public-minus-shared subtractions (lanes are (c, y,
+    width)) — the fused A2B finishing step. *)
 
 val sub_pub : Ctx.t -> w:int -> Share.shared -> Orq_util.Vec.t -> Share.shared
 

@@ -4,7 +4,18 @@
     classic divide-and-conquer (lt, eq) block-combination circuit. Both take
     [O(log w)] AND rounds for [w]-bit values — the costs the paper's sorting
     analysis (§B) assumes for secure comparisons. All results are single-bit
-    boolean shares in the LSB. *)
+    boolean shares in the LSB.
+
+    Every circuit here is written over *lanes*: the [_many] entry points
+    run k independent comparisons (possibly of different widths) in
+    lockstep, issuing each ladder level for all still-active lanes as one
+    {!Mpc.band_many}/{!Mpc.bor_many} call, so the fused round count is the
+    maximum lane depth rather than the sum. The single-pair functions are
+    the one-lane special case. A useful byproduct: the less-than ladder's
+    block-equality word terminates holding full-word equality in bit 0, so
+    {!lt_eq_many} returns both bits for the price of the lt ladder — which
+    is what lets {!lt_lex} and {!eq_composite} drop the separate equality
+    circuits the unbatched versions paid for. *)
 
 open Orq_proto
 
@@ -19,92 +30,263 @@ let stride_mask s =
   done;
   !m
 
+(* Indices of lanes still active under [pred], as an array. *)
+let active_lanes k pred =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if pred i then i :: acc else acc) in
+  Array.of_list (go (k - 1) [])
+
+(** [eq_many ctx lanes] runs k independent equality tests (lanes are
+    (x, y, w) triples) in lockstep: ⌈log₂ w⌉ fused OR-fold rounds for the
+    widest lane; narrower lanes drop out as their strides reach zero. *)
+let eq_many (ctx : Ctx.t) (lanes : (Share.shared * Share.shared * int) array) :
+    Share.shared array =
+  let k = Array.length lanes in
+  let z =
+    Array.map
+      (fun (x, y, w) -> Mpc.and_mask (Mpc.xor x y) (Orq_util.Ring.mask w))
+      lanes
+  in
+  let s = Array.map (fun (_, _, w) -> Orq_util.Ring.next_pow2 w / 2) lanes in
+  let rec loop () =
+    let active = active_lanes k (fun i -> s.(i) > 0) in
+    if Array.length active > 0 then begin
+      let xs = Array.map (fun i -> z.(i)) active in
+      let ys = Array.map (fun i -> Mpc.rshift z.(i) s.(i)) active in
+      let ws = Array.map (fun i -> max 1 s.(i)) active in
+      let rs = Mpc.bor_many ~widths:ws ctx xs ys in
+      Array.iteri
+        (fun j i ->
+          z.(i) <- rs.(j);
+          s.(i) <- s.(i) / 2)
+        active;
+      loop ()
+    end
+  in
+  loop ();
+  Array.map (fun zi -> Mpc.and_mask (Mpc.xor_pub zi 1) 1) z
+
 (** [eq ctx ~w x y] returns the single-bit sharing of [x = y] over the low
     [w] bits. [log2 w] AND rounds. *)
-let eq (ctx : Ctx.t) ~w x y =
-  let z = Mpc.and_mask (Mpc.xor x y) (Orq_util.Ring.mask w) in
-  let rec fold z s =
-    if s = 0 then z
-    else
-      let z = Mpc.bor ~width:(max 1 s) ctx z (Mpc.rshift z s) in
-      fold z (s / 2)
-  in
-  let z = fold z (Orq_util.Ring.next_pow2 w / 2) in
-  Mpc.and_mask (Mpc.xor_pub z 1) 1
+let eq (ctx : Ctx.t) ~w x y = (eq_many ctx [| (x, y, w) |]).(0)
 
 (** Pairwise-adjacent equality against a shifted copy, used by DISTINCT. *)
 let neq ctx ~w x y = Mpc.xor_pub (eq ctx ~w x y) 1
 
-(* Core of less-than: maintain per-block (lt, eq) summary flags packed in
-   the word and merge adjacent blocks level by level:
+(* Core of less-than, over lanes: each lane maintains per-block (lt, eq)
+   summary flags packed in its word and merges adjacent blocks level by
+   level:
      lt' = lt_hi xor (eq_hi and lt_lo)   (xor = or: the terms are disjoint)
      eq' = eq_hi and eq_lo
-   Both ANDs of a level are batched into one round. *)
-let lt_core (ctx : Ctx.t) ~w x y =
-  let mw = Orq_util.Ring.mask w in
-  let xw = Mpc.and_mask x mw and yw = Mpc.and_mask y mw in
+   Both ANDs of a lane's level are packed in its word (the append trick),
+   and all active lanes share the level's single fused round. Returns the
+   (lt, eq) bit pair per lane — eq is free, the ladder computes it anyway. *)
+let lt_core_many (ctx : Ctx.t)
+    (lanes : (Share.shared * Share.shared * int) array) :
+    (Share.shared * Share.shared) array =
+  let k = Array.length lanes in
   let ltb =
-    Mpc.band ~width:w ctx (Mpc.and_mask (Mpc.bnot xw) mw) yw
+    Mpc.band_many
+      ~widths:(Array.map (fun (_, _, w) -> w) lanes)
+      ctx
+      (Array.map
+         (fun (x, _, w) ->
+           let mw = Orq_util.Ring.mask w in
+           Mpc.and_mask (Mpc.bnot (Mpc.and_mask x mw)) mw)
+         lanes)
+      (Array.map
+         (fun (_, y, w) -> Mpc.and_mask y (Orq_util.Ring.mask w))
+         lanes)
   in
   (* bits at positions >= w xor to zero, so eqb is 1 there: padding blocks
      behave as (lt = 0, eq = 1) and vanish in the combination *)
-  let eqb = Mpc.bnot (Mpc.xor xw yw) in
-  let n = Share.length x in
-  let rec go ltb eqb d =
-    if d >= w then Mpc.and_mask ltb 1
-    else
-      let m = stride_mask (2 * d) in
-      let lt_hi = Mpc.and_mask (Mpc.rshift ltb d) m in
-      (* bits shifted in from beyond the 63-bit word stand for padding
-         positions, which compare as (lt = 0, eq = 1): set them to 1 *)
-      let top = Orq_util.Ring.ones lsl (Orq_util.Ring.word_bits - d) land Orq_util.Ring.ones in
-      let eq_hi = Mpc.and_mask (Mpc.xor_pub (Mpc.rshift eqb d) top) m in
-      let lt_lo = Mpc.and_mask ltb m in
-      let eq_lo = Mpc.and_mask eqb m in
-      let both =
-        Mpc.band
-          ~width:(max 1 (w / (2 * d)))
-          ctx
-          (Share.append eq_hi eq_hi)
-          (Share.append lt_lo eq_lo)
-      in
-      let a, b = Share.split2 both n in
-      go (Mpc.xor lt_hi a) b (2 * d)
+  let eqb =
+    Array.map
+      (fun (x, y, w) ->
+        let mw = Orq_util.Ring.mask w in
+        Mpc.bnot (Mpc.xor (Mpc.and_mask x mw) (Mpc.and_mask y mw)))
+      lanes
   in
-  go ltb eqb 1
+  let d = Array.make k 1 in
+  let width_of i =
+    let _, _, w = lanes.(i) in
+    w
+  in
+  let rec loop () =
+    let active = active_lanes k (fun i -> d.(i) < width_of i) in
+    if Array.length active > 0 then begin
+      let xs =
+        Array.map
+          (fun i ->
+            let dd = d.(i) in
+            let m = stride_mask (2 * dd) in
+            let top =
+              Orq_util.Ring.ones
+              lsl (Orq_util.Ring.word_bits - dd)
+              land Orq_util.Ring.ones
+            in
+            let eq_hi =
+              Mpc.and_mask (Mpc.xor_pub (Mpc.rshift eqb.(i) dd) top) m
+            in
+            Share.append eq_hi eq_hi)
+          active
+      in
+      let ys =
+        Array.map
+          (fun i ->
+            let m = stride_mask (2 * d.(i)) in
+            Share.append (Mpc.and_mask ltb.(i) m) (Mpc.and_mask eqb.(i) m))
+          active
+      in
+      let ws = Array.map (fun i -> max 1 (width_of i / (2 * d.(i)))) active in
+      let both = Mpc.band_many ~widths:ws ctx xs ys in
+      Array.iteri
+        (fun j i ->
+          let dd = d.(i) in
+          let m = stride_mask (2 * dd) in
+          let lt_hi = Mpc.and_mask (Mpc.rshift ltb.(i) dd) m in
+          let n = Share.length ltb.(i) in
+          let a, b = Share.split2 both.(j) n in
+          ltb.(i) <- Mpc.xor lt_hi a;
+          eqb.(i) <- b;
+          d.(i) <- 2 * dd)
+        active;
+      loop ()
+    end
+  in
+  loop ();
+  Array.init k (fun i -> (Mpc.and_mask ltb.(i) 1, Mpc.and_mask eqb.(i) 1))
+
+(* Two's-complement comparison = unsigned comparison with flipped sign
+   bits (a local xor). *)
+let sign_flip ~w v = Mpc.xor_pub v (1 lsl (w - 1))
+
+(** [lt_eq_many ctx lanes]: the (x < y, x = y) bit pair for each lane, for
+    the price of the fused less-than ladder alone — ⌈log₂ w⌉ + 1 rounds at
+    the widest lane. *)
+let lt_eq_many ?(signed = false) (ctx : Ctx.t)
+    (lanes : (Share.shared * Share.shared * int) array) :
+    (Share.shared * Share.shared) array =
+  let lanes =
+    if signed then
+      Array.map (fun (x, y, w) -> (sign_flip ~w x, sign_flip ~w y, w)) lanes
+    else lanes
+  in
+  lt_core_many ctx lanes
+
+(** [lt_many ctx lanes]: k independent less-than tests in max-lane-depth
+    fused rounds. *)
+let lt_many ?signed (ctx : Ctx.t)
+    (lanes : (Share.shared * Share.shared * int) array) : Share.shared array =
+  Array.map fst (lt_eq_many ?signed ctx lanes)
 
 (** [lt ctx ~w x y]: single-bit sharing of [x < y]. Unsigned by default;
     [~signed:true] compares in two's complement by flipping the sign bit. *)
-let lt ?(signed = false) (ctx : Ctx.t) ~w x y =
-  if signed then
-    let flip = 1 lsl (w - 1) in
-    lt_core ctx ~w (Mpc.xor_pub x flip) (Mpc.xor_pub y flip)
-  else lt_core ctx ~w x y
+let lt ?signed (ctx : Ctx.t) ~w x y =
+  (lt_many ?signed ctx [| (x, y, w) |]).(0)
 
 let gt ?signed ctx ~w x y = lt ?signed ctx ~w y x
 let le ?signed ctx ~w x y = Mpc.xor_pub (lt ?signed ctx ~w y x) 1
 let ge ?signed ctx ~w x y = Mpc.xor_pub (lt ?signed ctx ~w x y) 1
 
+(* Log-depth merge of per-column (lt, eq) pairs under the associative
+   lexicographic combination (hi = more significant column):
+     (lt_hi, eq_hi) ⊗ (lt_lo, eq_lo) = (lt_hi ⊕ eq_hi∧lt_lo, eq_hi∧eq_lo)
+   Each level issues the two single-bit ANDs of every adjacent pair as one
+   fused round. *)
+let rec lex_reduce (ctx : Ctx.t) (ps : (Share.shared * Share.shared) array) :
+    Share.shared =
+  let m = Array.length ps in
+  if m = 1 then fst ps.(0)
+  else begin
+    let pn = m / 2 in
+    let xs =
+      Array.init (2 * pn) (fun t -> snd ps.(2 * (t / 2)))
+    in
+    let ys =
+      Array.init (2 * pn) (fun t ->
+          let lo = ps.((2 * (t / 2)) + 1) in
+          if t land 1 = 0 then fst lo else snd lo)
+    in
+    let rs = Mpc.band_many ~widths:(Array.make (2 * pn) 1) ctx xs ys in
+    let merged =
+      Array.init pn (fun j -> (Mpc.xor (fst ps.(2 * j)) rs.(2 * j), rs.((2 * j) + 1)))
+    in
+    let merged =
+      if m mod 2 = 1 then Array.append merged [| ps.(m - 1) |] else merged
+    in
+    lex_reduce ctx merged
+  end
+
 (** Lexicographic less-than over a list of (x, y, width) column pairs —
     the composite-key comparator used by TableSort and the sorting wrapper
     (the (key, index) 128-bit padding construction of §B.2):
-    lt = lt_1 or (eq_1 and (lt_2 or (eq_2 and ...))). *)
-let rec lt_lex ?signed (ctx : Ctx.t) = function
+    lt = lt_1 or (eq_1 and (lt_2 or (eq_2 and ...))). All columns' (lt, eq)
+    ladders run in one fused lockstep pass (equality comes free from the
+    less-than ladder), then a log-depth merge combines the columns. *)
+let lt_lex ?signed (ctx : Ctx.t) = function
   | [] -> invalid_arg "lt_lex: empty key list"
   | [ (x, y, w) ] -> lt ?signed ctx ~w x y
-  | (x, y, w) :: rest ->
-      let hd_lt = lt ?signed ctx ~w x y in
-      let hd_eq = eq ctx ~w x y in
-      let tail = lt_lex ?signed ctx rest in
-      (* disjoint terms: or = xor *)
-      Mpc.xor hd_lt (Mpc.band ~width:1 ctx hd_eq tail)
+  | cols -> lex_reduce ctx (lt_eq_many ?signed ctx (Array.of_list cols))
 
-(** Conjunction of per-column equality over composite keys. *)
-let eq_composite (ctx : Ctx.t) (cols : (Share.shared * Share.shared * int) list) =
+(** Conjunction of per-column equality over composite keys: one fused
+    equality pass over all columns, then a log-depth AND tree (k - 1
+    single-bit ANDs, same traffic as the sequential fold). *)
+let eq_composite_many (ctx : Ctx.t)
+    (groups : (Share.shared * Share.shared * int) list array) :
+    Share.shared array =
+  if Array.length groups = 0 then [||]
+  else begin
+    Array.iter
+      (fun g -> if g = [] then invalid_arg "eq_composite_many: empty key list")
+      groups;
+    (* one fused per-column equality pass over every group's columns *)
+    let lanes = Array.of_list (List.concat (Array.to_list groups)) in
+    let eqs = eq_many ctx lanes in
+    let state = Array.make (Array.length groups) [||] in
+    let off = ref 0 in
+    Array.iteri
+      (fun gi g ->
+        let k = List.length g in
+        state.(gi) <- Array.sub eqs !off k;
+        off := !off + k)
+      groups;
+    (* lockstep log-depth AND tree: each level fuses the adjacent pairs of
+       every still-unreduced group into one round; a group with an odd
+       element carries it to the next level unchanged *)
+    let live = ref (Array.exists (fun es -> Array.length es > 1) state) in
+    while !live do
+      let xs = ref [] and ys = ref [] in
+      Array.iter
+        (fun es ->
+          for j = 0 to (Array.length es / 2) - 1 do
+            xs := es.(2 * j) :: !xs;
+            ys := es.((2 * j) + 1) :: !ys
+          done)
+        state;
+      let xs = Array.of_list (List.rev !xs)
+      and ys = Array.of_list (List.rev !ys) in
+      let rs =
+        Mpc.band_many ~widths:(Array.make (Array.length xs) 1) ctx xs ys
+      in
+      let pos = ref 0 in
+      Array.iteri
+        (fun gi es ->
+          let m = Array.length es in
+          let pn = m / 2 in
+          let merged = Array.sub rs !pos pn in
+          pos := !pos + pn;
+          state.(gi) <-
+            (if m mod 2 = 1 then Array.append merged [| es.(m - 1) |]
+             else merged))
+        state;
+      live := Array.exists (fun es -> Array.length es > 1) state
+    done;
+    Array.map (fun es -> es.(0)) state
+  end
+
+let eq_composite (ctx : Ctx.t) (cols : (Share.shared * Share.shared * int) list)
+    =
   match cols with
   | [] -> invalid_arg "eq_composite: empty key list"
   | [ (x, y, w) ] -> eq ctx ~w x y
-  | (x, y, w) :: rest ->
-      List.fold_left
-        (fun acc (x, y, w) -> Mpc.band ~width:1 ctx acc (eq ctx ~w x y))
-        (eq ctx ~w x y) rest
+  | cols -> (eq_composite_many ctx [| cols |]).(0)

@@ -2,7 +2,13 @@
     logarithmic OR-fold equality and divide-and-conquer less-than —
     [O(log w)] AND rounds for [w]-bit values, as assumed by the paper's
     sorting analysis (Appendix B). Results are single-bit boolean shares in
-    the LSB. *)
+    the LSB.
+
+    The [_many] entry points run k independent comparison lanes (possibly
+    of different widths) in lockstep, one fused round per ladder level, so
+    the batched round count is the {e maximum} lane depth instead of the
+    sum; traffic is unchanged. Single-pair functions are the one-lane
+    special case. *)
 
 open Orq_proto
 
@@ -13,6 +19,11 @@ val eq : Ctx.t -> w:int -> Share.shared -> Share.shared -> Share.shared
 (** [eq ctx ~w x y]: single-bit sharing of [x = y] over the low [w] bits;
     [log2 w] AND rounds. *)
 
+val eq_many :
+  Ctx.t -> (Share.shared * Share.shared * int) array -> Share.shared array
+(** k independent equalities (lanes are (x, y, width) triples) in
+    max-lane-depth fused rounds; lanes drop out as their strides expire. *)
+
 val neq : Ctx.t -> w:int -> Share.shared -> Share.shared -> Share.shared
 
 val lt :
@@ -20,6 +31,18 @@ val lt :
   Share.shared
 (** [lt ctx ~w x y]: single-bit sharing of [x < y]; unsigned by default,
     [~signed:true] compares [w]-bit two's complement (sign-bit flip). *)
+
+val lt_many :
+  ?signed:bool -> Ctx.t -> (Share.shared * Share.shared * int) array ->
+  Share.shared array
+(** k independent less-than tests in max-lane-depth fused rounds. *)
+
+val lt_eq_many :
+  ?signed:bool -> Ctx.t -> (Share.shared * Share.shared * int) array ->
+  (Share.shared * Share.shared) array
+(** Per lane, the ([x < y], [x = y]) bit pair for the price of the fused
+    less-than ladder alone — its block-equality word terminates holding
+    full-width equality, so the second bit is free. *)
 
 val gt :
   ?signed:bool -> Ctx.t -> w:int -> Share.shared -> Share.shared ->
@@ -37,8 +60,19 @@ val lt_lex :
   ?signed:bool -> Ctx.t -> (Share.shared * Share.shared * int) list ->
   Share.shared
 (** Lexicographic less-than over (x, y, width) column pairs — the
-    composite-key comparator of TableSort and the sorting wrapper. *)
+    composite-key comparator of TableSort and the sorting wrapper. All
+    columns' (lt, eq) ladders run in one fused lockstep pass, then a
+    log-depth associative merge combines them. *)
 
 val eq_composite :
   Ctx.t -> (Share.shared * Share.shared * int) list -> Share.shared
-(** Conjunction of per-column equality over composite keys. *)
+(** Conjunction of per-column equality over composite keys: one fused
+    equality pass, then a log-depth AND tree. *)
+
+val eq_composite_many :
+  Ctx.t -> (Share.shared * Share.shared * int) list array ->
+  Share.shared array
+(** Batched {!eq_composite}: every group's column equalities join one
+    fused ladder and the AND trees reduce in lockstep — the aggregation
+    network uses this to evaluate the group bits of all its levels at
+    once. *)

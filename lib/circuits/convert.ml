@@ -9,16 +9,33 @@
 open Orq_proto
 open Orq_util
 
+(** Batched single-bit boolean-to-arithmetic conversion: each lane masks
+    with its own daBits (drawn per lane in lane order, matching the
+    unbatched dealer stream) and all [b xor r] openings share one fused
+    round; the recombination [c + [r]_A * (1 - 2c)] is local. *)
+let bit_b2a_many (ctx : Ctx.t) (bs : Share.shared array) : Share.shared array =
+  if Array.length bs = 0 then [||]
+  else begin
+    let das = Array.map (fun b -> Dealer.dabits ctx (Share.length b)) bs in
+    let masked =
+      Array.mapi
+        (fun i b -> Mpc.and_mask (Mpc.xor b das.(i).Dealer.da_bool) 1)
+        bs
+    in
+    let widths = Array.map (fun _ -> 1) bs in
+    let cs = Mpc.open_many ~widths ctx masked in
+    Array.mapi
+      (fun i c ->
+        let coeff = Vec.map (fun ci -> 1 - (2 * ci)) c in
+        Mpc.add_pub_vec (Mpc.mul_pub_vec das.(i).Dealer.da_arith coeff) c)
+      cs
+  end
+
 (** Convert single-bit boolean sharings (condition bits in the LSB) to
     arithmetic 0/1 sharings. One opening round:
     c = open(b xor r);  [b]_A = c + [r]_A * (1 - 2c). *)
 let bit_b2a (ctx : Ctx.t) (b : Share.shared) : Share.shared =
-  let n = Share.length b in
-  let { Dealer.da_bool; da_arith } = Dealer.dabits ctx n in
-  let masked = Mpc.and_mask (Mpc.xor b da_bool) 1 in
-  let c = Mpc.open_ ~width:1 ctx masked in
-  let coeff = Vec.map (fun ci -> 1 - (2 * ci)) c in
-  Mpc.add_pub_vec (Mpc.mul_pub_vec da_arith coeff) c
+  (bit_b2a_many ctx [| b |]).(0)
 
 (** Full-width boolean-to-arithmetic conversion via per-bit daBits; all [w]
     bit openings are batched into a single round, then recombined locally as
@@ -51,12 +68,31 @@ let b2a ?w ?(signed = false) (ctx : Ctx.t) (x : Share.shared) : Share.shared =
   done;
   !acc
 
+(** Batched arithmetic-to-boolean conversion over (x, w) lanes: each lane
+    masks with its own doubly shared random value (edaBits, drawn per lane
+    in lane order so the dealer stream matches the unbatched sequence),
+    all [x + r] openings share one fused round, and the subtractions run
+    through the lockstep boolean adder — one opening round plus a
+    max-lane-depth adder for any number of conversions. *)
+let a2b_many (ctx : Ctx.t) (lanes : (Share.shared * int) array) :
+    Share.shared array =
+  if Array.length lanes = 0 then [||]
+  else begin
+    let eds = Array.map (fun (x, _) -> Dealer.edabits ctx (Share.length x)) lanes in
+    let masked =
+      Array.mapi (fun i (x, _) -> Mpc.add x eds.(i).Dealer.ed_arith) lanes
+    in
+    let cs = Mpc.open_many ctx masked in
+    Adder.sub_pub_minuend_many ctx
+      (Array.mapi
+         (fun i (_, w) ->
+           (cs.(i), eds.(i).Dealer.ed_bool, min w Ring.word_bits))
+         lanes)
+  end
+
 (** Arithmetic-to-boolean conversion: mask with a doubly shared random
     [r] (edaBits), open [x + r], and subtract [r] inside a boolean adder:
     [x]_B = (x + r) - [r]_B. One opening round plus one adder. *)
 let a2b ?w (ctx : Ctx.t) (x : Share.shared) : Share.shared =
   let w = Option.value w ~default:(min ctx.Ctx.ell Ring.word_bits) in
-  let w = min w Ring.word_bits in
-  let { Dealer.ed_arith; ed_bool } = Dealer.edabits ctx (Share.length x) in
-  let c = Mpc.open_ ctx (Mpc.add x ed_arith) in
-  Adder.sub_pub_minuend ctx ~w c ed_bool
+  (a2b_many ctx [| (x, w) |]).(0)

@@ -4,6 +4,9 @@
 
 open Orq_proto
 
+val bit_b2a_many : Ctx.t -> Share.shared array -> Share.shared array
+(** Batched {!bit_b2a}: all lane openings share one fused round. *)
+
 val bit_b2a : Ctx.t -> Share.shared -> Share.shared
 (** Single-bit boolean sharings (LSB) to arithmetic 0/1 sharings; one
     opening round: c = open(b xor r), [b]_A = c + [r]_A (1 - 2c). *)
@@ -17,3 +20,7 @@ val a2b : ?w:int -> Ctx.t -> Share.shared -> Share.shared
 (** Arithmetic-to-boolean: mask with a doubly shared random value
     (edaBits), open x + r, subtract [r] in a boolean adder. Correct modulo
     2^w (two's complement for negatives). *)
+
+val a2b_many : Ctx.t -> (Share.shared * int) array -> Share.shared array
+(** k independent A2B conversions (lanes are (x, width)): one fused
+    opening round plus a max-lane-depth lockstep adder. *)

@@ -26,5 +26,18 @@ let mux_b_many ?width (ctx : Ctx.t) b (pairs : (Share.shared * Share.shared) lis
       let big = Mpc.band ?width ctx (Share.concat exts) (Share.concat diffs) in
       List.mapi (fun i (x, _) -> Mpc.xor x (Share.sub_range big (i * n) n)) pairs
 
+(** Batched independent muxes: lane i selects [b_i ? y_i : x_i] under its
+    own condition and width; the k AND legs share one fused round
+    ({!Mpc.band_many}) instead of k sequential mux rounds. *)
+let select_many ?widths (ctx : Ctx.t)
+    (lanes : (Share.shared * Share.shared * Share.shared) array) :
+    Share.shared array =
+  if Array.length lanes = 0 then [||]
+  else
+    let exts = Array.map (fun (b, _, _) -> Mpc.extend_bit b) lanes in
+    let diffs = Array.map (fun (_, x, y) -> Mpc.xor x y) lanes in
+    let ms = Mpc.band_many ?widths ctx exts diffs in
+    Array.mapi (fun i (_, x, _) -> Mpc.xor x ms.(i)) lanes
+
 (** Arithmetic mux: condition given as an arithmetic 0/1 sharing. *)
 let mux_a (ctx : Ctx.t) b x y = Mpc.add x (Mpc.mul ctx b (Mpc.sub y x))

@@ -14,5 +14,11 @@ val mux_b_many :
 (** Mux several columns under one condition in a single round — the
     workhorse of the aggregation network. *)
 
+val select_many :
+  ?widths:int array -> Ctx.t ->
+  (Share.shared * Share.shared * Share.shared) array -> Share.shared array
+(** k independent muxes (lane i is (b, x, y), selecting [b ? y : x]) with
+    per-lane widths, their AND legs fused into one round. *)
+
 val mux_a : Ctx.t -> Share.shared -> Share.shared -> Share.shared -> Share.shared
 (** Arithmetic mux with a 0/1 arithmetic condition (one multiplication). *)

@@ -62,99 +62,164 @@ let run (ctx : Ctx.t) ~(keys : (Share.shared * int) list)
   let needs_tid = List.exists (fun sp -> sp.keys = Group_and_tid) specs in
   if needs_tid && tid = None then invalid_arg "Aggnet.run: tid column required";
   let cols = ref (List.map (fun sp -> pad sp.col) specs) in
-  let d = ref 1 in
-  while !d < n2 do
-    let dd = !d in
-    let m = n2 - dd in
-    (* group-boundary bit over the aggregation keys *)
-    let b_group =
-      Compare.eq_composite ctx
-        (List.map
-           (fun (k, w) ->
-             let u, l = slices k dd in
-             (u, l, w))
-           keys)
-    in
-    let b_ext =
-      if needs_tid then
-        match tid with
-        | Some t ->
-            let u, l = slices t dd in
-            Some (Mpc.band ~width:1 ctx b_group (Compare.eq ctx ~w:1 u l))
-        | None -> None
-      else None
-    in
-    (* arithmetic view of the boundary bit, shared by all Sum functions *)
-    let b_arith = lazy (Convert.bit_b2a ctx b_group) in
+  let levels =
+    let rec go d acc = if d < n2 then go (2 * d) (d :: acc) else List.rev acc in
+    Array.of_list (go 1 [])
+  in
+  let nlev = Array.length levels in
+  (* Pre-pass: the group-boundary bits of every doubling level depend only
+     on the key (and tid) columns, which the network never modifies — so
+     all levels' equality ladders run as one fused lockstep batch, the tid
+     conjunctions as one round, and the arithmetic views (needed by Sum
+     functions) as one fused opening, instead of paying each level's
+     ladder sequentially. Only the value propagation is level-ordered. *)
+  let key_groups =
+    Array.map
+      (fun dd ->
+        List.map
+          (fun (k, w) ->
+            let u, l = slices k dd in
+            (u, l, w))
+          keys)
+      levels
+  in
+  let all_groups =
+    match tid with
+    | Some t when needs_tid ->
+        Array.append key_groups
+          (Array.map
+             (fun dd ->
+               let u, l = slices t dd in
+               [ (u, l, 1) ])
+             levels)
+    | _ -> key_groups
+  in
+  let bits = Compare.eq_composite_many ctx all_groups in
+  let b_groups = Array.sub bits 0 nlev in
+  let b_exts =
+    if needs_tid then
+      Some
+        (Mpc.band_many ~widths:(Array.make nlev 1) ctx b_groups
+           (Array.sub bits nlev nlev))
+    else None
+  in
+  let has_sum =
+    List.exists (fun sp -> match sp.func with Sum -> true | _ -> false) specs
+  in
+  let b_ariths =
+    if has_sum then Convert.bit_b2a_many ctx b_groups else [||]
+  in
+  Array.iteri (fun li dd ->
+    let b_group = b_groups.(li) in
+    let b_ext = Option.map (fun a -> a.(li)) b_exts in
     let b_of = function
       | Group -> b_group
       | Group_and_tid -> Option.get b_ext
     in
-    (* collect boolean-mux updates so they share one round *)
-    let mux_batch = ref [] in
-    let push_mux b lower g width =
-      mux_batch := (b, lower, g, width) :: !mux_batch;
-      `Mux (List.length !mux_batch - 1)
+    let specs_a = Array.of_list specs in
+    let cols_a = Array.of_list !cols in
+    let ns = Array.length specs_a in
+    (* Phase 1 — pairwise pre-combination. All Sum multiplications fuse
+       into one round; all Min/Max specs share one fused comparison ladder
+       and one fused selection round. *)
+    let direct = Array.make ns None in
+    let sum_idx =
+      Array.of_list
+        (List.filter_map
+           (fun i -> match specs_a.(i).func with Sum -> Some i | _ -> None)
+           (List.init ns Fun.id))
     in
-    let updates =
-      List.map2
-        (fun sp col ->
-          let upper, lower = slices col dd in
-          match sp.func with
-          | Copy -> push_mux (b_of sp.keys) lower upper sp.width
-          | Sum ->
-              Share.check_enc Arith col;
-              (* lower + b * upper : local once b is arithmetic *)
-              `Direct (Mpc.add lower (Mpc.mul ctx (Lazy.force b_arith) upper))
-          | Min w ->
-              let lt = Compare.lt ctx ~w upper lower in
-              let smaller = Mux.mux_b ~width:w ctx lt lower upper in
-              push_mux (b_of sp.keys) lower smaller w
-          | Max w ->
-              let lt = Compare.lt ctx ~w upper lower in
-              let larger = Mux.mux_b ~width:w ctx lt upper lower in
-              push_mux (b_of sp.keys) lower larger w
-          | Custom f ->
-              let g = f ctx upper lower in
-              push_mux (b_of sp.keys) lower g sp.width)
-        specs !cols
+    if Array.length sum_idx > 0 then begin
+      Array.iter (fun i -> Share.check_enc Arith cols_a.(i)) sum_idx;
+      let b = b_ariths.(li) in
+      let prods =
+        Mpc.mul_many ctx
+          (Array.map (fun _ -> b) sum_idx)
+          (Array.map (fun i -> fst (slices cols_a.(i) dd)) sum_idx)
+      in
+      Array.iteri
+        (fun j i ->
+          let _, lower = slices cols_a.(i) dd in
+          direct.(i) <- Some (Mpc.add lower prods.(j)))
+        sum_idx
+    end;
+    let pre = Array.make ns None in
+    let pre_width = Array.make ns 1 in
+    let mm =
+      Array.of_list
+        (List.filter_map
+           (fun i ->
+             match specs_a.(i).func with
+             | Min w -> Some (i, true, w)
+             | Max w -> Some (i, false, w)
+             | _ -> None)
+           (List.init ns Fun.id))
     in
-    (* one batched round for all boolean muxes of this level *)
-    let batched = Array.of_list (List.rev !mux_batch) in
-    let mux_results =
-      if Array.length batched = 0 then [||]
-      else begin
-        (* all conditions have the same length m; batch under one AND *)
-        let conds = Array.to_list (Array.map (fun (b, _, _, _) -> b) batched) in
-        let olds = Array.to_list (Array.map (fun (_, o, _, _) -> o) batched) in
-        let news = Array.to_list (Array.map (fun (_, _, g, _) -> g) batched) in
-        let width =
-          Array.fold_left (fun acc (_, _, _, w) -> max acc w) 1 batched
-        in
-        let exts = List.map Mpc.extend_bit conds in
-        let diffs = List.map2 Mpc.xor olds news in
-        let anded =
-          Mpc.band ~width ctx (Share.concat exts) (Share.concat diffs)
-        in
-        Array.of_list
-          (List.mapi
-             (fun i o -> Mpc.xor o (Share.sub_range anded (i * m) m))
-             olds)
-      end
+    if Array.length mm > 0 then begin
+      let ws = Array.map (fun (_, _, w) -> w) mm in
+      let lts =
+        Compare.lt_many ctx
+          (Array.map
+             (fun (i, _, w) ->
+               let u, l = slices cols_a.(i) dd in
+               (u, l, w))
+             mm)
+      in
+      let combined =
+        Mux.select_many ~widths:ws ctx
+          (Array.mapi
+             (fun j (i, is_min, _) ->
+               let u, l = slices cols_a.(i) dd in
+               (* min = lt ? upper : lower; max = lt ? lower-side pick *)
+               if is_min then (lts.(j), l, u) else (lts.(j), u, l))
+             mm)
+      in
+      Array.iteri
+        (fun j (i, _, w) ->
+          pre.(i) <- Some combined.(j);
+          pre_width.(i) <- w)
+        mm
+    end;
+    Array.iteri
+      (fun i sp ->
+        let upper, lower = slices cols_a.(i) dd in
+        match sp.func with
+        | Copy ->
+            pre.(i) <- Some upper;
+            pre_width.(i) <- sp.width
+        | Custom f ->
+            pre.(i) <- Some (f ctx upper lower);
+            pre_width.(i) <- sp.width
+        | Sum | Min _ | Max _ -> ())
+      specs_a;
+    (* Phase 2 — boundary muxes: one fused round at per-lane widths *)
+    let bm =
+      Array.of_list
+        (List.filter_map
+           (fun i -> Option.map (fun g -> (i, g)) pre.(i))
+           (List.init ns Fun.id))
     in
+    let bm_res =
+      Mux.select_many
+        ~widths:(Array.map (fun (i, _) -> pre_width.(i)) bm)
+        ctx
+        (Array.map
+           (fun (i, g) ->
+             let _, lower = slices cols_a.(i) dd in
+             (b_of specs_a.(i).keys, lower, g))
+           bm)
+    in
+    let new_lower = Array.make ns None in
+    Array.iteri (fun j (i, _) -> new_lower.(i) <- Some bm_res.(j)) bm;
+    Array.iteri (fun i d -> if d <> None then new_lower.(i) <- d) direct;
     cols :=
-      List.map2
-        (fun upd col ->
-          let head = Share.sub_range col 0 dd in
-          let new_lower =
-            match upd with
-            | `Direct s -> s
-            | `Mux i -> mux_results.(i)
-          in
-          Share.append head new_lower)
-        updates !cols;
-    d := !d * 2
-  done;
+      Array.to_list
+        (Array.mapi
+           (fun i col ->
+             let head = Share.sub_range col 0 dd in
+             Share.append head (Option.get new_lower.(i)))
+           cols_a))
+    levels;
   List.map (fun c -> Share.sub_range c 0 n) !cols
 
 (** Mark the first row of each group in a table sorted on [keys]:

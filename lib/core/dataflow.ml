@@ -74,12 +74,12 @@ let count_width (t : Table.t) = Orq_util.Ring.log2_ceil (Table.nrows t) + 1
 
 (* Build the Aggnet specs for one dataflow aggregation; Avg expands to a
    sum/count pair plus a post-division. Each entry is
-   (spec, finisher, width, signedness of result, destination name). *)
+   (spec, finisher tag, width, signedness of result, destination name).
+   The finisher is a tag rather than a closure so [aggregate] can run all
+   [`A2b] finishes through one fused conversion. *)
 let expand_agg (t : Table.t) (a : agg) :
-    (Aggnet.spec * (Ctx.t -> Share.shared -> Share.shared) * int * bool * string)
-    list =
+    (Aggnet.spec * [ `A2b | `Id ] * int * bool * string) list =
   let ctx = Table.ctx t in
-  let id _ s = s in
   match a.fn with
   | Sum ->
       let src = Table.find t a.src in
@@ -87,7 +87,7 @@ let expand_agg (t : Table.t) (a : agg) :
       let col = Column.as_arith ctx src in
       [
         ( { Aggnet.col; func = Aggnet.Sum; keys = Aggnet.Group; width = w },
-          (fun ctx s -> Orq_circuits.Convert.a2b ~w ctx s),
+          `A2b,
           w,
           src.Column.signed,
           a.dst );
@@ -97,7 +97,7 @@ let expand_agg (t : Table.t) (a : agg) :
       let col = Share.public ctx Share.Arith (Table.nrows t) 1 in
       [
         ( { Aggnet.col; func = Aggnet.Sum; keys = Aggnet.Group; width = w },
-          (fun ctx s -> Orq_circuits.Convert.a2b ~w ctx s),
+          `A2b,
           w,
           false,
           a.dst );
@@ -112,7 +112,7 @@ let expand_agg (t : Table.t) (a : agg) :
             keys = Aggnet.Group;
             width = w;
           },
-          id,
+          `Id,
           w,
           false,
           a.dst );
@@ -126,7 +126,7 @@ let expand_agg (t : Table.t) (a : agg) :
             keys = Aggnet.Group;
             width = w;
           },
-          id,
+          `Id,
           w,
           false,
           a.dst );
@@ -140,7 +140,7 @@ let expand_agg (t : Table.t) (a : agg) :
             keys = Aggnet.Group;
             width = w;
           },
-          id,
+          `Id,
           w,
           false,
           a.dst );
@@ -155,12 +155,12 @@ let expand_agg (t : Table.t) (a : agg) :
       let ones = Share.public ctx Share.Arith (Table.nrows t) 1 in
       [
         ( { Aggnet.col; func = Aggnet.Sum; keys = Aggnet.Group; width = ws },
-          (fun ctx s -> Orq_circuits.Convert.a2b ~w:ws ctx s),
+          `A2b,
           ws,
           false,
           a.dst ^ "#sum" );
         ( { Aggnet.col = ones; func = Aggnet.Sum; keys = Aggnet.Group; width = wc },
-          (fun ctx s -> Orq_circuits.Convert.a2b ~w:wc ctx s),
+          `A2b,
           wc,
           false,
           a.dst ^ "#count" );
@@ -186,10 +186,29 @@ let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
   let results =
     Aggnet.run ctx ~keys:key_shares (List.map (fun (sp, _, _, _, _) -> sp) expanded)
   in
+  (* every sum/count result converts through one fused A2B *)
+  let conv =
+    Orq_circuits.Convert.a2b_many ctx
+      (Array.of_list
+         (List.concat
+            (List.map2
+               (fun (_, fin, w, _, _) r ->
+                 match fin with `A2b -> [ (r, w) ] | `Id -> [])
+               expanded results)))
+  in
+  let ci = ref 0 in
   let finished =
     List.map2
-      (fun (_, finish, w, signed, dst) r ->
-        (dst, Column.of_shared ~signed ~width:w (finish ctx r)))
+      (fun (_, fin, w, signed, dst) r ->
+        let v =
+          match fin with
+          | `A2b ->
+              let c = conv.(!ci) in
+              incr ci;
+              c
+          | `Id -> r
+        in
+        (dst, Column.of_shared ~signed ~width:w v))
       expanded results
   in
   let t =
@@ -221,91 +240,171 @@ let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
 (* Global (whole-table) aggregation                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Fold a shared vector to one element by pairwise combine in a log-depth
-   tree (used for global min/max; one compare+mux round per level). *)
-let tree_fold ctx combine (s : Share.shared) : Share.shared =
-  let rec go s =
-    let n = Share.length s in
-    if n = 1 then s
-    else
-      let half = n / 2 in
-      let a = Share.sub_range s 0 half in
-      let b = Share.sub_range s half half in
-      let merged = combine ctx a b in
-      let merged =
-        if n mod 2 = 1 then Share.append merged (Share.sub_range s (n - 1) 1)
-        else merged
-      in
-      go merged
-  in
-  go s
-
 (** Whole-table aggregation (no grouping key): SUM/COUNT/AVG are computed
     with a validity-masked local reduction — no sorting at all, which is
     why the paper's Q6 is its cheapest query — and MIN/MAX with a log-depth
-    compare tree over validity-masked values. Returns a one-row table. *)
+    compare tree over validity-masked values. Returns a one-row table.
+
+    All aggregates batch across one another: the validity-masking
+    multiplications fuse into one round, every sum/count finish goes
+    through one fused A2B, and the MIN/MAX trees fold in lockstep (each
+    level's comparisons and selections are shared rounds across lanes). *)
 let global_aggregate (t : Table.t) ~(aggs : agg list) : Table.t =
   let ctx = Table.ctx t in
-  let v_arith = lazy (Orq_circuits.Convert.bit_b2a ctx t.Table.valid) in
-  let cols =
+  let module Cv = Orq_circuits.Convert in
+  let module Mx = Orq_circuits.Mux in
+  let module Cp = Orq_circuits.Compare in
+  let v_arith = lazy (Cv.bit_b2a ctx t.Table.valid) in
+  let plans =
     List.map
       (fun a ->
         match a.fn with
         | Sum ->
             let src = Table.find t a.src in
             let w = sum_width t src.Column.width in
-            let x = Column.as_arith ctx src in
-            let masked = Mpc.mul ~width:w ctx x (Lazy.force v_arith) in
-            (a.dst, Column.of_shared ~signed:src.Column.signed ~width:w
-               (Orq_circuits.Convert.a2b ~w ctx (Mpc.sum_all masked)))
-        | Count ->
-            let w = count_width t in
-            (a.dst, Column.of_shared ~width:w
-               (Orq_circuits.Convert.a2b ~w ctx
-                  (Mpc.sum_all (Lazy.force v_arith))))
+            `Masked (a, Column.as_arith ctx src, w, src.Column.signed, false)
         | Avg ->
             let ws = sum_width t (Table.width t a.src) in
-            let x = Column.as_arith ctx (Table.find t a.src) in
-            let masked = Mpc.mul ~width:ws ctx x (Lazy.force v_arith) in
-            let sum =
-              Orq_circuits.Convert.a2b ~w:ws ctx (Mpc.sum_all masked)
-            in
-            let cnt =
-              Orq_circuits.Convert.a2b ~w:(count_width t) ctx
-                (Mpc.sum_all (Lazy.force v_arith))
-            in
-            let q, _ = Orq_circuits.Divide.udiv ctx ~w:ws sum cnt in
-            (a.dst, Column.of_shared ~width:ws q)
-        | Min ->
-            let w = Table.width t a.src in
-            let x = Table.column t a.src in
-            (* invalid rows become the identity (all ones) *)
-            let masked =
-              Orq_circuits.Mux.mux_b ~width:w ctx t.Table.valid
-                (Share.public ctx Share.Bool t.Table.nrows (Orq_util.Ring.mask w))
-                x
-            in
-            let combine ctx a b =
-              let lt = Orq_circuits.Compare.lt ctx ~w a b in
-              Orq_circuits.Mux.mux_b ~width:w ctx lt b a
-            in
-            (a.dst, Column.of_shared ~width:w (tree_fold ctx combine masked))
-        | Max ->
-            let w = Table.width t a.src in
-            let x = Table.column t a.src in
-            let masked =
-              Orq_circuits.Mux.mux_b ~width:w ctx t.Table.valid
-                (Share.public ctx Share.Bool t.Table.nrows 0)
-                x
-            in
-            let combine ctx a b =
-              let lt = Orq_circuits.Compare.lt ctx ~w a b in
-              Orq_circuits.Mux.mux_b ~width:w ctx lt a b
-            in
-            (a.dst, Column.of_shared ~width:w (tree_fold ctx combine masked))
+            `Masked (a, Column.as_arith ctx (Table.find t a.src), ws, false, true)
+        | Count -> `Count a
+        | Min -> `Minmax (a, true, Table.width t a.src, Table.column t a.src)
+        | Max -> `Minmax (a, false, Table.width t a.src, Table.column t a.src)
         | Custom _ ->
             invalid_arg "global_aggregate: custom functions need group keys")
       aggs
+  in
+  (* fused validity-masked multiplications for SUM/AVG *)
+  let masked_lanes =
+    List.filter_map
+      (function `Masked (_, x, w, _, _) -> Some (x, w) | _ -> None)
+      plans
+  in
+  let products =
+    if masked_lanes = [] then [||]
+    else
+      Mpc.mul_many
+        ~widths:(Array.of_list (List.map snd masked_lanes))
+        ctx
+        (Array.of_list (List.map fst masked_lanes))
+        (Array.of_list (List.map (fun _ -> Lazy.force v_arith) masked_lanes))
+  in
+  (* one fused A2B over every sum/count finish *)
+  let a2b_lanes = ref [] in
+  let na = ref 0 in
+  let push_a2b s w =
+    a2b_lanes := (s, w) :: !a2b_lanes;
+    incr na;
+    !na - 1
+  in
+  let mi = ref 0 in
+  let staged =
+    List.map
+      (fun pl ->
+        match pl with
+        | `Masked (a, _, w, signed, is_avg) ->
+            let p = products.(!mi) in
+            incr mi;
+            let si = push_a2b (Mpc.sum_all p) w in
+            if is_avg then
+              let ci =
+                push_a2b (Mpc.sum_all (Lazy.force v_arith)) (count_width t)
+              in
+              `Avg' (a, w, si, ci)
+            else `Sum' (a, w, signed, si)
+        | `Count a ->
+            let w = count_width t in
+            `Sum' (a, w, false, push_a2b (Mpc.sum_all (Lazy.force v_arith)) w)
+        | `Minmax (a, is_min, w, x) -> `Minmax (a, is_min, w, x))
+      plans
+  in
+  let conv = Cv.a2b_many ctx (Array.of_list (List.rev !a2b_lanes)) in
+  (* MIN/MAX: fused validity masking, then a lockstep log-depth fold *)
+  let mm =
+    Array.of_list
+      (List.filter_map
+         (function
+           | `Minmax (a, is_min, w, x) -> Some (a, is_min, w, x)
+           | _ -> None)
+         staged)
+  in
+  let mm_vals =
+    if Array.length mm = 0 then [||]
+    else begin
+      let ws = Array.map (fun (_, _, w, _) -> w) mm in
+      let cur =
+        Mx.select_many ~widths:ws ctx
+          (Array.map
+             (fun (_, is_min, w, x) ->
+               (* invalid rows become the identity of the fold *)
+               let ident = if is_min then Orq_util.Ring.mask w else 0 in
+               (t.Table.valid, Share.public ctx Share.Bool t.Table.nrows ident, x))
+             mm)
+      in
+      while Array.exists (fun s -> Share.length s > 1) cur do
+        let act =
+          Array.of_list
+            (List.filter
+               (fun i -> Share.length cur.(i) > 1)
+               (List.init (Array.length cur) Fun.id))
+        in
+        let parts =
+          Array.map
+            (fun i ->
+              let s = cur.(i) in
+              let n = Share.length s in
+              let half = n / 2 in
+              ( Share.sub_range s 0 half,
+                Share.sub_range s half half,
+                if n mod 2 = 1 then Some (Share.sub_range s (n - 1) 1)
+                else None ))
+            act
+        in
+        let aws = Array.map (fun i -> let _, _, w, _ = mm.(i) in w) act in
+        let lts =
+          Cp.lt_many ctx
+            (Array.mapi
+               (fun j i ->
+                 let a, b, _ = parts.(j) in
+                 let _, _, w, _ = mm.(i) in
+                 (a, b, w))
+               act)
+        in
+        let sels =
+          Mx.select_many ~widths:aws ctx
+            (Array.mapi
+               (fun j i ->
+                 let a, b, _ = parts.(j) in
+                 let _, is_min, _, _ = mm.(i) in
+                 if is_min then (lts.(j), b, a) else (lts.(j), a, b))
+               act)
+        in
+        Array.iteri
+          (fun j i ->
+            let _, _, rest = parts.(j) in
+            cur.(i) <-
+              (match rest with
+              | Some r -> Share.append sels.(j) r
+              | None -> sels.(j)))
+          act
+      done;
+      cur
+    end
+  in
+  let mmi = ref 0 in
+  let cols =
+    List.map
+      (fun st ->
+        match st with
+        | `Sum' (a, w, signed, si) ->
+            (a.dst, Column.of_shared ~signed ~width:w conv.(si))
+        | `Avg' (a, ws, si, ci) ->
+            let q, _ = Orq_circuits.Divide.udiv ctx ~w:ws conv.(si) conv.(ci) in
+            (a.dst, Column.of_shared ~width:ws q)
+        | `Minmax (a, _, w, _) ->
+            let v = mm_vals.(!mmi) in
+            incr mmi;
+            (a.dst, Column.of_shared ~width:w v))
+      staged
   in
   Table.of_columns ctx (t.Table.name ^ "_agg")
     ~valid:(Share.public ctx Share.Bool 1 1)

@@ -147,27 +147,156 @@ let rec eval_num (t : Table.t) (e : num) : value =
         signed;
       }
 
+(* Predicate evaluation batches across comparison legs: all Cmp leaves of
+   the And/Or tree are collected first, their arithmetic operands convert
+   through one fused A2B, the equality legs share one fused OR-fold ladder
+   and the ordering legs one fused less-than ladder (per-leg signedness is
+   a local sign-bit flip), and the connective structure combines the leaf
+   bits with log-depth fused AND/OR trees. A multi-conjunct filter such as
+   Q6's thus costs one comparison-ladder depth instead of one per leg. *)
 and eval_pred (t : Table.t) (p : pred) : Share.shared =
   let ctx = Table.ctx t in
-  match p with
-  | True -> Share.public ctx Share.Bool (Table.nrows t) 1
-  | Cmp (op, a, b) ->
-      let va = eval_num t a and vb = eval_num t b in
-      let w = max va.width vb.width in
-      let signed = va.signed || vb.signed in
-      let xa = as_bool_at ctx va w and xb = as_bool_at ctx vb w in
-      let module C = Orq_circuits.Compare in
-      (match op with
-      | `Eq -> C.eq ctx ~w xa xb
-      | `Neq -> C.neq ctx ~w xa xb
-      | `Lt -> C.lt ~signed ctx ~w xa xb
-      | `Le -> C.le ~signed ctx ~w xa xb
-      | `Gt -> C.gt ~signed ctx ~w xa xb
-      | `Ge -> C.ge ~signed ctx ~w xa xb)
-  | And (a, b) ->
-      Mpc.band ~width:1 ctx (eval_pred t a) (eval_pred t b)
-  | Or (a, b) -> Mpc.bor ~width:1 ctx (eval_pred t a) (eval_pred t b)
-  | Not a -> Mpc.xor_pub (eval_pred t a) 1
+  (* Pass 1: evaluate every leaf's operands, left to right. *)
+  let leaves = ref [] in
+  let nleaves = ref 0 in
+  let rec skel p =
+    match p with
+    | True -> `T
+    | Cmp (op, a, b) ->
+        let va = eval_num t a in
+        let vb = eval_num t b in
+        let i = !nleaves in
+        incr nleaves;
+        leaves := (op, va, vb) :: !leaves;
+        `L i
+    | And (a, b) ->
+        let sa = skel a in
+        let sb = skel b in
+        `And (sa, sb)
+    | Or (a, b) ->
+        let sa = skel a in
+        let sb = skel b in
+        `Or (sa, sb)
+    | Not a -> `Not (skel a)
+  in
+  let sk = skel p in
+  let leaves =
+    Array.map
+      (fun (op, va, vb) -> (op, va, vb, max va.width vb.width))
+      (Array.of_list (List.rev !leaves))
+  in
+  (* Pass 2: every arithmetic operand's boolean view through one fused
+     A2B; boolean operands convert locally. *)
+  let a2b_lanes = ref [] in
+  let na2b = ref 0 in
+  let views =
+    Array.map
+      (fun (_, va, vb, w) ->
+        let view v =
+          match v.data.Share.enc with
+          | Share.Arith ->
+              let i = !na2b in
+              incr na2b;
+              a2b_lanes := (v.data, w) :: !a2b_lanes;
+              `Conv i
+          | Share.Bool -> `Local (as_bool_at ctx v w)
+        in
+        let xa = view va in
+        let xb = view vb in
+        (xa, xb))
+      leaves
+  in
+  let converted =
+    Orq_circuits.Convert.a2b_many ctx
+      (Array.of_list (List.rev !a2b_lanes))
+  in
+  let resolve = function `Conv i -> converted.(i) | `Local s -> s in
+  (* Pass 3: one fused equality pass and one fused less-than pass over all
+     legs; Neq/Le/Ge are local negations, Gt/Le swap operands, and signed
+     legs flip their sign bits locally before the unsigned ladder. *)
+  let eq_lanes = ref [] and neq = ref 0 in
+  let lt_lanes = ref [] and nlt = ref 0 in
+  let plan =
+    Array.mapi
+      (fun i (op, va, vb, w) ->
+        let xa = resolve (fst views.(i)) and xb = resolve (snd views.(i)) in
+        let signed = va.signed || vb.signed in
+        let flip v = if signed then Mpc.xor_pub v (1 lsl (w - 1)) else v in
+        let push_eq a b neg =
+          let j = !neq in
+          incr neq;
+          eq_lanes := (a, b, w) :: !eq_lanes;
+          `Eq (j, neg)
+        in
+        let push_lt a b neg =
+          let j = !nlt in
+          incr nlt;
+          lt_lanes := (flip a, flip b, w) :: !lt_lanes;
+          `Lt (j, neg)
+        in
+        match op with
+        | `Eq -> push_eq xa xb false
+        | `Neq -> push_eq xa xb true
+        | `Lt -> push_lt xa xb false
+        | `Gt -> push_lt xb xa false
+        | `Le -> push_lt xb xa true
+        | `Ge -> push_lt xa xb true)
+      leaves
+  in
+  let module C = Orq_circuits.Compare in
+  let eqs = C.eq_many ctx (Array.of_list (List.rev !eq_lanes)) in
+  let lts =
+    if !nlt = 0 then [||]
+    else C.lt_many ctx (Array.of_list (List.rev !lt_lanes))
+  in
+  let leaf_bit =
+    Array.map
+      (fun pl ->
+        let b, neg =
+          match pl with
+          | `Eq (j, neg) -> (eqs.(j), neg)
+          | `Lt (j, neg) -> (lts.(j), neg)
+        in
+        if neg then Mpc.xor_pub b 1 else b)
+      plan
+  in
+  (* Pass 4: combine through the connective skeleton; associative And/Or
+     chains flatten into log-depth fused trees. *)
+  let rec tree f (es : Share.shared array) =
+    let m = Array.length es in
+    if m = 1 then es.(0)
+    else
+      let pn = m / 2 in
+      let xs = Array.init pn (fun j -> es.(2 * j)) in
+      let ys = Array.init pn (fun j -> es.((2 * j) + 1)) in
+      let rs = f xs ys in
+      tree f (if m mod 2 = 1 then Array.append rs [| es.(m - 1) |] else rs)
+  in
+  let w1 k = Array.make k 1 in
+  let rec flatten_and = function
+    | `And (a, b) -> flatten_and a @ flatten_and b
+    | s -> [ s ]
+  and flatten_or = function
+    | `Or (a, b) -> flatten_or a @ flatten_or b
+    | s -> [ s ]
+  in
+  let rec combine = function
+    | `T -> Share.public ctx Share.Bool (Table.nrows t) 1
+    | `L i -> leaf_bit.(i)
+    | `Not a -> Mpc.xor_pub (combine a) 1
+    | `And _ as s ->
+        let es = Array.of_list (List.map combine (flatten_and s)) in
+        tree
+          (fun xs ys ->
+            Mpc.band_many ~widths:(w1 (Array.length xs)) ctx xs ys)
+          es
+    | `Or _ as s ->
+        let es = Array.of_list (List.map combine (flatten_or s)) in
+        tree
+          (fun xs ys -> Mpc.bor_many ~widths:(w1 (Array.length xs)) ctx xs ys)
+          es
+  in
+  combine sk
 
 (** Evaluate a numeric expression into a fresh boolean-encoded column. *)
 let eval_col (t : Table.t) (e : num) : Column.t =

@@ -296,15 +296,35 @@ let join (ctx : Ctx.t) (variant : variant) ?(copy : string list = [])
     @ List.map2
         (fun (name, _, w) d -> (name, Column.of_shared ~width:w d))
         copy_specs copied
-    @ List.map2
-        (fun (a, _) d ->
-          let d =
+    @
+    (* all Sum finishers convert through one fused A2B *)
+    let finished =
+      let sums =
+        List.filter_map
+          (fun ((a, _), d) ->
             match a.a_func with
-            | Aggnet.Sum -> Orq_circuits.Convert.a2b ~w:a.a_width ctx d
-            | _ -> d
-          in
-          (a.a_dst, Column.of_shared ~width:a.a_width d))
+            | Aggnet.Sum -> Some (d, a.a_width)
+            | _ -> None)
+          (List.combine agg_specs agg_results)
+      in
+      let conv =
+        ref
+          (Array.to_list
+             (Orq_circuits.Convert.a2b_many ctx (Array.of_list sums)))
+      in
+      List.map2
+        (fun (a, _) d ->
+          match a.a_func with
+          | Aggnet.Sum ->
+              let c = List.hd !conv in
+              conv := List.tl !conv;
+              (a, c)
+          | _ -> (a, d))
         agg_specs agg_results
+    in
+    List.map
+      (fun (a, d) -> (a.a_dst, Column.of_shared ~width:a.a_width d))
+      finished
   in
   let do_trim =
     match (variant, trim) with
@@ -354,8 +374,13 @@ let join_unique (ctx : Ctx.t) ?(copy : string list = [])
             copy
         in
         let muxed =
-          Orq_circuits.Mux.mux_b_many ctx sel
-            (List.map (fun (_, _, cur, prev) -> (cur, prev)) pairs)
+          Array.to_list
+            (Orq_circuits.Mux.select_many
+               ~widths:
+                 (Array.of_list (List.map (fun (_, w, _, _) -> w) pairs))
+               ctx
+               (Array.of_list
+                  (List.map (fun (_, _, cur, prev) -> (sel, cur, prev)) pairs)))
         in
         (* row 0 can never be a matched R row; keep its own value *)
         List.map2

@@ -44,6 +44,12 @@ let traffic t ~bits ~messages =
     barrier or an empty acknowledgement. *)
 let rounds_only t k = t.rounds <- t.rounds + k
 
+(** [refund_rounds t k] retracts [k] already-counted rounds. Used by the
+    round-fusion layer after running independent operation tracks
+    sequentially: the tracks' traffic stands, but their rounds overlap in a
+    real deployment, so the total is lowered to the longest track. *)
+let refund_rounds t k = t.rounds <- t.rounds - k
+
 let snapshot t = { t_rounds = t.rounds; t_bits = t.bits; t_messages = t.messages }
 
 (** Tally of traffic since [before] was taken. *)

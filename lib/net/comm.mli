@@ -29,6 +29,10 @@ val traffic : t -> bits:int -> messages:int -> unit
 val rounds_only : t -> int -> unit
 (** Record [k] extra rounds with no new payload. *)
 
+val refund_rounds : t -> int -> unit
+(** Retract already-counted rounds (the round-fusion layer's adjustment
+    after overlapping independent operation tracks). *)
+
 val snapshot : t -> tally
 val since : t -> tally -> tally
 val add_tally : tally -> tally -> tally

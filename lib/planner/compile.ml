@@ -23,6 +23,15 @@ let rec compile_need (st : stats) (need : string list) (n : node) : Table.t =
       let keep = inter (Table.col_names s.s_table) need in
       if keep = [] then s.s_table else Table.project s.s_table keep
   | Filter (p, m) ->
+      (* merge directly stacked filters (conjunct-by-conjunct pushdown
+         leaves Filter(c2, Filter(c1, Scan)) chains) into one conjoined
+         predicate, so all comparison legs batch into shared comparison
+         rounds in [Expr.eval_pred] and validity is updated once *)
+      let rec gather acc m =
+        match m with Filter (q, m') -> gather (q :: acc) m' | _ -> (acc, m)
+      in
+      let ps, m = gather [ p ] m in
+      let p = conjoin ps in
       let t = compile_need st (union need (pred_cols p)) m in
       Dataflow.filter t p
   | Project (cols, m) ->

@@ -18,6 +18,67 @@ type shared = Share.shared
 let reconstruct = Share.reconstruct
 
 (* ------------------------------------------------------------------ *)
+(* Cross-lane round fusion toggle                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* When enabled (the default), the [_many] primitives below execute all
+   their lanes as one metered communication round; when disabled (env
+   ORQ_NO_FUSION=1, or {!set_fusion}), they loop lane by lane, paying one
+   round per lane. Gating lives at this level only: the circuits above
+   call the [_many] entry points unconditionally, so the two modes tally
+   *identical* bits and messages — and, because fused execution draws its
+   dealer correlations per lane in lane order, identical PRG streams and
+   opened values — differing only in rounds. *)
+let fusion =
+  ref
+    (match Sys.getenv_opt "ORQ_NO_FUSION" with
+    | Some ("1" | "true" | "yes" | "on") -> false
+    | _ -> true)
+
+let set_fusion b = fusion := b
+let fusion_enabled () = !fusion
+
+(* Per-lane metering of a fused round: lane 0 opens the round, the other
+   lanes piggyback their traffic on it, so bits/messages equal the sum of
+   the unfused per-lane charges exactly. *)
+let meter_lane (ctx : Ctx.t) i ~bits ~messages =
+  if i = 0 then Comm.round ctx.comm ~bits ~messages
+  else Comm.traffic ctx.comm ~bits ~messages
+
+(* ------------------------------------------------------------------ *)
+(* Parallel round tracks                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [fuse_rounds ctx thunks] runs the thunks in order (so the lockstep
+    simulation, dealer draws and opened values are exactly those of the
+    sequential execution) and then — when fusion is enabled — re-meters
+    their online rounds as if the tracks had run concurrently: total
+    rounds charged is the *maximum* track depth rather than the sum, while
+    bits and messages keep their exact sequential tallies. The caller
+    asserts the tracks are data-independent (no thunk reads another's
+    result); under that assumption a real deployment interleaves their
+    messages in shared network rounds. Nests freely. *)
+let fuse_rounds (ctx : Ctx.t) (thunks : (unit -> 'a) array) : 'a array =
+  if (not !fusion) || Array.length thunks <= 1 then
+    Array.map (fun f -> f ()) thunks
+  else begin
+    let total = ref 0 and deepest = ref 0 in
+    let res =
+      Array.map
+        (fun f ->
+          let before = ctx.Ctx.comm.Comm.rounds in
+          let r = f () in
+          let d = ctx.Ctx.comm.Comm.rounds - before in
+          total := !total + d;
+          if d > !deepest then deepest := d;
+          r)
+        thunks
+    in
+    Comm.refund_rounds ctx.comm (!total - !deepest);
+    res
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Input / constants (data-owner side; unmetered)                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -115,25 +176,49 @@ let extend_bit a =
 
 let hash_bits = 256 (* digest size for Mal-HM redundant delivery *)
 
+(* One lane's opening charge: value traffic per protocol, plus (Mal-HM)
+   one digest per reconstructed vector and the redundant-delivery check: a
+   tampering sender is caught because the verifier party's digest of the
+   true share vector cannot match. *)
+let meter_open_lane (ctx : Ctx.t) i ~w ~n =
+  match ctx.kind with
+  | Sh_dm -> meter_lane ctx i ~bits:(2 * w * n) ~messages:2
+  | Sh_hm -> meter_lane ctx i ~bits:(3 * w * n) ~messages:3
+  | Mal_hm ->
+      meter_lane ctx i ~bits:(4 * ((w * n) + hash_bits)) ~messages:8;
+      for p = 0 to ctx.parties - 1 do
+        if Ctx.tamper_delta ctx ~party:p ~op:"open" <> 0 then
+          raise (Ctx.Abort "open: share/hash mismatch detected")
+      done
+
 (** Open a shared vector to all parties. Under [Mal_hm] every reconstructed
     vector is delivered redundantly (value + digest from distinct parties);
     an injected corruption of the sender therefore raises {!Ctx.Abort}. *)
 let open_ ?width (ctx : Ctx.t) (s : shared) : Vec.t =
   let w = Option.value width ~default:ctx.ell in
-  let n = Share.length s in
   let x = Share.reconstruct s in
-  (match ctx.kind with
-  | Sh_dm -> Comm.round ctx.comm ~bits:(2 * w * n) ~messages:2
-  | Sh_hm -> Comm.round ctx.comm ~bits:(3 * w * n) ~messages:3
-  | Mal_hm ->
-      Comm.round ctx.comm ~bits:(4 * ((w * n) + hash_bits)) ~messages:8;
-      (* redundant delivery check: a tampering sender is caught because the
-         verifier party's digest of the true share vector cannot match *)
-      for p = 0 to ctx.parties - 1 do
-        if Ctx.tamper_delta ctx ~party:p ~op:"open" <> 0 then
-          raise (Ctx.Abort "open: share/hash mismatch detected")
-      done);
+  meter_open_lane ctx 0 ~w ~n:(Share.length s);
   x
+
+(** Open several independent shared vectors in one fused round (each lane
+    keeps its own width charge; under [ORQ_NO_FUSION] the lanes open one
+    round apiece, with identical bits/messages). *)
+let open_many ?widths (ctx : Ctx.t) (ss : shared array) : Vec.t array =
+  let k = Array.length ss in
+  let ws =
+    match widths with
+    | None -> Array.make k ctx.ell
+    | Some ws ->
+        if Array.length ws <> k then invalid_arg "Mpc.open_many: widths length";
+        ws
+  in
+  if k <= 1 || not !fusion then
+    Array.mapi (fun i s -> open_ ~width:ws.(i) ctx s) ss
+  else begin
+    let outs = Array.map Share.reconstruct ss in
+    Array.iteri (fun i s -> meter_open_lane ctx i ~w:ws.(i) ~n:(Share.length s)) ss;
+    outs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Multiplication / AND                                                *)
@@ -257,16 +342,148 @@ let rep4_mul (ctx : Ctx.t) enc w (x : shared) (y : shared) : shared =
   Comm.round ctx.comm ~bits:(4 * 3 * w * n) ~messages:12;
   { Share.enc; v = alpha }
 
+(* ------------------------------------------------------------------ *)
+(* Fused multi-lane multiplication                                     *)
+(*                                                                     *)
+(* Each [_many] core runs k independent multiplications as one metered  *)
+(* round. Dealer correlations (and zero-sharing randomness) are drawn   *)
+(* per lane in lane order — exactly the stream k separate calls would   *)
+(* consume — then the lanes are packed with {!Share.concat_many} so the *)
+(* local recombination kernels make one pass over one long vector.      *)
+(* Metering is per lane ({!meter_lane}), so bits and messages equal the *)
+(* unfused totals and only the round count drops to one.                *)
+(* ------------------------------------------------------------------ *)
+
+let lane_lengths (lanes : (shared * shared * int) array) =
+  Array.map (fun (x, _, _) -> Share.length x) lanes
+
+let beaver_mul_many (ctx : Ctx.t) enc (lanes : (shared * shared * int) array) :
+    shared array =
+  let ns = lane_lengths lanes in
+  let triples =
+    Array.mapi (fun i (_, _, _) -> Dealer.beaver ctx enc ns.(i)) lanes
+  in
+  Array.iteri
+    (fun i (_, _, w) -> meter_lane ctx i ~bits:(2 * 2 * w * ns.(i)) ~messages:2)
+    lanes;
+  let bx = Share.concat_many (Array.map (fun (x, _, _) -> x) lanes) in
+  let by = Share.concat_many (Array.map (fun (_, y, _) -> y) lanes) in
+  let ta = Share.concat_many (Array.map (fun t -> t.Dealer.ta) triples) in
+  let tb = Share.concat_many (Array.map (fun t -> t.Dealer.tb) triples) in
+  let tc = Share.concat_many (Array.map (fun t -> t.Dealer.tc) triples) in
+  let d = open_diff enc bx ta and e = open_diff enc by tb in
+  let v =
+    Array.init ctx.nvec (fun k ->
+        let with_de = k = 0 in
+        match (enc : Share.enc) with
+        | Arith ->
+            Vec.beaver_arith ~tc:tc.Share.v.(k) ~d ~tb:tb.Share.v.(k) ~e
+              ~ta:ta.Share.v.(k) ~with_de
+        | Bool ->
+            Vec.beaver_bool ~tc:tc.Share.v.(k) ~d ~tb:tb.Share.v.(k) ~e
+              ~ta:ta.Share.v.(k) ~with_de)
+  in
+  Share.split_many { Share.enc; v } ns
+
+let rep3_mul_many (ctx : Ctx.t) enc (lanes : (shared * shared * int) array) :
+    shared array =
+  let ns = lane_lengths lanes in
+  let alphas = Array.map (fun n -> zero_sharing ctx enc n) ns in
+  let alpha =
+    Array.init ctx.nvec (fun k ->
+        Vec.concat_many (Array.map (fun a -> a.(k)) alphas))
+  in
+  let bx = Share.concat_many (Array.map (fun (x, _, _) -> x) lanes) in
+  let by = Share.concat_many (Array.map (fun (_, y, _) -> y) lanes) in
+  let xv = bx.Share.v and yv = by.Share.v in
+  for i = 0 to 2 do
+    let j = (i + 1) mod 3 in
+    match (enc : Share.enc) with
+    | Arith ->
+        Vec.rep3_arith_into alpha.(i) ~xi:xv.(i) ~yi:yv.(i) ~xj:xv.(j)
+          ~yj:yv.(j)
+    | Bool ->
+        Vec.rep3_bool_into alpha.(i) ~xi:xv.(i) ~yi:yv.(i) ~xj:xv.(j)
+          ~yj:yv.(j)
+  done;
+  Array.iteri
+    (fun i (_, _, w) -> meter_lane ctx i ~bits:(3 * w * ns.(i)) ~messages:3)
+    lanes;
+  Share.split_many { Share.enc; v = alpha } ns
+
+let rep4_mul_many (ctx : Ctx.t) enc (lanes : (shared * shared * int) array) :
+    shared array =
+  let ns = lane_lengths lanes in
+  let alphas = Array.map (fun n -> zero_sharing ctx enc n) ns in
+  let alpha =
+    Array.init ctx.nvec (fun k ->
+        Vec.concat_many (Array.map (fun a -> a.(k)) alphas))
+  in
+  let bx = Share.concat_many (Array.map (fun (x, _, _) -> x) lanes) in
+  let by = Share.concat_many (Array.map (fun (_, y, _) -> y) lanes) in
+  let xv = bx.Share.v and yv = by.Share.v in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let eligible = List.filter (fun p -> p <> i && p <> j) [ 0; 1; 2; 3 ] in
+      match eligible with
+      | assignee :: verifier :: _ ->
+          let delta = Ctx.tamper_delta ctx ~party:assignee ~op:"mul" in
+          if delta <> 0 then
+            raise (Ctx.Abort "mul: cross-term verification failed");
+          ignore verifier;
+          (match (enc : Share.enc) with
+          | Arith -> Vec.mul_add_into alpha.(assignee) xv.(i) yv.(j)
+          | Bool -> Vec.xor_band_into alpha.(assignee) xv.(i) yv.(j))
+      | _ -> assert false
+    done
+  done;
+  Array.iteri
+    (fun i (_, _, w) -> meter_lane ctx i ~bits:(4 * 3 * w * ns.(i)) ~messages:12)
+    lanes;
+  Share.split_many { Share.enc; v = alpha } ns
+
+let mul_core (ctx : Ctx.t) enc w x y =
+  match ctx.kind with
+  | Ctx.Sh_dm -> beaver_mul ctx enc w x y
+  | Ctx.Sh_hm -> rep3_mul ctx enc w x y
+  | Ctx.Mal_hm -> rep4_mul ctx enc w x y
+
+let mul_core_many (ctx : Ctx.t) enc (lanes : (shared * shared * int) array) :
+    shared array =
+  if Array.length lanes <= 1 || not !fusion then
+    Array.map (fun (x, y, w) -> mul_core ctx enc w x y) lanes
+  else
+    match ctx.kind with
+    | Ctx.Sh_dm -> beaver_mul_many ctx enc lanes
+    | Ctx.Sh_hm -> rep3_mul_many ctx enc lanes
+    | Ctx.Mal_hm -> rep4_mul_many ctx enc lanes
+
+let check_lanes name enc (xs : shared array) (ys : shared array) widths =
+  let k = Array.length xs in
+  if Array.length ys <> k then invalid_arg (name ^ ": operand arrays differ");
+  (match widths with
+  | Some ws when Array.length ws <> k -> invalid_arg (name ^ ": widths length")
+  | _ -> ());
+  Array.iteri
+    (fun i x ->
+      Share.check_enc enc x;
+      Share.check_enc enc ys.(i);
+      Share.check_same_len x ys.(i))
+    xs
+
+let make_lanes (ctx : Ctx.t) xs ys widths =
+  Array.mapi
+    (fun i x ->
+      (x, ys.(i), match widths with Some ws -> ws.(i) | None -> ctx.ell))
+    xs
+
 (** Secure elementwise multiplication of arithmetic shares. *)
 let mul ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
   Share.check_enc Arith x;
   Share.check_enc Arith y;
   Share.check_same_len x y;
   let w = Option.value width ~default:ctx.ell in
-  match ctx.kind with
-  | Sh_dm -> beaver_mul ctx Arith w x y
-  | Sh_hm -> rep3_mul ctx Arith w x y
-  | Mal_hm -> rep4_mul ctx Arith w x y
+  mul_core ctx Arith w x y
 
 (** Secure elementwise bitwise AND of boolean shares. *)
 let band ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
@@ -274,16 +491,33 @@ let band ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
   Share.check_enc Bool y;
   Share.check_same_len x y;
   let w = Option.value width ~default:ctx.ell in
-  match ctx.kind with
-  | Sh_dm -> beaver_mul ctx Bool w x y
-  | Sh_hm -> rep3_mul ctx Bool w x y
-  | Mal_hm -> rep4_mul ctx Bool w x y
+  mul_core ctx Bool w x y
+
+(** [mul_many ctx xs ys] multiplies k independent lane pairs (possibly of
+    different lengths and widths) in one metered round. *)
+let mul_many ?widths (ctx : Ctx.t) (xs : shared array) (ys : shared array) :
+    shared array =
+  check_lanes "Mpc.mul_many" Arith xs ys widths;
+  mul_core_many ctx Arith (make_lanes ctx xs ys widths)
+
+(** [band_many ctx xs ys]: k independent ANDs in one metered round. *)
+let band_many ?widths (ctx : Ctx.t) (xs : shared array) (ys : shared array) :
+    shared array =
+  check_lanes "Mpc.band_many" Bool xs ys widths;
+  mul_core_many ctx Bool (make_lanes ctx xs ys widths)
 
 (** OR via De Morgan / inclusion–exclusion: x ∨ y = x ⊕ y ⊕ (x ∧ y); the
     two local xors are fused into one {!Vec.xor3} pass per share vector. *)
 let bor ?width ctx x y =
   let z = band ?width ctx x y in
   Share.map3_vectors Vec.xor3 x y z
+
+(** k independent ORs in one metered round (one fused AND plus the local
+    xor3 recombination per lane). *)
+let bor_many ?widths (ctx : Ctx.t) (xs : shared array) (ys : shared array) :
+    shared array =
+  let zs = band_many ?widths ctx xs ys in
+  Array.mapi (fun i z -> Share.map3_vectors Vec.xor3 xs.(i) ys.(i) z) zs
 
 (* ------------------------------------------------------------------ *)
 (* Resharing (used by the shuffle stack)                               *)

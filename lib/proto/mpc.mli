@@ -13,6 +13,28 @@ type shared = Share.shared
 
 val reconstruct : shared -> Orq_util.Vec.t
 
+(** {2 Cross-lane round fusion}
+
+    The [_many] primitives execute k independent interactive operations as
+    one metered communication round (lane 0 opens the round, the others
+    piggyback). Disabling fusion (env [ORQ_NO_FUSION=1] at startup, or
+    {!set_fusion}) makes them loop lane by lane instead — with identical
+    [bits]/[messages] tallies, identical PRG consumption and identical
+    opened values, since fused execution draws its correlations per lane
+    in lane order; only the round count changes. *)
+
+val set_fusion : bool -> unit
+(** Toggle cross-lane fusion (tests and the rounds benchmark). *)
+
+val fusion_enabled : unit -> bool
+
+val fuse_rounds : Ctx.t -> (unit -> 'a) array -> 'a array
+(** Run data-independent operation tracks sequentially (identical dealer
+    draws and opened values) but meter their online rounds as overlapped:
+    the total charged is the deepest track, not the sum. Bits and messages
+    keep their exact sequential tallies. No-op re-metering when fusion is
+    disabled. The caller asserts no track depends on another's result. *)
+
 (** {2 Input / constants (data-owner side; unmetered)} *)
 
 val share_a : Ctx.t -> Orq_util.Vec.t -> shared
@@ -71,6 +93,10 @@ val open_ : ?width:int -> Ctx.t -> shared -> Orq_util.Vec.t
     distinct parties), so an injected sender corruption raises
     {!Ctx.Abort}. *)
 
+val open_many : ?widths:int array -> Ctx.t -> shared array -> Orq_util.Vec.t array
+(** Open several independent shared vectors in one fused round; each lane
+    keeps its own width charge (default [ctx.ell]). *)
+
 (** {2 Multiplication / AND} *)
 
 val mul : ?width:int -> Ctx.t -> shared -> shared -> shared
@@ -84,6 +110,19 @@ val band : ?width:int -> Ctx.t -> shared -> shared -> shared
 
 val bor : ?width:int -> Ctx.t -> shared -> shared -> shared
 (** x ∨ y = x ⊕ y ⊕ (x ∧ y). *)
+
+val mul_many :
+  ?widths:int array -> Ctx.t -> shared array -> shared array -> shared array
+(** k independent multiplications (possibly different lengths/widths) in
+    one metered round. *)
+
+val band_many :
+  ?widths:int array -> Ctx.t -> shared array -> shared array -> shared array
+(** k independent ANDs in one metered round. *)
+
+val bor_many :
+  ?widths:int array -> Ctx.t -> shared array -> shared array -> shared array
+(** k independent ORs in one metered round (fused AND + local xor3). *)
 
 (** {2 Resharing and reductions} *)
 

@@ -108,9 +108,45 @@ let append a b =
   if a.enc <> b.enc then invalid_arg "Share.append: encoding mismatch";
   { enc = a.enc; v = Array.init (nvec a) (fun k -> Vec.concat2 a.v.(k) b.v.(k)) }
 
+(** n-way concatenation: one offset-table pass per share vector
+    ({!Orq_util.Vec.concat_many}) instead of the O(k^2) repeated-append
+    chain — the packing step of cross-lane round fusion. *)
+let concat_many (ss : shared array) : shared =
+  match Array.length ss with
+  | 0 -> invalid_arg "Share.concat_many: empty"
+  | 1 -> ss.(0)
+  | _ ->
+      let e = ss.(0).enc in
+      Array.iter
+        (fun s ->
+          if s.enc <> e then invalid_arg "Share.concat_many: encoding mismatch")
+        ss;
+      {
+        enc = e;
+        v =
+          Array.init (nvec ss.(0)) (fun k ->
+              Vec.concat_many (Array.map (fun s -> s.v.(k)) ss));
+      }
+
 let concat = function
   | [] -> invalid_arg "Share.concat: empty"
-  | s :: rest -> List.fold_left append s rest
+  | ss -> concat_many (Array.of_list ss)
+
+(** Inverse of {!concat_many}: split back into pieces of the given lengths
+    (which must sum to the input length). *)
+let split_many (s : shared) (ns : int array) : shared array =
+  let total = Array.fold_left ( + ) 0 ns in
+  if total <> length s then
+    invalid_arg
+      (Printf.sprintf "Share.split_many: lengths sum to %d, sharing has %d"
+         total (length s));
+  let off = ref 0 in
+  Array.map
+    (fun n ->
+      let pos = !off in
+      off := !off + n;
+      { s with v = Array.map (fun vk -> Vec.sub_range vk pos n) s.v })
+    ns
 
 let split2 s n =
   ( { s with v = Array.map (fun vk -> Array.sub vk 0 n) s.v },

@@ -54,6 +54,15 @@ val append : shared -> shared -> shared
     independent secure operations into a single round). *)
 
 val concat : shared list -> shared
+
+val concat_many : shared array -> shared
+(** n-way concatenation in one offset-table pass per share vector — the
+    packing step of cross-lane round fusion. *)
+
+val split_many : shared -> int array -> shared array
+(** Inverse of {!concat_many}: pieces of the given lengths (must sum to
+    the input length). *)
+
 val split2 : shared -> int -> shared * shared
 val sub_range : shared -> int -> int -> shared
 

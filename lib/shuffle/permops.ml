@@ -28,16 +28,23 @@ let shuffle_table ?width (ctx : Ctx.t) (cols : Share.shared list) :
       let p = Permmgr.gen ctx (Share.length c) in
       Shardedperm.apply_table ?width ctx cols p
 
-(** Protocol 5: apply a secret elementwise permutation [rho] to [x]. *)
+(** Protocol 5: apply a secret elementwise permutation [rho] to [x]. The
+    two sharded applications act on independent inputs under independent
+    permutations, so their rounds are fused (their traffic is untouched). *)
 let apply_elementwise ?width (ctx : Ctx.t) (x : Share.shared)
     (rho : Share.shared) : Share.shared =
   let n = Share.length x in
   if Share.length rho <> n then invalid_arg "apply_elementwise: length";
   let p1, p2 = Permmgr.gen_pair ctx n in
-  let xs = Shardedperm.apply ?width ctx x p1 in
-  let rs = Shardedperm.apply ~width:(perm_width ctx) ctx rho p2 in
-  let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
-  Share.scatter xs c
+  let pair =
+    Mpc.fuse_rounds ctx
+      [|
+        (fun () -> Shardedperm.apply ?width ctx x p1);
+        (fun () -> Shardedperm.apply ~width:(perm_width ctx) ctx rho p2);
+      |]
+  in
+  let c = Mpc.open_ ~width:(perm_width ctx) ctx pair.(1) in
+  Share.scatter pair.(0) c
 
 (** Protocol 5 over a table: several columns move under the same secret
     elementwise permutation, paying the shuffle of [rho] and its opening
@@ -49,10 +56,16 @@ let apply_elementwise_table ?width (ctx : Ctx.t) (cols : Share.shared list)
   | c0 :: _ ->
       let n = Share.length c0 in
       let p1, p2 = Permmgr.gen_pair ctx n in
-      let xs = Shardedperm.apply_table ?width ctx cols p1 in
-      let rs = Shardedperm.apply ~width:(perm_width ctx) ctx rho p2 in
+      let pair =
+        Mpc.fuse_rounds ctx
+          [|
+            (fun () -> Shardedperm.apply_table ?width ctx cols p1);
+            (fun () -> [ Shardedperm.apply ~width:(perm_width ctx) ctx rho p2 ]);
+          |]
+      in
+      let rs = match pair.(1) with [ rs ] -> rs | _ -> assert false in
       let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
-      List.map (fun x -> Share.scatter x c) xs
+      List.map (fun x -> Share.scatter x c) pair.(0)
 
 (** Protocol 6: compose two secret elementwise permutations, returning
     [rho o sigma] (apply [sigma] first). *)

@@ -24,7 +24,14 @@
     metering-invariance tests). *)
 
 let num_domains = ref 1
-let min_chunk = ref 1024
+
+(* Minimum per-lane element count that justifies a pool dispatch. The
+   default comes from the micro-kernel calibration (see BENCH_kernels.json
+   and the PR 3 notes in DESIGN.md): memory-bound elementwise kernels need
+   roughly 64k elements per lane before the lock/signal handoff and
+   cross-core cache traffic pay for themselves; below that the sequential
+   path wins. Override with ORQ_MIN_CHUNK. *)
+let min_chunk = ref 65536
 
 let set_min_chunk c = min_chunk := max 1 c
 let get_min_chunk () = !min_chunk
@@ -187,14 +194,16 @@ let dispatch p spans f =
   match fail with Some e -> raise e | None -> ()
 
 (** [run_spans n f] calls [f pos len] for each chunk of [0, n), on the pool
-    when more than one domain is configured and the spans clear the
-    {!set_min_chunk} threshold. [f] must only write to disjoint output
-    ranges determined by its span. *)
+    when more than one domain is configured and every lane gets at least
+    {!set_min_chunk} elements; below that the dispatch overhead exceeds the
+    parallel win (the BENCH_kernels small-input regression), so the call
+    runs sequentially on the calling domain instead of shrinking the lane
+    count. [f] must only write to disjoint output ranges determined by its
+    span. *)
 let run_spans n f =
   let d = !num_domains in
-  let k = if n <= 0 then 1 else min d (n / !min_chunk) in
-  if d <= 1 || k <= 1 || Atomic.get busy then f 0 n
-  else dispatch (ensure_pool ()) (chunks n k) f
+  if d <= 1 || n < d * !min_chunk || Atomic.get busy then f 0 n
+  else dispatch (ensure_pool ()) (chunks n d) f
 
 (** [run_tasks k f] runs the indexed tasks [f 0 .. f (k-1)] on the pool
     (sequentially when only one domain is configured). Used for blocked

@@ -408,9 +408,9 @@ let sum (a : t) =
   let n = Array.length a in
   let d = Parallel.get_num_domains () in
   let mc = Parallel.get_min_chunk () in
-  if d <= 1 || n < 2 * mc then Array.fold_left ( + ) 0 a
+  if d <= 1 || n < d * mc then Array.fold_left ( + ) 0 a
   else begin
-    let spans = Array.of_list (Parallel.chunks n (min d (n / mc))) in
+    let spans = Array.of_list (Parallel.chunks n d) in
     let partial = Array.make (Array.length spans) 0 in
     Parallel.run_tasks (Array.length spans) (fun t ->
         let pos, len = spans.(t) in
@@ -426,9 +426,9 @@ let xor_all (a : t) =
   let n = Array.length a in
   let d = Parallel.get_num_domains () in
   let mc = Parallel.get_min_chunk () in
-  if d <= 1 || n < 2 * mc then Array.fold_left ( lxor ) 0 a
+  if d <= 1 || n < d * mc then Array.fold_left ( lxor ) 0 a
   else begin
-    let spans = Array.of_list (Parallel.chunks n (min d (n / mc))) in
+    let spans = Array.of_list (Parallel.chunks n d) in
     let partial = Array.make (Array.length spans) 0 in
     Parallel.run_tasks (Array.length spans) (fun t ->
         let pos, len = spans.(t) in
@@ -450,12 +450,12 @@ let prefix_sum_inplace (a : t) =
   let n = Array.length a in
   let d = Parallel.get_num_domains () in
   let mc = Parallel.get_min_chunk () in
-  if d <= 1 || n < 2 * mc then
+  if d <= 1 || n < d * mc then
     for i = 1 to n - 1 do
       a.(i) <- a.(i) + a.(i - 1)
     done
   else begin
-    let spans = Array.of_list (Parallel.chunks n (min d (n / mc))) in
+    let spans = Array.of_list (Parallel.chunks n d) in
     let k = Array.length spans in
     Parallel.run_tasks k (fun t ->
         let pos, len = spans.(t) in
@@ -491,6 +491,42 @@ let split2 (v : t) n : t * t =
   (Array.sub v 0 n, Array.sub v n (Array.length v - n))
 
 let concat = Array.concat
+
+(** n-way generalization of {!concat2}: one offset-table pass, one output
+    allocation, per-lane blits dispatched to the domain pool (each lane
+    writes a disjoint output range). *)
+let concat_many (vs : t array) : t =
+  let k = Array.length vs in
+  if k = 0 then [||]
+  else if k = 1 then Array.copy vs.(0)
+  else begin
+    let offs = Array.make k 0 in
+    let total = ref 0 in
+    for i = 0 to k - 1 do
+      offs.(i) <- !total;
+      total := !total + Array.length vs.(i)
+    done;
+    let out = Array.make !total 0 in
+    Parallel.run_tasks k (fun i ->
+        Array.blit vs.(i) 0 out offs.(i) (Array.length vs.(i)));
+    out
+  end
+
+(** n-way generalization of {!split2}: cut [v] into pieces of the given
+    lengths (which must sum to the input length). *)
+let split_many (v : t) (ns : int array) : t array =
+  let total = Array.fold_left ( + ) 0 ns in
+  if total <> Array.length v then
+    invalid_arg
+      (Printf.sprintf "Vec.split_many: lengths sum to %d, vector has %d"
+         total (Array.length v));
+  let off = ref 0 in
+  Array.map
+    (fun n ->
+      let p = Array.sub v !off n in
+      off := !off + n;
+      p)
+    ns
 
 (** [gather a idx] builds [|a.(idx.(0)); a.(idx.(1)); ...|]; reads may
     repeat, so each worker only needs read access plus its disjoint output

@@ -117,6 +117,14 @@ val concat2 : t -> t -> t
 val split2 : t -> int -> t * t
 val concat : t list -> t
 
+val concat_many : t array -> t
+(** n-way {!concat2}: offset-table based, one output allocation, per-lane
+    blits in parallel. The backbone of cross-lane round fusion. *)
+
+val split_many : t -> int array -> t array
+(** n-way {!split2}: cut into pieces of the given lengths (must sum to the
+    input length). *)
+
 val gather : t -> int array -> t
 (** [gather a idx] builds [|a.(idx.(0)); a.(idx.(1)); ...|]. Validates
     index bounds when {!Debug.set_checks} is enabled. *)

@@ -1,0 +1,226 @@
+(* Round-count regression tests for the cross-lane fusion layer.
+
+   The analytic depth formulas (in units of one interactive round, which
+   the probe below re-derives per protocol):
+
+     eq  over w bits          ceil(log2 w)            (bor halving ladder)
+     lt  over w bits          ceil(log2 w) + 1        (initial AND + ladder)
+     add (private operands)   ceil(log2 w) + 1        (generate AND + prefix)
+     add_pub                  ceil(log2 w)            (generate is local)
+     a2b                      ceil(log2 w) + 1        (one opening + add_pub)
+
+   and every [_many] entry point must cost the MAX lane depth, not the
+   sum — that is the whole point of the fusion layer. Disabling fusion
+   must leave bits, messages and opened values byte-identical, changing
+   rounds only. *)
+
+open Orq_util
+open Orq_proto
+open Orq_circuits
+module Comm = Orq_net.Comm
+
+let kinds = Ctx.all_kinds
+
+let rounds_of (ctx : Ctx.t) f =
+  let before = Comm.snapshot ctx.Ctx.comm in
+  let r = f () in
+  (r, (Comm.since ctx.Ctx.comm before).Comm.t_rounds)
+
+let with_fusion on f =
+  let prev = Mpc.fusion_enabled () in
+  Mpc.set_fusion on;
+  Fun.protect ~finally:(fun () -> Mpc.set_fusion prev) f
+
+let share2 ctx ~w n seed =
+  let x = Array.init n (fun i -> (i * 2654435761) lxor seed) in
+  Mpc.share_b ctx (Array.map (fun v -> v land Ring.mask w) x)
+
+(* One band must cost exactly one round under every protocol — the unit
+   all formulas below are stated in. *)
+let test_round_unit () =
+  List.iter
+    (fun k ->
+      let ctx = Ctx.create ~seed:1 k in
+      let x = share2 ctx ~w:8 5 3 and y = share2 ctx ~w:8 5 7 in
+      let _, r = rounds_of ctx (fun () -> Mpc.band ctx x y) in
+      Alcotest.(check int) (Ctx.kind_label k ^ " band round unit") 1 r)
+    kinds
+
+let test_single_formulas () =
+  List.iter
+    (fun k ->
+      let lbl = Ctx.kind_label k in
+      let ctx = Ctx.create ~seed:2 k in
+      List.iter
+        (fun w ->
+          let d = Ring.log2_ceil w in
+          let x = share2 ctx ~w 9 1 and y = share2 ctx ~w 9 2 in
+          let _, req = rounds_of ctx (fun () -> Compare.eq ctx ~w x y) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s eq w=%d" lbl w)
+            d req;
+          let _, rlt = rounds_of ctx (fun () -> Compare.lt ctx ~w x y) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s lt w=%d" lbl w)
+            (d + 1) rlt;
+          let _, radd = rounds_of ctx (fun () -> Adder.add ctx ~w x y) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s add w=%d" lbl w)
+            (d + 1) radd;
+          let c = Array.make 9 3 in
+          let _, rap = rounds_of ctx (fun () -> Adder.add_pub ctx ~w x c) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s add_pub w=%d" lbl w)
+            d rap;
+          let xa = Mpc.share_a ctx (Array.init 9 (fun i -> i)) in
+          let _, ra2b = rounds_of ctx (fun () -> Convert.a2b ~w ctx xa) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s a2b w=%d" lbl w)
+            (d + 1) ra2b)
+        [ 1; 2; 8; 19; 32 ])
+    kinds
+
+(* Batched entry points: rounds equal the deepest lane, for any lane mix. *)
+let test_many_max_depth () =
+  List.iter
+    (fun k ->
+      let lbl = Ctx.kind_label k in
+      let ctx = Ctx.create ~seed:3 k in
+      let lanes ws = Array.map (fun w -> (share2 ctx ~w 7 1, share2 ctx ~w 7 2, w)) ws in
+      let deepest ws = Array.fold_left (fun a w -> max a (Ring.log2_ceil w)) 0 ws in
+      let ws = [| 32; 8; 1; 19 |] in
+      let _, req = rounds_of ctx (fun () -> Compare.eq_many ctx (lanes ws)) in
+      Alcotest.(check int) (lbl ^ " eq_many") (deepest ws) req;
+      let _, rlt = rounds_of ctx (fun () -> Compare.lt_many ctx (lanes ws)) in
+      Alcotest.(check int) (lbl ^ " lt_many") (deepest ws + 1) rlt;
+      let _, radd = rounds_of ctx (fun () -> Adder.add_many ctx (lanes ws)) in
+      Alcotest.(check int) (lbl ^ " add_many") (deepest ws + 1) radd;
+      let bits = Array.init 4 (fun i -> share2 ctx ~w:1 7 i) in
+      let _, rsel =
+        rounds_of ctx (fun () ->
+            Mux.select_many ctx
+              (Array.map (fun b -> (b, share2 ctx ~w:8 7 3, share2 ctx ~w:8 7 4)) bits))
+      in
+      Alcotest.(check int) (lbl ^ " select_many") 1 rsel;
+      let _, rb2a = rounds_of ctx (fun () -> Convert.bit_b2a_many ctx bits) in
+      Alcotest.(check int) (lbl ^ " bit_b2a_many") 1 rb2a;
+      let alanes =
+        Array.map (fun w -> (Mpc.share_a ctx (Array.init 7 (fun i -> i)), w)) ws
+      in
+      let _, ra2b = rounds_of ctx (fun () -> Convert.a2b_many ctx alanes) in
+      Alcotest.(check int) (lbl ^ " a2b_many") (deepest ws + 1) ra2b;
+      (* composite-equality groups reduce in lockstep: ladder depth plus a
+         log-depth AND tree over the widest group *)
+      let groups =
+        [|
+          [ (share2 ctx ~w:16 7 1, share2 ctx ~w:16 7 2, 16);
+            (share2 ctx ~w:4 7 3, share2 ctx ~w:4 7 4, 4);
+            (share2 ctx ~w:1 7 5, share2 ctx ~w:1 7 6, 1) ];
+          [ (share2 ctx ~w:8 7 7, share2 ctx ~w:8 7 8, 8) ];
+        |]
+      in
+      let _, rcomp =
+        rounds_of ctx (fun () -> Compare.eq_composite_many ctx groups)
+      in
+      Alcotest.(check int) (lbl ^ " eq_composite_many")
+        (Ring.log2_ceil 16 + Ring.log2_ceil 3)
+        rcomp)
+    kinds
+
+(* Fusing must only merge rounds: bits, messages and every opened value
+   stay byte-identical when fusion is switched off. *)
+let test_fused_equals_unfused () =
+  List.iter
+    (fun k ->
+      let lbl = Ctx.kind_label k in
+      let run fused =
+        with_fusion fused (fun () ->
+            let ctx = Ctx.create ~seed:17 k in
+            let before = Comm.snapshot ctx.Ctx.comm in
+            let ws = [| 24; 6; 13 |] in
+            let lanes =
+              Array.map (fun w -> (share2 ctx ~w 11 1, share2 ctx ~w 11 2, w)) ws
+            in
+            let eqs = Compare.eq_many ctx lanes in
+            let lts = Compare.lt_many ctx lanes in
+            let sums = Adder.add_many ctx lanes in
+            let sel =
+              Mux.select_many ctx
+                (Array.map2 (fun b (x, y, _) -> (b, x, y)) eqs lanes)
+            in
+            let b2a = Convert.bit_b2a_many ctx lts in
+            let opened =
+              List.concat_map
+                (fun a -> Array.to_list (Array.map Share.reconstruct a))
+                [ eqs; lts; sums; sel; b2a ]
+            in
+            (opened, Comm.since ctx.Ctx.comm before))
+      in
+      let vf, tf = run true in
+      let vu, tu = run false in
+      List.iteri
+        (fun i (a, b) ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s opened %d" lbl i)
+            b a)
+        (List.combine vf vu);
+      Alcotest.(check int) (lbl ^ " bits equal") tu.Comm.t_bits tf.Comm.t_bits;
+      Alcotest.(check int) (lbl ^ " messages equal") tu.Comm.t_messages
+        tf.Comm.t_messages;
+      if tf.Comm.t_rounds > tu.Comm.t_rounds then
+        Alcotest.failf "%s fused rounds %d > unfused %d" lbl tf.Comm.t_rounds
+          tu.Comm.t_rounds)
+    kinds
+
+(* The parallel-track combinator charges the deepest track, with traffic
+   unchanged; with fusion off it charges the sum. *)
+let test_fuse_rounds_combinator () =
+  List.iter
+    (fun k ->
+      let lbl = Ctx.kind_label k in
+      let run fused =
+        with_fusion fused (fun () ->
+            let ctx = Ctx.create ~seed:23 k in
+            let x = share2 ctx ~w:8 9 1 and y = share2 ctx ~w:8 9 2 in
+            let before = Comm.snapshot ctx.Ctx.comm in
+            let res =
+              Mpc.fuse_rounds ctx
+                [|
+                  (fun () ->
+                    (* two-round track *)
+                    Mpc.band ctx (Mpc.band ctx x y) y);
+                  (fun () -> Mpc.band ctx x y);
+                |]
+            in
+            ( Array.map Share.reconstruct res,
+              Comm.since ctx.Ctx.comm before ))
+      in
+      let vf, tf = run true in
+      let vu, tu = run false in
+      Alcotest.(check int) (lbl ^ " tracks fused to max") 2 tf.Comm.t_rounds;
+      Alcotest.(check int) (lbl ^ " tracks unfused sum") 3 tu.Comm.t_rounds;
+      Alcotest.(check int) (lbl ^ " track bits") tu.Comm.t_bits tf.Comm.t_bits;
+      Array.iteri
+        (fun i a -> Alcotest.(check (array int)) (lbl ^ " track value") vu.(i) a)
+        vf)
+    kinds
+
+let () =
+  Alcotest.run "fusion"
+    [
+      ( "rounds",
+        [
+          Alcotest.test_case "band is one round" `Quick test_round_unit;
+          Alcotest.test_case "single-circuit depth formulas" `Quick
+            test_single_formulas;
+          Alcotest.test_case "_many = max lane depth" `Quick
+            test_many_max_depth;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "fused == unfused traffic and values" `Quick
+            test_fused_equals_unfused;
+          Alcotest.test_case "fuse_rounds combinator" `Quick
+            test_fuse_rounds_combinator;
+        ] );
+    ]
