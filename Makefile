@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test kernels-smoke bench bench-rounds bench-service serve clean
+.PHONY: check build test kernels-smoke bench bench-rounds bench-bitpack bench-service serve clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -27,6 +27,13 @@ bench:
 # BENCH_rounds.json. ORQ_ROUNDS_QUICK=1 runs a representative subset.
 bench-rounds:
 	dune exec bench/main.exe -- rounds --sf 0.0002 --n 400
+
+# Bit-packed flag-lane audit: packed-vs-word micro speedup (>= 8x gate),
+# end-to-end sort/group-by wall clock, and the full query suite with
+# packing on vs off asserting identical values and traffic; refreshes
+# BENCH_bitpack.json. ORQ_BITPACK_QUICK=1 runs a representative subset.
+bench-bitpack:
+	dune exec bench/main.exe -- bitpack
 
 # Foreground query service on $(ORQ_SOCKET); query it with
 #   dune exec bin/orq_cli.exe -- query --socket $(ORQ_SOCKET) "SELECT ..."

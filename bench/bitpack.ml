@@ -1,0 +1,358 @@
+(** Bit-packed flag-lane benchmark: measures the packed single-bit share
+    representation ([Share.flags], 63 flags/word) against the width-1 word
+    primitives it replaces, end to end and at the kernel level, and gates
+    the packing invariant over the full query suite. Three parts:
+
+    - micro: packed [band_f]/[xor_f] vs word [band ~width:1]/[xor] at
+      n = 2^20 — the acceptance bar is >= 8x lower ns/element on the
+      interactive AND;
+    - end-to-end: a quicksort and a group-by aggregation run with packing
+      on and off ([Mpc.set_bitpack]) under identical seeds — wall-clock
+      delta plus identical reconstructed outputs and identical
+      bits/messages/rounds;
+    - suite gate: every TPC-H + non-TPC-H query runs in both modes; any
+      value or traffic divergence (packing must only change local work)
+      fails the run with exit 1.
+
+    Writes BENCH_bitpack.json. Quick mode (ORQ_BITPACK_QUICK=1) shrinks
+    the micro size and restricts the suite to the headline queries. *)
+
+open Orq_util
+open Orq_proto
+open Orq_workloads
+open Bench_util
+module Comm = Orq_net.Comm
+
+let quick () =
+  match Sys.getenv_opt "ORQ_BITPACK_QUICK" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let with_bitpack on f =
+  let prev = Mpc.bitpack_enabled () in
+  Mpc.set_bitpack on;
+  Fun.protect ~finally:(fun () -> Mpc.set_bitpack prev) f
+
+(* ---- micro: per-element cost of the flag primitives ---- *)
+
+(* Best-of-3 timed blocks (same scheme as the kernels bench): ns/element. *)
+let measure ~n (f : unit -> unit) : float =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let target = if quick () then 0.02 else 0.08 in
+  let iters = max 3 (min 2000 (int_of_float (target /. max 1e-6 once))) in
+  let best = ref infinity in
+  for _rep = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best /. float_of_int iters /. float_of_int n *. 1e9
+
+type micro = {
+  m_op : string;
+  m_n : int;
+  m_packed_ns : float;
+  m_word_ns : float;
+}
+
+let micro_speedup m =
+  if m.m_packed_ns > 0. then m.m_word_ns /. m.m_packed_ns else nan
+
+let run_micro () =
+  let n = if quick () then 1 lsl 17 else 1 lsl 20 in
+  let kind = Ctx.Sh_hm in
+  let ctx = Ctx.create ~seed:21 kind in
+  let bits seed = Array.init n (fun i -> ((i * 73) lxor seed) land 1) in
+  let x = Mpc.share_b ctx (bits 1) and y = Mpc.share_b ctx (bits 2) in
+  let xf = Share.pack_flags x and yf = Share.pack_flags y in
+  let rows =
+    [
+      {
+        m_op = "band1";
+        m_n = n;
+        m_packed_ns =
+          measure ~n (fun () -> ignore (Mpc.band_f ctx xf yf));
+        m_word_ns =
+          measure ~n (fun () -> ignore (Mpc.band ~width:1 ctx x y));
+      };
+      {
+        m_op = "xor1";
+        m_n = n;
+        m_packed_ns = measure ~n (fun () -> ignore (Mpc.xor_f xf yf));
+        m_word_ns = measure ~n (fun () -> ignore (Mpc.xor x y));
+      };
+      {
+        m_op = "open1";
+        m_n = n;
+        m_packed_ns = measure ~n (fun () -> ignore (Mpc.open_f ctx xf));
+        m_word_ns =
+          measure ~n (fun () -> ignore (Mpc.open_ ~width:1 ctx x));
+      };
+    ]
+  in
+  List.iter
+    (fun m ->
+      row "  %-6s n=%-8d packed %8.3f ns/elt   word %8.3f ns/elt   %6.1fx"
+        m.m_op m.m_n m.m_packed_ns m.m_word_ns (micro_speedup m))
+    rows;
+  rows
+
+(* ---- end to end: sort + group-by, packing on vs off ---- *)
+
+type e2e = {
+  e_name : string;
+  e_packed_s : float;
+  e_word_s : float;
+  e_tally : Comm.tally;
+  e_values_match : bool;
+  e_tally_match : bool;
+}
+
+(* Run [f] (fresh ctx inside) in mode [on]; returns values, tally, secs. *)
+let run_mode kind seed on (f : Ctx.t -> int array list) =
+  with_bitpack on (fun () ->
+      let ctx = Ctx.create ~seed kind in
+      let before = Comm.snapshot ctx.Ctx.comm in
+      let t0 = Unix.gettimeofday () in
+      let vs = f ctx in
+      let dt = Unix.gettimeofday () -. t0 in
+      (vs, Comm.since ctx.Ctx.comm before, dt))
+
+let e2e_case kind name seed f =
+  let vp, tp, sp = run_mode kind seed true f in
+  let vw, tw, sw = run_mode kind seed false f in
+  {
+    e_name = name;
+    e_packed_s = sp;
+    e_word_s = sw;
+    e_tally = tp;
+    e_values_match = vp = vw;
+    e_tally_match = tp = tw;
+  }
+
+let run_e2e () =
+  let kind = Ctx.Sh_hm in
+  let n = if quick () then 1024 else 4096 in
+  let sort_case =
+    e2e_case kind (Printf.sprintf "quicksort n=%d" n) 7 (fun ctx ->
+        let keys = Array.init n (fun i -> (i * 2654435761) mod n) in
+        (* make the keys a permutation: fall back to index where the hash
+           collides, keeping them unique as quicksort requires *)
+        let seen = Hashtbl.create n in
+        let keys =
+          Array.mapi
+            (fun i k ->
+              let k = if Hashtbl.mem seen k then i else k in
+              Hashtbl.replace seen k ();
+              k)
+            keys
+        in
+        let carry = Array.init n (fun i -> i) in
+        let module Q = Orq_sort.Quicksort in
+        let ks, cs =
+          Q.sort ctx
+            ~keys:
+              [
+                {
+                  Q.col = Mpc.share_b ctx keys;
+                  width = Ring.log2_ceil n + 1;
+                  dir = Q.Asc;
+                };
+              ]
+            [ Mpc.share_b ctx carry ]
+        in
+        List.map Share.reconstruct (ks @ cs))
+  in
+  let agg_case =
+    e2e_case kind (Printf.sprintf "group-by n=%d" n) 9 (fun ctx ->
+        let keys = Array.init n (fun i -> i / 8) in
+        let vals = Array.init n (fun i -> (i * 31) mod 1000) in
+        let kc = Mpc.share_b ctx keys in
+        let module A = Orq_core.Aggnet in
+        let out =
+          A.run ctx
+            ~keys:[ (kc, Ring.log2_ceil (n / 8) + 1) ]
+            [
+              { A.col = Mpc.share_a ctx vals; func = A.Sum; keys = A.Group;
+                width = 16 };
+              { A.col = Mpc.share_b ctx vals; func = A.Min 10; keys = A.Group;
+                width = 10 };
+            ]
+        in
+        List.map Share.reconstruct out)
+  in
+  let rows = [ sort_case; agg_case ] in
+  List.iter
+    (fun e ->
+      row "  %-18s packed %8.4fs   word %8.4fs   %5.2fx   values=%s tally=%s"
+        e.e_name e.e_packed_s e.e_word_s
+        (if e.e_packed_s > 0. then e.e_word_s /. e.e_packed_s else nan)
+        (if e.e_values_match then "ok" else "MISMATCH")
+        (if e.e_tally_match then "ok" else "MISMATCH"))
+    rows;
+  rows
+
+(* ---- suite gate: every query, packing on vs off ---- *)
+
+type qrow = {
+  q_name : string;
+  q_packed : Comm.tally;
+  q_word : Comm.tally;
+  q_ok_packed : bool;
+  q_ok_word : bool;
+  q_packed_s : float;
+  q_word_s : float;
+}
+
+let q_match (r : qrow) = r.q_packed = r.q_word && r.q_ok_packed && r.q_ok_word
+
+let targets =
+  [ "Q1"; "Q4"; "Q6"; "Q12"; "Q13"; "Q19"; "Aspirin"; "Comorbidity" ]
+
+let run_suite () =
+  let kind = Ctx.Sh_hm in
+  (* the sizes the rounds audit runs at (Makefile / CI): every query is
+     known to be non-degenerate (nonempty aggregates) at these seeds *)
+  let sf = 0.0002 and other_n = 400 in
+  let plain = Tpch_gen.generate ~seed:99 sf in
+  let oplain = Other_gen.generate ~seed:31 other_n in
+  let keep name = (not (quick ())) || List.mem name targets in
+  (* wall-clock covers the query only, not the dataset sharing *)
+  let tpch_mode (q : Tpch.query) on =
+    with_bitpack on (fun () ->
+        let ctx = Ctx.create ~seed:5 kind in
+        let mdb = Tpch_gen.share ctx plain in
+        let before = Comm.snapshot ctx.Ctx.comm in
+        let t0 = Unix.gettimeofday () in
+        let ok, _, _ = Tpch.validate q plain mdb in
+        (ok, Comm.since ctx.Ctx.comm before, Unix.gettimeofday () -. t0))
+  in
+  let other_mode (q : Other_queries.query) on =
+    with_bitpack on (fun () ->
+        let ctx = Ctx.create ~seed:13 kind in
+        let mdb = Other_gen.share ctx oplain in
+        let before = Comm.snapshot ctx.Ctx.comm in
+        let t0 = Unix.gettimeofday () in
+        let ok, _, _ = Other_queries.validate q oplain mdb in
+        (ok, Comm.since ctx.Ctx.comm before, Unix.gettimeofday () -. t0))
+  in
+  let rows =
+    List.filter_map
+      (fun (q : Tpch.query) ->
+        if not (keep q.Tpch.name) then None
+        else
+          let ok_p, p, sp = tpch_mode q true in
+          let ok_w, w, sw = tpch_mode q false in
+          Some
+            { q_name = q.Tpch.name; q_packed = p; q_word = w;
+              q_ok_packed = ok_p; q_ok_word = ok_w; q_packed_s = sp;
+              q_word_s = sw })
+      Tpch.all
+    @ List.filter_map
+        (fun (q : Other_queries.query) ->
+          if not (keep q.Other_queries.name) then None
+          else
+            let ok_p, p, sp = other_mode q true in
+            let ok_w, w, sw = other_mode q false in
+            Some
+              { q_name = q.Other_queries.name; q_packed = p; q_word = w;
+                q_ok_packed = ok_p; q_ok_word = ok_w; q_packed_s = sp;
+                q_word_s = sw })
+        Other_queries.all
+  in
+  hdr "%-14s %12s %9s %6s %6s %9s %9s %6s" "query" "bits" "rounds" "b/m/r="
+    "valid" "packed" "word" "x";
+  List.iter
+    (fun r ->
+      hdr "%-14s %12d %9d %6s %6s %8.3fs %8.3fs %5.2fx" r.q_name
+        r.q_packed.Comm.t_bits r.q_packed.Comm.t_rounds
+        (if r.q_packed = r.q_word then "yes" else "NO")
+        (if r.q_ok_packed && r.q_ok_word then "ok" else "FAIL")
+        r.q_packed_s r.q_word_s
+        (if r.q_packed_s > 0. then r.q_word_s /. r.q_packed_s else nan))
+    rows;
+  rows
+
+let json_of_qrow (r : qrow) =
+  Printf.sprintf
+    "    {\"name\":\"%s\",\"bits\":%d,\"messages\":%d,\"rounds\":%d,\
+     \"tally_match\":%b,\"ok_packed\":%b,\"ok_word\":%b,\
+     \"packed_s\":%.6f,\"word_s\":%.6f}"
+    r.q_name r.q_packed.Comm.t_bits r.q_packed.Comm.t_messages
+    r.q_packed.Comm.t_rounds
+    (r.q_packed = r.q_word)
+    r.q_ok_packed r.q_ok_word r.q_packed_s r.q_word_s
+
+let run () =
+  section
+    (Printf.sprintf "bit-packed flag lanes: packed vs word-per-flag%s"
+       (if quick () then " (quick)" else ""));
+  hdr "micro (Sh-HM, interactive AND draws randomness per word):";
+  let micros = run_micro () in
+  hdr "\nend to end, packing on vs off (identical seeds):";
+  let e2es = run_e2e () in
+  hdr "\nquery suite gate (values + bits/messages/rounds must match):";
+  let qrows = run_suite () in
+  let band = List.find (fun m -> m.m_op = "band1") micros in
+  let band_speedup = micro_speedup band in
+  let bad_e2e = List.filter (fun e -> not (e.e_values_match && e.e_tally_match)) e2es in
+  let bad_q = List.filter (fun r -> not (q_match r)) qrows in
+  (* the acceptance bar: interactive AND at least 8x cheaper per element *)
+  let micro_pass = band_speedup >= 8.0 in
+  let suite_packed_s =
+    List.fold_left (fun a r -> a +. r.q_packed_s) 0. qrows
+  in
+  let suite_word_s = List.fold_left (fun a r -> a +. r.q_word_s) 0. qrows in
+  hdr "\nsummary: band1 packed speedup %.1fx (gate: >= 8x %s); %d/%d \
+       queries identical; suite wall clock packed %.2fs vs word %.2fs \
+       (%.2fx)"
+    band_speedup
+    (if micro_pass then "PASS" else "FAIL")
+    (List.length qrows - List.length bad_q)
+    (List.length qrows) suite_packed_s suite_word_s
+    (if suite_packed_s > 0. then suite_word_s /. suite_packed_s else nan);
+  if bad_e2e <> [] then
+    hdr "END-TO-END MISMATCH: %s"
+      (String.concat ", " (List.map (fun e -> e.e_name) bad_e2e));
+  if bad_q <> [] then
+    hdr "QUERY MISMATCH (packing must not change values or traffic): %s"
+      (String.concat ", " (List.map (fun r -> r.q_name) bad_q));
+  let oc = open_out "BENCH_bitpack.json" in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n  \"schema\": \"orq-bitpack-v1\",\n  \"quick\": %b,\n" (quick ());
+  pf "  \"flags_per_word\": %d,\n" Bits.bpw;
+  pf "  \"micro\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun m ->
+            Printf.sprintf
+              "    {\"op\":\"%s\",\"n\":%d,\"packed_ns_per_elt\":%.4f,\
+               \"word_ns_per_elt\":%.4f,\"speedup\":%.2f}"
+              m.m_op m.m_n m.m_packed_ns m.m_word_ns (micro_speedup m))
+          micros));
+  pf "  \"end_to_end\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun e ->
+            Printf.sprintf
+              "    {\"name\":\"%s\",\"packed_s\":%.6f,\"word_s\":%.6f,\
+               \"speedup\":%.3f,\"values_match\":%b,\"tally_match\":%b}"
+              e.e_name e.e_packed_s e.e_word_s
+              (if e.e_packed_s > 0. then e.e_word_s /. e.e_packed_s else nan)
+              e.e_values_match e.e_tally_match)
+          e2es));
+  pf "  \"queries\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map json_of_qrow qrows));
+  pf "  \"suite_packed_s\": %.4f,\n  \"suite_word_s\": %.4f,\n" suite_packed_s
+    suite_word_s;
+  pf "  \"band1_speedup_gate_8x\": %b,\n" micro_pass;
+  pf "  \"suite_identical\": %b\n}\n" (bad_e2e = [] && bad_q = []);
+  close_out oc;
+  hdr "wrote BENCH_bitpack.json";
+  if bad_e2e <> [] || bad_q <> [] || not micro_pass then exit 1

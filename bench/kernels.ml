@@ -23,7 +23,11 @@ type entry = {
 }
 
 let quick () = Sys.getenv_opt "ORQ_KERNELS_QUICK" <> None
-let sizes () = if quick () then [ 16_384 ] else [ 65_536; 1_048_576 ]
+
+(* Sizes must clear 2x [Parallel.min_chunk] (= 131072) or the pool never
+   splits work across domains and the multi-domain speedup rows measure
+   pure dispatch overhead (< 1.0x). *)
+let sizes () = if quick () then [ 131_072 ] else [ 131_072; 1_048_576 ]
 let domain_counts () = if quick () then [ 1; 2 ] else [ 1; 2; 4 ]
 
 (* Measure [f] over enough iterations for a stable per-element figure;

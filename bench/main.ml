@@ -16,7 +16,7 @@
 let experiments =
   [ "all"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
     "fig12"; "table1"; "table2"; "table7"; "ablation"; "micro";
-    "micro-kernels"; "rounds" ]
+    "micro-kernels"; "rounds"; "bitpack" ]
 
 let usage () =
   Printf.printf "usage: main.exe [%s] [--sf F] [--n N]\n"
@@ -68,5 +68,8 @@ let () =
   (* explicit-only: fused-vs-unfused round comparison over the query
      workloads; writes BENCH_rounds.json *)
   if List.mem "rounds" cmds then Rounds.run ~sf ~other_n:n ();
+  (* explicit-only: packed-vs-word flag lanes micro + end-to-end + query
+     suite invariant gate; writes BENCH_bitpack.json *)
+  if List.mem "bitpack" cmds then Bitpack.run ();
   Printf.printf "\ntotal bench wall time: %.1fs\n"
     (Unix.gettimeofday () -. t0)

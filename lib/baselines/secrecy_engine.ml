@@ -42,9 +42,8 @@ let nested_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
          on)
   in
   let valid =
-    Mpc.band ~width:1 ctx
-      (Mpc.band ~width:1 ctx (expand_l left.Table.valid)
-         (expand_r right.Table.valid))
+    Mpc.band1 ctx
+      (Mpc.band1 ctx (expand_l left.Table.valid) (expand_r right.Table.valid))
       eq
   in
   let cols =
@@ -84,7 +83,7 @@ let nested_semi_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
              w ))
          on)
   in
-  let eq = Mpc.band ~width:1 ctx eq (Share.gather right.Table.valid ri) in
+  let eq = Mpc.band1 ctx eq (Share.gather right.Table.valid ri) in
   (* OR-reduce each row's m bits in log m rounds; odd stragglers OR with
      themselves (branchless) *)
   let rec fold s width =
@@ -101,7 +100,7 @@ let nested_semi_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
             else (i * width) + j)
       in
       let merged =
-        Mpc.bor ~width:1 ctx (Share.gather s idx_a) (Share.gather s idx_b)
+        Mpc.bor1 ctx (Share.gather s idx_a) (Share.gather s idx_b)
       in
       fold merged half
   in

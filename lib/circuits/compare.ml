@@ -192,48 +192,60 @@ let ge ?signed ctx ~w x y = Mpc.xor_pub (lt ?signed ctx ~w x y) 1
    lexicographic combination (hi = more significant column):
      (lt_hi, eq_hi) ⊗ (lt_lo, eq_lo) = (lt_hi ⊕ eq_hi∧lt_lo, eq_hi∧eq_lo)
    Each level issues the two single-bit ANDs of every adjacent pair as one
-   fused round. *)
-let rec lex_reduce (ctx : Ctx.t) (ps : (Share.shared * Share.shared) array) :
-    Share.shared =
+   fused round, over packed flag lanes ({!Mpc.band_f_many}): randomness and
+   local work are per word, element-level traffic unchanged. *)
+let rec lex_reduce_f (ctx : Ctx.t) (ps : (Share.flags * Share.flags) array) :
+    Share.flags =
   let m = Array.length ps in
   if m = 1 then fst ps.(0)
   else begin
     let pn = m / 2 in
-    let xs =
-      Array.init (2 * pn) (fun t -> snd ps.(2 * (t / 2)))
-    in
+    let xs = Array.init (2 * pn) (fun t -> snd ps.(2 * (t / 2))) in
     let ys =
       Array.init (2 * pn) (fun t ->
           let lo = ps.((2 * (t / 2)) + 1) in
           if t land 1 = 0 then fst lo else snd lo)
     in
-    let rs = Mpc.band_many ~widths:(Array.make (2 * pn) 1) ctx xs ys in
+    let rs = Mpc.band_f_many ctx xs ys in
     let merged =
-      Array.init pn (fun j -> (Mpc.xor (fst ps.(2 * j)) rs.(2 * j), rs.((2 * j) + 1)))
+      Array.init pn (fun j ->
+          (Mpc.xor_f (fst ps.(2 * j)) rs.(2 * j), rs.((2 * j) + 1)))
     in
     let merged =
       if m mod 2 = 1 then Array.append merged [| ps.(m - 1) |] else merged
     in
-    lex_reduce ctx merged
+    lex_reduce_f ctx merged
   end
 
-(** Lexicographic less-than over a list of (x, y, width) column pairs —
-    the composite-key comparator used by TableSort and the sorting wrapper
-    (the (key, index) 128-bit padding construction of §B.2):
-    lt = lt_1 or (eq_1 and (lt_2 or (eq_2 and ...))). All columns' (lt, eq)
-    ladders run in one fused lockstep pass (equality comes free from the
-    less-than ladder), then a log-depth merge combines the columns. *)
-let lt_lex ?signed (ctx : Ctx.t) = function
+(** Lexicographic less-than over a list of (x, y, width) column pairs,
+    returned as packed flags — the composite-key comparator used by
+    TableSort and the sorting wrapper (the (key, index) 128-bit padding
+    construction of §B.2): lt = lt_1 or (eq_1 and (lt_2 or (eq_2 and ...))).
+    All columns' (lt, eq) ladders run in one fused lockstep pass (the
+    ladders stay word-based — they are genuinely multi-bit), their
+    single-bit results pack into flag lanes, and a log-depth packed merge
+    combines the columns. *)
+let lt_lex_f ?signed (ctx : Ctx.t) = function
   | [] -> invalid_arg "lt_lex: empty key list"
-  | [ (x, y, w) ] -> lt ?signed ctx ~w x y
-  | cols -> lex_reduce ctx (lt_eq_many ?signed ctx (Array.of_list cols))
+  | [ (x, y, w) ] -> Share.pack_flags (lt ?signed ctx ~w x y)
+  | cols ->
+      lex_reduce_f ctx
+        (Array.map
+           (fun (l, e) -> (Share.pack_flags l, Share.pack_flags e))
+           (lt_eq_many ?signed ctx (Array.of_list cols)))
 
-(** Conjunction of per-column equality over composite keys: one fused
-    equality pass over all columns, then a log-depth AND tree (k - 1
-    single-bit ANDs, same traffic as the sequential fold). *)
-let eq_composite_many (ctx : Ctx.t)
+let lt_lex ?signed (ctx : Ctx.t) = function
+  | [ (x, y, w) ] -> lt ?signed ctx ~w x y
+  | cols -> Share.unpack_flags (lt_lex_f ?signed ctx cols)
+
+(** Conjunction of per-column equality over composite keys, as packed
+    flags: one fused (word-based) equality pass over all columns, each
+    column's result bit packed into flag lanes, then a log-depth packed
+    AND tree (k - 1 single-bit ANDs, same traffic as the sequential
+    fold). *)
+let eq_composite_many_f (ctx : Ctx.t)
     (groups : (Share.shared * Share.shared * int) list array) :
-    Share.shared array =
+    Share.flags array =
   if Array.length groups = 0 then [||]
   else begin
     Array.iter
@@ -241,7 +253,7 @@ let eq_composite_many (ctx : Ctx.t)
       groups;
     (* one fused per-column equality pass over every group's columns *)
     let lanes = Array.of_list (List.concat (Array.to_list groups)) in
-    let eqs = eq_many ctx lanes in
+    let eqs = Array.map Share.pack_flags (eq_many ctx lanes) in
     let state = Array.make (Array.length groups) [||] in
     let off = ref 0 in
     Array.iteri
@@ -265,9 +277,7 @@ let eq_composite_many (ctx : Ctx.t)
         state;
       let xs = Array.of_list (List.rev !xs)
       and ys = Array.of_list (List.rev !ys) in
-      let rs =
-        Mpc.band_many ~widths:(Array.make (Array.length xs) 1) ctx xs ys
-      in
+      let rs = Mpc.band_f_many ctx xs ys in
       let pos = ref 0 in
       Array.iteri
         (fun gi es ->
@@ -283,6 +293,9 @@ let eq_composite_many (ctx : Ctx.t)
     done;
     Array.map (fun es -> es.(0)) state
   end
+
+let eq_composite_many (ctx : Ctx.t) groups : Share.shared array =
+  Array.map Share.unpack_flags (eq_composite_many_f ctx groups)
 
 let eq_composite (ctx : Ctx.t) (cols : (Share.shared * Share.shared * int) list)
     =

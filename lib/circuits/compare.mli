@@ -64,6 +64,13 @@ val lt_lex :
     columns' (lt, eq) ladders run in one fused lockstep pass, then a
     log-depth associative merge combines them. *)
 
+val lt_lex_f :
+  ?signed:bool -> Ctx.t -> (Share.shared * Share.shared * int) list ->
+  Share.flags
+(** {!lt_lex} delivered as packed flag lanes: the multi-bit ladders stay
+    word-based, the column merge runs over packed flags (per-word
+    randomness and local work; identical element-level traffic). *)
+
 val eq_composite :
   Ctx.t -> (Share.shared * Share.shared * int) list -> Share.shared
 (** Conjunction of per-column equality over composite keys: one fused
@@ -76,3 +83,9 @@ val eq_composite_many :
     fused ladder and the AND trees reduce in lockstep — the aggregation
     network uses this to evaluate the group bits of all its levels at
     once. *)
+
+val eq_composite_many_f :
+  Ctx.t -> (Share.shared * Share.shared * int) list array ->
+  Share.flags array
+(** {!eq_composite_many} delivered as packed flag lanes (the AND trees run
+    over packed words). *)

@@ -39,5 +39,21 @@ let select_many ?widths (ctx : Ctx.t)
     let ms = Mpc.band_many ?widths ctx exts diffs in
     Array.mapi (fun i (_, x, _) -> Mpc.xor x ms.(i)) lanes
 
+(** Batched independent muxes whose conditions arrive as packed flag
+    lanes: the mux masks extend straight from the packed words
+    ({!Share.extend_flags}, no 0/1 intermediate), the AND legs fuse as in
+    {!select_many}. The selected columns are word-valued, so the AND runs
+    at the lanes' data widths — only the condition side is packed. *)
+let select_flags_many ?widths (ctx : Ctx.t)
+    (lanes : (Share.flags * Share.shared * Share.shared) array) :
+    Share.shared array =
+  if Array.length lanes = 0 then [||]
+  else
+    let exts = Array.map (fun (b, _, _) -> Share.extend_flags b) lanes in
+    let diffs = Array.map (fun (_, x, y) -> Mpc.xor x y) lanes in
+    let ms = Mpc.band_many ?widths ctx exts diffs in
+    Array.mapi (fun i (_, x, _) -> Mpc.xor x ms.(i)) lanes
+
 (** Arithmetic mux: condition given as an arithmetic 0/1 sharing. *)
-let mux_a (ctx : Ctx.t) b x y = Mpc.add x (Mpc.mul ctx b (Mpc.sub y x))
+let mux_a ?width (ctx : Ctx.t) b x y =
+  Mpc.add x (Mpc.mul ?width ctx b (Mpc.sub y x))

@@ -20,5 +20,14 @@ val select_many :
 (** k independent muxes (lane i is (b, x, y), selecting [b ? y : x]) with
     per-lane widths, their AND legs fused into one round. *)
 
-val mux_a : Ctx.t -> Share.shared -> Share.shared -> Share.shared -> Share.shared
-(** Arithmetic mux with a 0/1 arithmetic condition (one multiplication). *)
+val select_flags_many :
+  ?widths:int array -> Ctx.t ->
+  (Share.flags * Share.shared * Share.shared) array -> Share.shared array
+(** {!select_many} with packed flag conditions: mux masks extend straight
+    from the packed words, no 0/1 intermediate. *)
+
+val mux_a :
+  ?width:int -> Ctx.t -> Share.shared -> Share.shared -> Share.shared ->
+  Share.shared
+(** Arithmetic mux with a 0/1 arithmetic condition (one multiplication at
+    the value width). *)

@@ -94,20 +94,21 @@ let run (ctx : Ctx.t) ~(keys : (Share.shared * int) list)
              levels)
     | _ -> key_groups
   in
-  let bits = Compare.eq_composite_many ctx all_groups in
+  (* all group-boundary bits live in packed flag lanes: the equality
+     ladders deliver them packed, the tid conjunction is a packed AND and
+     Sum's bit conversion consumes the packed lanes directly *)
+  let bits = Compare.eq_composite_many_f ctx all_groups in
   let b_groups = Array.sub bits 0 nlev in
   let b_exts =
     if needs_tid then
-      Some
-        (Mpc.band_many ~widths:(Array.make nlev 1) ctx b_groups
-           (Array.sub bits nlev nlev))
+      Some (Mpc.band_f_many ctx b_groups (Array.sub bits nlev nlev))
     else None
   in
   let has_sum =
     List.exists (fun sp -> match sp.func with Sum -> true | _ -> false) specs
   in
   let b_ariths =
-    if has_sum then Convert.bit_b2a_many ctx b_groups else [||]
+    if has_sum then Convert.bit_b2a_flags_many ctx b_groups else [||]
   in
   Array.iteri (fun li dd ->
     let b_group = b_groups.(li) in
@@ -132,8 +133,13 @@ let run (ctx : Ctx.t) ~(keys : (Share.shared * int) list)
     if Array.length sum_idx > 0 then begin
       Array.iter (fun i -> Share.check_enc Arith cols_a.(i)) sum_idx;
       let b = b_ariths.(li) in
+      (* charge each product at its column's logical width: the boundary
+         bit is 0/1 and the value fits in spec.width bits, so defaulting
+         to ell would overcharge every Sum level *)
       let prods =
-        Mpc.mul_many ctx
+        Mpc.mul_many
+          ~widths:(Array.map (fun i -> specs_a.(i).width) sum_idx)
+          ctx
           (Array.map (fun _ -> b) sum_idx)
           (Array.map (fun i -> fst (slices cols_a.(i) dd)) sum_idx)
       in
@@ -200,7 +206,7 @@ let run (ctx : Ctx.t) ~(keys : (Share.shared * int) list)
            (List.init ns Fun.id))
     in
     let bm_res =
-      Mux.select_many
+      Mux.select_flags_many
         ~widths:(Array.map (fun (i, _) -> pre_width.(i)) bm)
         ctx
         (Array.map

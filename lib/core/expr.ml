@@ -262,7 +262,8 @@ and eval_pred (t : Table.t) (p : pred) : Share.shared =
   in
   (* Pass 4: combine through the connective skeleton; associative And/Or
      chains flatten into log-depth fused trees. *)
-  let rec tree f (es : Share.shared array) =
+  let rec tree : 'a. ('a array -> 'a array -> 'a array) -> 'a array -> 'a =
+   fun f es ->
     let m = Array.length es in
     if m = 1 then es.(0)
     else
@@ -272,7 +273,6 @@ and eval_pred (t : Table.t) (p : pred) : Share.shared =
       let rs = f xs ys in
       tree f (if m mod 2 = 1 then Array.append rs [| es.(m - 1) |] else rs)
   in
-  let w1 k = Array.make k 1 in
   let rec flatten_and = function
     | `And (a, b) -> flatten_and a @ flatten_and b
     | s -> [ s ]
@@ -280,21 +280,24 @@ and eval_pred (t : Table.t) (p : pred) : Share.shared =
     | `Or (a, b) -> flatten_or a @ flatten_or b
     | s -> [ s ]
   in
+  (* connective chains run over packed flag lanes: every leaf is a
+     single-bit predicate, so each tree level is one packed fused round *)
   let rec combine = function
     | `T -> Share.public ctx Share.Bool (Table.nrows t) 1
     | `L i -> leaf_bit.(i)
     | `Not a -> Mpc.xor_pub (combine a) 1
     | `And _ as s ->
-        let es = Array.of_list (List.map combine (flatten_and s)) in
-        tree
-          (fun xs ys ->
-            Mpc.band_many ~widths:(w1 (Array.length xs)) ctx xs ys)
-          es
+        let es =
+          Array.of_list
+            (List.map (fun a -> Share.pack_flags (combine a)) (flatten_and s))
+        in
+        Share.unpack_flags (tree (Mpc.band_f_many ctx) es)
     | `Or _ as s ->
-        let es = Array.of_list (List.map combine (flatten_or s)) in
-        tree
-          (fun xs ys -> Mpc.bor_many ~widths:(w1 (Array.length xs)) ctx xs ys)
-          es
+        let es =
+          Array.of_list
+            (List.map (fun a -> Share.pack_flags (combine a)) (flatten_or s))
+        in
+        Share.unpack_flags (tree (Mpc.bor_f_many ctx) es)
   in
   combine sk
 

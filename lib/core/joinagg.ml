@@ -232,11 +232,10 @@ let join (ctx : Ctx.t) (variant : variant) ?(copy : string list = [])
          keys keep using V_LR, cf. Appendix C footnote) --- *)
   let v_o =
     match variant with
-    | V_inner -> Mpc.band ~width:1 ctx v_lr' (Mpc.xor_pub dist 1)
+    | V_inner -> Mpc.band1 ctx v_lr' (Mpc.xor_pub dist 1)
     | V_left_outer ->
-        Mpc.band ~width:1 ctx v_lr'
-          (Mpc.xor_pub (Mpc.band ~width:1 ctx tid' dist) 1)
-    | V_right_outer | V_anti -> Mpc.band ~width:1 ctx v_lr' tid'
+        Mpc.band1 ctx v_lr' (Mpc.xor_pub (Mpc.band1 ctx tid' dist) 1)
+    | V_right_outer | V_anti -> Mpc.band1 ctx v_lr' tid'
     | V_full_outer -> v_lr'
   in
   (* --- Step 3: one aggregation network for copies, valid propagation and
@@ -352,8 +351,7 @@ let join_unique (ctx : Ctx.t) ?(copy : string list = [])
   (* an R row is in the join iff its group has a head before it (the L row
      with the same key): valid = V_LR and Tid and not distinct *)
   let valid =
-    Mpc.band ~width:1 ctx p.p_v_lr
-      (Mpc.band ~width:1 ctx p.p_tid (Mpc.xor_pub p.p_dist 1))
+    Mpc.band1 ctx p.p_v_lr (Mpc.band1 ctx p.p_tid (Mpc.xor_pub p.p_dist 1))
   in
   (* copy each requested left column from the immediately preceding row *)
   let copied =

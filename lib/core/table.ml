@@ -124,9 +124,10 @@ let pad_rows (t : t) extra : t =
     }
 
 (** AND a predicate bit-vector into the validity column (oblivious filter:
-    physical size unchanged, selectivity hidden). *)
+    physical size unchanged, selectivity hidden). Both operands are
+    single-bit, so the conjunction runs through the packed flag kernel. *)
 let and_valid t (bit : Share.shared) =
-  { t with valid = Mpc.band ~width:1 t.ctx t.valid bit }
+  { t with valid = Mpc.band1 t.ctx t.valid bit }
 
 (* ------------------------------------------------------------------ *)
 (* Opening results to the analyst                                      *)

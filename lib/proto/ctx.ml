@@ -44,6 +44,14 @@ type t = {
   comm : Orq_net.Comm.t;  (** online-phase traffic *)
   preproc : Orq_net.Comm.t;  (** preprocessing traffic (dealer-simulated) *)
   prg : Prg.t;
+  perm_prg : Prg.t;
+      (** Dedicated stream for shuffle permutations. Real deployments draw
+          permutations from common seeds shared by shuffle groups, entirely
+          separate from dealer/correlation randomness; splitting the streams
+          here mirrors that and keeps data-dependent control flow (e.g.
+          quicksort partition sizes, driven by the random shuffle) identical
+          whether correlations are drawn per element or per packed word
+          (see {!Mpc.set_bitpack}). *)
   mutable tamper : tamper option;
 }
 
@@ -51,6 +59,7 @@ exception Abort of string
 
 let create ?(seed = 0x5EED) ?(ell = 64) kind =
   let parties = parties_of kind in
+  let prg = Prg.create seed in
   {
     kind;
     parties;
@@ -59,7 +68,8 @@ let create ?(seed = 0x5EED) ?(ell = 64) kind =
     perm_bits = 32;
     comm = Orq_net.Comm.create ~parties;
     preproc = Orq_net.Comm.create ~parties;
-    prg = Prg.create seed;
+    prg;
+    perm_prg = Prg.split prg 0x9E4B;
     tamper = None;
   }
 

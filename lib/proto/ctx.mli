@@ -30,6 +30,11 @@ type t = {
   comm : Orq_net.Comm.t;  (** online-phase traffic *)
   preproc : Orq_net.Comm.t;  (** preprocessing traffic (dealer-simulated) *)
   prg : Orq_util.Prg.t;
+  perm_prg : Orq_util.Prg.t;
+      (** Dedicated stream for shuffle permutations, split off [prg] at
+          creation — keeps shuffle-driven control flow independent of how
+          many correlation words the protocols draw (packed vs unpacked
+          flag lanes). *)
   mutable tamper : tamper option;
 }
 

@@ -48,6 +48,44 @@ let edabits (ctx : Ctx.t) n : edabits =
   meter_preproc ctx ~vectors:(2 * ctx.nvec) ~n ~width:(2 * ctx.ell);
   { ed_arith = Share.share ctx Arith r; ed_bool = Share.share ctx Bool r }
 
+(* ------------------------------------------------------------------ *)
+(* Packed flag-lane correlations. Same correlations as above, for the
+   bit-packed single-bit representation: the dealer's randomness is drawn
+   per *word* (63 flags per PRG call) instead of per element, and the
+   boolean side is emitted directly in packed lanes. Metering is kept
+   byte-identical to the unpacked variants — the modeled dealer ships the
+   same logical correlation either way; only the simulation's local
+   compute and PRG draw shrink.                                        *)
+(* ------------------------------------------------------------------ *)
+
+type flag_triple = { fta : Share.flags; ftb : Share.flags; ftc : Share.flags }
+
+(** Packed boolean Beaver triple [c = a AND b] over n single-bit lanes:
+    per-word draws and per-word sharing; metered exactly like {!beaver}. *)
+let beaver_flags (ctx : Ctx.t) n : flag_triple =
+  let a = Bits.random ctx.prg n and b = Bits.random ctx.prg n in
+  let c = Bits.band a b in
+  meter_preproc ctx ~vectors:(3 * ctx.nvec) ~n ~width:ctx.ell;
+  {
+    fta = Share.share_flags ctx a;
+    ftb = Share.share_flags ctx b;
+    ftc = Share.share_flags ctx c;
+  }
+
+type flag_dabits = { fda_bool : Share.flags; fda_arith : Share.shared }
+
+(** daBits with the boolean side packed: the random bits and their boolean
+    sharing are drawn/shared per word; the arithmetic side stays
+    per-element (arithmetic sharings have no packed form). Metered exactly
+    like {!dabits}. *)
+let dabits_flags (ctx : Ctx.t) n : flag_dabits =
+  let r = Bits.random ctx.prg n in
+  meter_preproc ctx ~vectors:(2 * ctx.nvec) ~n ~width:(ctx.ell + 1);
+  {
+    fda_bool = Share.share_flags ctx r;
+    fda_arith = Share.share ctx Arith (Bits.unpack r);
+  }
+
 (** A secret-shared random vector unknown to every party (e.g. masks for
     padding). *)
 let random_shared (ctx : Ctx.t) enc n : Share.shared =

@@ -24,5 +24,18 @@ val edabits : Ctx.t -> int -> edabits
 (** Random ring elements shared both arithmetically and booleanly — the
     correlation behind A2B conversion. *)
 
+type flag_triple = { fta : Share.flags; ftb : Share.flags; ftc : Share.flags }
+
+val beaver_flags : Ctx.t -> int -> flag_triple
+(** Packed boolean Beaver triple over n single-bit lanes: randomness drawn
+    and shared per packed word (63 flags per PRG call); preprocessing
+    metered byte-identically to {!beaver}. *)
+
+type flag_dabits = { fda_bool : Share.flags; fda_arith : Share.shared }
+
+val dabits_flags : Ctx.t -> int -> flag_dabits
+(** daBits with a packed boolean side (per-word draws); metered
+    byte-identically to {!dabits}. *)
+
 val random_shared : Ctx.t -> Share.enc -> int -> Share.shared
 (** A secret-shared random vector unknown to every party. *)

@@ -38,6 +38,27 @@ let fusion =
 let set_fusion b = fusion := b
 let fusion_enabled () = !fusion
 
+(* ------------------------------------------------------------------ *)
+(* Bit-packing toggle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* When enabled (the default), the flag primitives below ([band_f] etc.)
+   run over packed single-bit lanes ({!Share.flags}): local work and
+   randomness per 63-flag word instead of per element. When disabled (env
+   ORQ_NO_BITPACK=1, or {!set_bitpack}), they unpack, run the ordinary
+   word-per-flag primitives at width 1, and repack. Both modes charge
+   byte-identical traffic (width-1 metering either way) and produce
+   identical opened values — only the simulation's local compute and PRG
+   draw differ. *)
+let bitpack =
+  ref
+    (match Sys.getenv_opt "ORQ_NO_BITPACK" with
+    | Some ("1" | "true" | "yes" | "on") -> false
+    | _ -> true)
+
+let set_bitpack b = bitpack := b
+let bitpack_enabled () = !bitpack
+
 (* Per-lane metering of a fused round: lane 0 opens the round, the other
    lanes piggyback their traffic on it, so bits/messages equal the sum of
    the unfused per-lane charges exactly. *)
@@ -477,11 +498,42 @@ let make_lanes (ctx : Ctx.t) xs ys widths =
       (x, ys.(i), match widths with Some ws -> ws.(i) | None -> ctx.ell))
     xs
 
+(* Debug-mode width-sanity check: an interactive primitive whose width
+   defaulted to ell while both operands reconstruct to single-bit vectors
+   almost certainly means a missing [?width] at the call site — the
+   modeled traffic would be overcharged ~64x. Requires n >= 8 and at
+   least one set bit on each side so small or degenerate vectors (e.g. an
+   all-invalid mask ANDed with data) cannot trip it. Reconstruction makes
+   this O(nvec * n), so it runs only under {!Debug.set_checks}. *)
+let check_width_sane op width (x : shared) (y : shared) =
+  if width = None && Debug.enabled () then begin
+    let single_bit s =
+      let v = Share.reconstruct s in
+      Vec.length v >= 8
+      &&
+      let all01 = ref true and any1 = ref false in
+      Array.iter
+        (fun e -> if e = 1 then any1 := true else if e <> 0 then all01 := false)
+        v;
+      !all01 && !any1
+    in
+    if single_bit x && single_bit y then
+      invalid_arg
+        (op
+       ^ ": width defaulted to ell but both operands are single-bit vectors \
+          — missing ?width:1 at the call site?")
+  end
+
+let check_width_sane_many op widths (xs : shared array) (ys : shared array) =
+  if widths = None && Debug.enabled () then
+    Array.iteri (fun i x -> check_width_sane op None x ys.(i)) xs
+
 (** Secure elementwise multiplication of arithmetic shares. *)
 let mul ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
   Share.check_enc Arith x;
   Share.check_enc Arith y;
   Share.check_same_len x y;
+  check_width_sane "Mpc.mul" width x y;
   let w = Option.value width ~default:ctx.ell in
   mul_core ctx Arith w x y
 
@@ -490,6 +542,7 @@ let band ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
   Share.check_enc Bool x;
   Share.check_enc Bool y;
   Share.check_same_len x y;
+  check_width_sane "Mpc.band" width x y;
   let w = Option.value width ~default:ctx.ell in
   mul_core ctx Bool w x y
 
@@ -498,12 +551,14 @@ let band ?width (ctx : Ctx.t) (x : shared) (y : shared) : shared =
 let mul_many ?widths (ctx : Ctx.t) (xs : shared array) (ys : shared array) :
     shared array =
   check_lanes "Mpc.mul_many" Arith xs ys widths;
+  check_width_sane_many "Mpc.mul_many" widths xs ys;
   mul_core_many ctx Arith (make_lanes ctx xs ys widths)
 
 (** [band_many ctx xs ys]: k independent ANDs in one metered round. *)
 let band_many ?widths (ctx : Ctx.t) (xs : shared array) (ys : shared array) :
     shared array =
   check_lanes "Mpc.band_many" Bool xs ys widths;
+  check_width_sane_many "Mpc.band_many" widths xs ys;
   mul_core_many ctx Bool (make_lanes ctx xs ys widths)
 
 (** OR via De Morgan / inclusion–exclusion: x ∨ y = x ⊕ y ⊕ (x ∧ y); the
@@ -518,6 +573,216 @@ let bor_many ?widths (ctx : Ctx.t) (xs : shared array) (ys : shared array) :
     shared array =
   let zs = band_many ?widths ctx xs ys in
   Array.mapi (fun i z -> Share.map3_vectors Vec.xor3 xs.(i) ys.(i) z) zs
+
+(* ------------------------------------------------------------------ *)
+(* Packed single-bit flag lanes                                        *)
+(*                                                                     *)
+(* The same three protocol cores as above, specialized to GF(2) over    *)
+(* packed words ({!Share.flags}): each 63-flag word is one ring element *)
+(* of the boolean sharing, so Beaver triples, zero sharings and daBit   *)
+(* masks are drawn per word — 63x fewer PRG calls and correlation       *)
+(* material — and the local recombination kernels ({!Vec.beaver_bool},  *)
+(* {!Vec.rep3_bool_into}, {!Vec.xor_band_into}) run unchanged over the  *)
+(* word arrays. Metering stays per *element* at width 1, byte-identical *)
+(* to the unpacked primitives; with the gate off every entry point      *)
+(* falls back to unpack -> width-1 primitive -> pack.                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Lanewise xor of packed flag sharings (local, linear). *)
+let xor_f (a : Share.flags) (b : Share.flags) : Share.flags =
+  Share.check_same_flags_len a b;
+  {
+    Share.fv =
+      Array.init (Share.flags_nvec a) (fun k ->
+          Bits.xor a.Share.fv.(k) b.Share.fv.(k));
+  }
+
+(** Flip every flag (xor with public all-ones: one lane's bits invert). *)
+let bnot_f (a : Share.flags) : Share.flags =
+  {
+    Share.fv =
+      Array.mapi
+        (fun k bk -> if k = 0 then Bits.bnot bk else Bits.copy bk)
+        a.Share.fv;
+  }
+
+(** Extract bit [k] of each element of a boolean sharing straight into
+    packed flag lanes — the fused radix-digit extraction ({!extract_bit}
+    composed with {!Share.pack_flags}, one pass, no 0/1 intermediate). *)
+let extract_bit_f (a : shared) k : Share.flags =
+  Share.check_enc Bool a;
+  { Share.fv = Array.map (fun vk -> Bits.pack_bit vk k) a.Share.v }
+
+(* Packed zero sharing: alpha_k = r_k xor r_{k+1 mod nvec} over packed
+   words — the per-word twin of {!zero_sharing}. *)
+let zero_sharing_f (ctx : Ctx.t) n : Bits.t array =
+  let r = Array.init ctx.nvec (fun _ -> Bits.random ctx.prg n) in
+  let r0 = Bits.copy r.(0) in
+  for k = 0 to ctx.nvec - 1 do
+    let r' = if k = ctx.nvec - 1 then r0 else r.(k + 1) in
+    Bits.xor_into r.(k) r'
+  done;
+  r
+
+(* d = x ⊕ t folded across lanes directly on the packed words (the flag
+   twin of {!open_diff}). *)
+let open_diff_f (x : Share.flags) (t : Share.flags) : Vec.t =
+  let out = Vec.zeros (Bits.num_words x.Share.fv.(0)) in
+  for k = 0 to Share.flags_nvec x - 1 do
+    Vec.xor_acc_into out (Bits.words x.Share.fv.(k)) (Bits.words t.Share.fv.(k))
+  done;
+  out
+
+(* One packed AND lane under the protocol cores; [lane] indexes the fused
+   round ({!meter_lane}), and the charges are exactly the unpacked
+   width-1 charges. *)
+let band_f_lane (ctx : Ctx.t) lane (x : Share.flags) (y : Share.flags) :
+    Share.flags =
+  let n = Share.flags_length x in
+  match ctx.kind with
+  | Ctx.Sh_dm ->
+      let { Dealer.fta; ftb; ftc } = Dealer.beaver_flags ctx n in
+      meter_lane ctx lane ~bits:(2 * 2 * n) ~messages:2;
+      let d = open_diff_f x fta and e = open_diff_f y ftb in
+      {
+        Share.fv =
+          Array.init ctx.nvec (fun k ->
+              Bits.of_words n
+                (Vec.beaver_bool
+                   ~tc:(Bits.words ftc.Share.fv.(k))
+                   ~d
+                   ~tb:(Bits.words ftb.Share.fv.(k))
+                   ~e
+                   ~ta:(Bits.words fta.Share.fv.(k))
+                   ~with_de:(k = 0)));
+      }
+  | Ctx.Sh_hm ->
+      let alpha = zero_sharing_f ctx n in
+      for i = 0 to 2 do
+        let j = (i + 1) mod 3 in
+        Vec.rep3_bool_into
+          (Bits.words alpha.(i))
+          ~xi:(Bits.words x.Share.fv.(i))
+          ~yi:(Bits.words y.Share.fv.(i))
+          ~xj:(Bits.words x.Share.fv.(j))
+          ~yj:(Bits.words y.Share.fv.(j));
+      done;
+      meter_lane ctx lane ~bits:(3 * n) ~messages:3;
+      { Share.fv = alpha }
+  | Ctx.Mal_hm ->
+      let alpha = zero_sharing_f ctx n in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          let eligible =
+            List.filter (fun p -> p <> i && p <> j) [ 0; 1; 2; 3 ]
+          in
+          match eligible with
+          | assignee :: _ ->
+              if Ctx.tamper_delta ctx ~party:assignee ~op:"mul" <> 0 then
+                raise (Ctx.Abort "mul: cross-term verification failed");
+              Vec.xor_band_into
+                (Bits.words alpha.(assignee))
+                (Bits.words x.Share.fv.(i))
+                (Bits.words y.Share.fv.(j))
+          | _ -> assert false
+        done
+      done;
+      meter_lane ctx lane ~bits:(4 * 3 * n) ~messages:12;
+      { Share.fv = alpha }
+
+(** Secure AND of packed flag sharings — one round, width-1 charges. *)
+let band_f (ctx : Ctx.t) (x : Share.flags) (y : Share.flags) : Share.flags =
+  Share.check_same_flags_len x y;
+  if not !bitpack then
+    Share.pack_flags
+      (band ~width:1 ctx (Share.unpack_flags x) (Share.unpack_flags y))
+  else band_f_lane ctx 0 x y
+
+(** k independent packed ANDs in one fused round (lane by lane under
+    [ORQ_NO_FUSION], with identical bits/messages). *)
+let band_f_many (ctx : Ctx.t) (xs : Share.flags array)
+    (ys : Share.flags array) : Share.flags array =
+  let k = Array.length xs in
+  if Array.length ys <> k then
+    invalid_arg "Mpc.band_f_many: operand arrays differ";
+  Array.iteri (fun i x -> Share.check_same_flags_len x ys.(i)) xs;
+  if k = 0 then [||]
+  else if not !bitpack then
+    Array.map Share.pack_flags
+      (band_many
+         ~widths:(Array.make k 1)
+         ctx
+         (Array.map Share.unpack_flags xs)
+         (Array.map Share.unpack_flags ys))
+  else if k = 1 || not !fusion then
+    Array.map2 (fun x y -> band_f_lane ctx 0 x y) xs ys
+  else Array.mapi (fun i x -> band_f_lane ctx i x ys.(i)) xs
+
+(** OR over packed flags: x ⊕ y ⊕ (x ∧ y), one packed AND plus a fused
+    lanewise xor3 over the words. *)
+let bor_f (ctx : Ctx.t) (x : Share.flags) (y : Share.flags) : Share.flags =
+  let z = band_f ctx x y in
+  {
+    Share.fv =
+      Array.init (Share.flags_nvec x) (fun k ->
+          Bits.xor3 x.Share.fv.(k) y.Share.fv.(k) z.Share.fv.(k));
+  }
+
+(** k independent packed ORs in one fused round. *)
+let bor_f_many (ctx : Ctx.t) (xs : Share.flags array) (ys : Share.flags array)
+    : Share.flags array =
+  let zs = band_f_many ctx xs ys in
+  Array.mapi
+    (fun i z ->
+      {
+        Share.fv =
+          Array.init (Share.flags_nvec z) (fun k ->
+              Bits.xor3 xs.(i).Share.fv.(k) ys.(i).Share.fv.(k) z.Share.fv.(k));
+      })
+    zs
+
+(** Packed mux over flag-valued columns: [b ? y : x] = x ⊕ (b ∧ (x⊕y)) —
+    one packed AND round. *)
+let mux_f (ctx : Ctx.t) (b : Share.flags) (x : Share.flags)
+    (y : Share.flags) : Share.flags =
+  xor_f x (band_f ctx b (xor_f x y))
+
+(** Open a packed flag sharing; metered exactly like [open_ ~width:1]. *)
+let open_f (ctx : Ctx.t) (f : Share.flags) : Bits.t =
+  let x = Share.reconstruct_flags f in
+  meter_open_lane ctx 0 ~w:1 ~n:(Share.flags_length f);
+  x
+
+(** Open several packed flag sharings in one fused round. *)
+let open_f_many (ctx : Ctx.t) (fs : Share.flags array) : Bits.t array =
+  if Array.length fs <= 1 || not !fusion then Array.map (open_f ctx) fs
+  else begin
+    let outs = Array.map Share.reconstruct_flags fs in
+    Array.iteri
+      (fun i f -> meter_open_lane ctx i ~w:1 ~n:(Share.flags_length f))
+      fs;
+    outs
+  end
+
+(** Rerandomize packed flag lanes without changing the secret (traffic
+    metered by the caller, like {!reshare_unmetered}) — zero-sharing noise
+    drawn per word. *)
+let reshare_flags_unmetered (ctx : Ctx.t) (f : Share.flags) : Share.flags =
+  let alpha = zero_sharing_f ctx (Share.flags_length f) in
+  Array.iteri (fun k bk -> Bits.xor_into alpha.(k) bk) f.Share.fv;
+  { Share.fv = alpha }
+
+(** AND of two known-single-bit boolean sharings (flags in the LSB),
+    routed through the packed kernel: identical value and traffic to
+    [band ~width:1], with per-word local work and randomness. The drop-in
+    upgrade for validity-flag conjunctions. *)
+let band1 (ctx : Ctx.t) (x : shared) (y : shared) : shared =
+  Share.unpack_flags (band_f ctx (Share.pack_flags x) (Share.pack_flags y))
+
+(** OR of two known-single-bit boolean sharings via the packed kernel. *)
+let bor1 (ctx : Ctx.t) (x : shared) (y : shared) : shared =
+  let z = band1 ctx x y in
+  Share.map3_vectors Vec.xor3 x y z
 
 (* ------------------------------------------------------------------ *)
 (* Resharing (used by the shuffle stack)                               *)

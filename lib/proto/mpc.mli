@@ -28,6 +28,15 @@ val set_fusion : bool -> unit
 
 val fusion_enabled : unit -> bool
 
+val set_bitpack : bool -> unit
+(** Toggle the packed single-bit flag representation (default on; env
+    [ORQ_NO_BITPACK=1] at startup disables it). With packing off, every
+    flag primitive falls back to unpack -> width-1 word primitive ->
+    pack, with identical opened values and identical [bits]/[messages]
+    tallies; only local work and PRG draws differ. *)
+
+val bitpack_enabled : unit -> bool
+
 val fuse_rounds : Ctx.t -> (unit -> 'a) array -> 'a array
 (** Run data-independent operation tracks sequentially (identical dealer
     draws and opened values) but meter their online rounds as overlapped:
@@ -123,6 +132,59 @@ val band_many :
 val bor_many :
   ?widths:int array -> Ctx.t -> shared array -> shared array -> shared array
 (** k independent ORs in one metered round (fused AND + local xor3). *)
+
+(** {2 Packed single-bit flag lanes}
+
+    The flag-typed twins of the boolean primitives, operating on
+    {!Share.flags} (63 flags per word, {!Orq_util.Bits}). Interactive ones
+    draw their correlated randomness per packed *word* instead of per
+    element and run the local GF(2) kernels over the word arrays, while
+    metering stays per element at width 1 — byte-identical to the unpacked
+    width-1 primitives. *)
+
+val xor_f : Share.flags -> Share.flags -> Share.flags
+(** Lanewise xor (local, linear). *)
+
+val bnot_f : Share.flags -> Share.flags
+(** Flip every flag (xor with public all-ones). *)
+
+val extract_bit_f : shared -> int -> Share.flags
+(** Bit [k] of each element of a boolean sharing, extracted straight into
+    packed lanes — fused {!extract_bit} + {!Share.pack_flags}. *)
+
+val band_f : Ctx.t -> Share.flags -> Share.flags -> Share.flags
+(** Secure AND over packed flags: one round, width-1 element charges,
+    per-word Beaver/replicated randomness. *)
+
+val band_f_many :
+  Ctx.t -> Share.flags array -> Share.flags array -> Share.flags array
+(** k independent packed ANDs in one fused round. *)
+
+val bor_f : Ctx.t -> Share.flags -> Share.flags -> Share.flags
+
+val bor_f_many :
+  Ctx.t -> Share.flags array -> Share.flags array -> Share.flags array
+(** k independent packed ORs in one fused round (fused AND + local
+    xor3). *)
+
+val mux_f : Ctx.t -> Share.flags -> Share.flags -> Share.flags -> Share.flags
+(** [mux_f ctx b x y]: flagwise [b ? y : x] in one packed AND round. *)
+
+val open_f : Ctx.t -> Share.flags -> Orq_util.Bits.t
+(** Open packed flags; metered exactly like [open_ ~width:1]. *)
+
+val open_f_many : Ctx.t -> Share.flags array -> Orq_util.Bits.t array
+
+val reshare_flags_unmetered : Ctx.t -> Share.flags -> Share.flags
+(** Rerandomize packed lanes (zero-sharing noise per word); traffic is
+    metered by the caller, like {!reshare_unmetered}. *)
+
+val band1 : Ctx.t -> shared -> shared -> shared
+(** AND of two known-single-bit boolean sharings routed through the packed
+    kernel: identical value and traffic to [band ~width:1] with per-word
+    local work — the drop-in upgrade for validity-flag conjunctions. *)
+
+val bor1 : Ctx.t -> shared -> shared -> shared
 
 (** {2 Resharing and reductions} *)
 

@@ -163,6 +163,91 @@ let scatter s idx = { s with v = Array.map (fun vk -> Vec.scatter vk idx) s.v }
 
 let rev s = { s with v = Array.map Vec.rev s.v }
 
+(* ------------------------------------------------------------------ *)
+(* Packed single-bit sharings (flag lanes)                             *)
+(* ------------------------------------------------------------------ *)
+
+type flags = { fv : Bits.t array }
+
+let flags_length f = Bits.length f.fv.(0)
+let flags_nvec f = Array.length f.fv
+
+let check_same_flags_len a b =
+  if flags_length a <> flags_length b then
+    invalid_arg
+      (Printf.sprintf "flags length mismatch: %d vs %d" (flags_length a)
+         (flags_length b))
+
+(** Pack a boolean sharing of single-bit values (flags in the LSB) into
+    packed lanes. The key observation: xor is bitwise, so the LSB plane of
+    the share vectors is by itself a valid GF(2) sharing of the flag
+    bits — each lane packs independently, no communication, no resharing.
+    Bits above the LSB are dropped; callers assert the values are
+    single-bit (every flag producer in the engine masks to bit 0). *)
+let pack_flags (s : shared) : flags =
+  check_enc Bool s;
+  { fv = Array.map Bits.pack s.v }
+
+(** Inverse of {!pack_flags}: a boolean sharing holding 0/1 words. *)
+let unpack_flags (f : flags) : shared =
+  { enc = Bool; v = Array.map Bits.unpack f.fv }
+
+(** Unpack each lane straight to mux masks (LSB replicated across the
+    word): replication is GF(2)-linear, so extending per lane extends the
+    secret. *)
+let extend_flags (f : flags) : shared =
+  { enc = Bool; v = Array.map Bits.extend f.fv }
+
+let reconstruct_flags (f : flags) : Bits.t =
+  let acc = Bits.copy f.fv.(0) in
+  for k = 1 to Array.length f.fv - 1 do
+    Bits.xor_into acc f.fv.(k)
+  done;
+  acc
+
+(** Secret-share a packed bit vector: [nvec - 1] uniform packed masks
+    (drawn per *word* — 63 flags per PRG call) plus a correction lane. *)
+let share_flags (ctx : Ctx.t) (x : Bits.t) : flags =
+  let n = Bits.length x in
+  let fv = Array.make ctx.nvec x in
+  let acc = Bits.copy x in
+  for k = 1 to ctx.nvec - 1 do
+    let r = Bits.random ctx.prg n in
+    fv.(k) <- r;
+    Bits.xor_into acc r
+  done;
+  fv.(0) <- acc;
+  { fv }
+
+let public_flags (ctx : Ctx.t) (x : Bits.t) : flags =
+  {
+    fv =
+      Array.init ctx.nvec (fun k ->
+          if k = 0 then Bits.copy x else Bits.create (Bits.length x));
+  }
+
+let copy_flags f = { fv = Array.map Bits.copy f.fv }
+
+let flags_append a b =
+  { fv = Array.init (flags_nvec a) (fun k -> Bits.append a.fv.(k) b.fv.(k)) }
+
+let flags_concat_many (fs : flags array) : flags =
+  match Array.length fs with
+  | 0 -> invalid_arg "Share.flags_concat_many: empty"
+  | 1 -> fs.(0)
+  | _ ->
+      {
+        fv =
+          Array.init (flags_nvec fs.(0)) (fun k ->
+              Bits.concat_many (Array.map (fun f -> f.fv.(k)) fs));
+      }
+
+let flags_sub_range f pos len =
+  { fv = Array.map (fun bk -> Bits.sub bk pos len) f.fv }
+
+let flags_gather f idx = { fv = Array.map (fun bk -> Bits.gather bk idx) f.fv }
+let flags_scatter f idx = { fv = Array.map (fun bk -> Bits.scatter bk idx) f.fv }
+
 (** [update_rows dst idx src] returns [dst] with row [idx.(t)] replaced by
     row [t] of [src] (a local rearrangement under public indices, as used by
     sorting-network compare-exchange writebacks). *)

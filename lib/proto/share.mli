@@ -76,3 +76,42 @@ val rev : shared -> shared
 val update_rows : shared -> int array -> shared -> shared
 (** [update_rows dst idx src]: [dst] with row [idx.(t)] replaced by row
     [t] of [src] (local rearrangement under public indices). *)
+
+(** {2 Packed single-bit sharings (flag lanes)}
+
+    A [flags] value is a boolean sharing of single-bit secrets stored one
+    flag per *bit* ({!Orq_util.Bits}, 63 flags per word) instead of one
+    per word. Because xor is bitwise, the LSB plane of a boolean sharing's
+    vectors is itself a valid GF(2) sharing of the flags, so each lane
+    packs and unpacks locally. The {!Mpc} flag primitives operate on this
+    form directly, drawing their randomness per packed word. *)
+
+type flags = { fv : Orq_util.Bits.t array }
+
+val flags_length : flags -> int
+val flags_nvec : flags -> int
+val check_same_flags_len : flags -> flags -> unit
+
+val pack_flags : shared -> flags
+(** Pack a boolean sharing of LSB flags (bits above the LSB are dropped;
+    callers assert single-bit values). Local, per lane. *)
+
+val unpack_flags : flags -> shared
+(** Boolean sharing holding 0/1 words. *)
+
+val extend_flags : flags -> shared
+(** Each lane's flags extended to 0 / all-ones mux masks (replication is
+    GF(2)-linear, so this extends the secret). *)
+
+val reconstruct_flags : flags -> Orq_util.Bits.t
+
+val share_flags : Ctx.t -> Orq_util.Bits.t -> flags
+(** Secret-share a packed bit vector with per-word mask draws. *)
+
+val public_flags : Ctx.t -> Orq_util.Bits.t -> flags
+val copy_flags : flags -> flags
+val flags_append : flags -> flags -> flags
+val flags_concat_many : flags array -> flags
+val flags_sub_range : flags -> int -> int -> flags
+val flags_gather : flags -> int array -> flags
+val flags_scatter : flags -> int array -> flags

@@ -46,6 +46,34 @@ let apply_elementwise ?width (ctx : Ctx.t) (x : Share.shared)
   let c = Mpc.open_ ~width:(perm_width ctx) ctx pair.(1) in
   Share.scatter pair.(0) c
 
+(** Protocol 5 for a packed flag column: the data being permuted is a
+    single bit per row, so the first sharded application moves packed
+    words ({!Shardedperm.apply_flags}) and the final local rearrangement
+    is a packed scatter. Wire cost identical to
+    [apply_elementwise ~width:1] on the unpacked 0/1 column — which is
+    exactly what it falls back to under [ORQ_NO_BITPACK]. *)
+let apply_elementwise_flags (ctx : Ctx.t) (x : Share.flags)
+    (rho : Share.shared) : Share.flags =
+  let n = Share.flags_length x in
+  if Share.length rho <> n then invalid_arg "apply_elementwise: length";
+  if not (Mpc.bitpack_enabled ()) then
+    Share.pack_flags (apply_elementwise ~width:1 ctx (Share.unpack_flags x) rho)
+  else begin
+    let p1, p2 = Permmgr.gen_pair ctx n in
+    let pair =
+      Mpc.fuse_rounds ctx
+        [|
+          (fun () -> `F (Shardedperm.apply_flags ctx x p1));
+          (fun () ->
+            `S (Shardedperm.apply ~width:(perm_width ctx) ctx rho p2));
+        |]
+    in
+    let xf = match pair.(0) with `F f -> f | `S _ -> assert false in
+    let rs = match pair.(1) with `S s -> s | `F _ -> assert false in
+    let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
+    Share.flags_scatter xf c
+  end
+
 (** Protocol 5 over a table: several columns move under the same secret
     elementwise permutation, paying the shuffle of [rho] and its opening
     once. Used by radixsort to carry the data and padding columns. *)

@@ -17,6 +17,12 @@ val apply_elementwise :
   ?width:int -> Ctx.t -> Share.shared -> Share.shared -> Share.shared
 (** Protocol 5: apply a secret elementwise permutation to a shared vector. *)
 
+val apply_elementwise_flags :
+  Ctx.t -> Share.flags -> Share.shared -> Share.flags
+(** Protocol 5 for a packed flag column — the single-bit payload moves as
+    packed words; wire cost identical to [apply_elementwise ~width:1] on
+    the unpacked column. *)
+
 val apply_elementwise_table :
   ?width:int -> Ctx.t -> Share.shared list -> Share.shared -> Share.shared list
 (** Protocol 5 over a table: the shuffle of [rho] and its opening are paid

@@ -28,6 +28,11 @@ val plaintext : t -> int array
 val apply : ?width:int -> Ctx.t -> Share.shared -> t -> Share.shared
 val apply_inverse : ?width:int -> Ctx.t -> Share.shared -> t -> Share.shared
 
+val apply_flags : Ctx.t -> Share.flags -> t -> Share.flags
+(** Apply to a packed flag sharing: the flags travel as single bits
+    (width-1 {!apply_cost}), the local permutes and resharing noise run
+    over packed words. *)
+
 val apply_table :
   ?width:int -> Ctx.t -> Share.shared list -> t -> Share.shared list
 (** One permutation over several columns: rounds of a single application,

@@ -20,10 +20,12 @@ let broadcast_last (s : Share.shared) =
     (fun vk -> Array.make (Array.length vk) vk.(Array.length vk - 1))
     s
 
-(** [gen ctx bit] returns the arithmetic elementwise sorting permutation of
-    the single-bit boolean sharing [bit]. *)
-let gen (ctx : Ctx.t) (bit : Share.shared) : Share.shared =
-  let b_a = Orq_circuits.Convert.bit_b2a ctx bit in
+(** [gen_f ctx bit] returns the arithmetic elementwise sorting permutation
+    of the packed flag vector [bit] — the bit conversion consumes the
+    packed lanes directly; everything after it is arithmetic and stays
+    word-based. *)
+let gen_f (ctx : Ctx.t) (bit : Share.flags) : Share.shared =
+  let b_a = Orq_circuits.Convert.bit_b2a_flags ctx bit in
   let f0 = Mpc.add_pub (Mpc.neg b_a) 1 in
   let s0 = Mpc.prefix_sum f0 in
   let s1 = Mpc.prefix_sum b_a in
@@ -32,3 +34,7 @@ let gen (ctx : Ctx.t) (bit : Share.shared) : Share.shared =
   let t = Share.map3_vectors Orq_util.Vec.add_sub z s1 s0 in
   let prod = Mpc.mul ~width:ctx.perm_bits ctx b_a t in
   Mpc.add_pub (Mpc.add s0 prod) (-1)
+
+(** [gen ctx bit] — same, for a single-bit boolean sharing (LSB). *)
+let gen (ctx : Ctx.t) (bit : Share.shared) : Share.shared =
+  gen_f ctx (Share.pack_flags bit)

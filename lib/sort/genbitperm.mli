@@ -12,3 +12,7 @@ val broadcast_last : Share.shared -> Share.shared
 val gen : Ctx.t -> Share.shared -> Share.shared
 (** [gen ctx bit]: arithmetic elementwise sorting permutation of the
     single-bit boolean sharing [bit]. *)
+
+val gen_f : Ctx.t -> Share.flags -> Share.shared
+(** {!gen} consuming the bit vector as packed flag lanes (the bit
+    conversion runs packed; the rest is arithmetic and word-based). *)

@@ -68,8 +68,10 @@ let sort (ctx : Ctx.t) ~(keys : key list) (carry : Share.shared list) :
             | Desc -> (b, a, k.width))
           keys !key_cols
       in
-      let lt = Compare.lt_lex ctx cmp_operands in
-      let bits = Mpc.open_ ~width:1 ctx lt in
+      (* the comparison result and its opening stay in packed lanes: the
+         partition below only reads one bit per element *)
+      let lt = Compare.lt_lex_f ctx cmp_operands in
+      let bits = Mpc.open_f ctx lt in
       (* local partition: [less...; pivot; geq...] per segment *)
       let src = Array.init n (fun i -> i) in
       let new_segs = ref [] in
@@ -78,7 +80,8 @@ let sort (ctx : Ctx.t) ~(keys : key list) (carry : Share.shared list) :
         (fun (lo, hi) ->
           let less = ref [] and geq = ref [] in
           for i = lo + 1 to hi - 1 do
-            if bits.(!pos) = 1 then less := i :: !less else geq := i :: !geq;
+            if Orq_util.Bits.get bits !pos = 1 then less := i :: !less
+            else geq := i :: !geq;
             incr pos
           done;
           let less = List.rev !less and geq = List.rev !geq in

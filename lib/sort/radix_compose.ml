@@ -22,14 +22,14 @@ let sort_with_perm (ctx : Ctx.t) ~bits ?(skip = 0) ?(dir = Asc)
   Share.check_enc Bool key;
   let sigma = ref None in
   for i = skip to skip + bits - 1 do
-    let b = Mpc.and_mask (Mpc.rshift key i) 1 in
-    let b = match dir with Asc -> b | Desc -> Mpc.xor_pub b 1 in
+    let b = Mpc.extract_bit_f key i in
+    let b = match dir with Asc -> b | Desc -> Mpc.bnot_f b in
     let b =
       match !sigma with
       | None -> b
-      | Some s -> Permops.apply_elementwise ~width:1 ctx b s
+      | Some s -> Permops.apply_elementwise_flags ctx b s
     in
-    let si = Genbitperm.gen ctx b in
+    let si = Genbitperm.gen_f ctx b in
     sigma :=
       Some
         (match !sigma with

@@ -25,11 +25,11 @@ let sort (ctx : Ctx.t) ~bits ?(skip = 0) ?(dir = Asc) (key : Share.shared)
   Share.check_enc Bool key;
   let y = ref key and rest = ref carry in
   for i = skip to skip + bits - 1 do
-    (* fused bit extraction: one pass per share vector instead of a shift
-       pass plus a mask pass *)
-    let b = Mpc.extract_bit !y i in
-    let b = match dir with Asc -> b | Desc -> Mpc.xor_pub b 1 in
-    let sigma = Genbitperm.gen ctx b in
+    (* fused bit extraction straight into packed flag lanes: one pass per
+       share vector, no 0/1 word intermediate *)
+    let b = Mpc.extract_bit_f !y i in
+    let b = match dir with Asc -> b | Desc -> Mpc.bnot_f b in
+    let sigma = Genbitperm.gen_f ctx b in
     match Orq_shuffle.Permops.apply_elementwise_table ctx (!y :: !rest) sigma with
     | y' :: rest' ->
         y := y';

@@ -1,0 +1,68 @@
+(** Packed single-bit vectors: one flag per bit, {!Ring.word_bits} (= 63)
+    flags per ring word.
+
+    Canonical form: bits at positions [>= n] in the last word are zero —
+    preserved by every operation here, so {!popcount} and word equality
+    are exact. {!words} exposes the underlying word array so the MPC layer
+    can run the fused {!Vec} protocol kernels directly over packed words;
+    treat it as read/write shared state, not a copy. *)
+
+type t = { n : int; w : int array }
+
+val bpw : int
+(** Flags per word (= {!Ring.word_bits} = 63 on 64-bit platforms). *)
+
+val words_for : int -> int
+(** Number of words backing [n] flags. *)
+
+val length : t -> int
+val words : t -> int array
+val num_words : t -> int
+val create : int -> t
+val of_words : int -> int array -> t
+(** Wrap a raw word array (takes ownership; tail re-masked to canonical
+    form). The array must have exactly [words_for n] words. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val pack : int array -> t
+(** Pack the LSB of each element of a word vector. *)
+
+val pack_bit : int array -> int -> t
+(** [pack_bit v k] packs bit [k] of each element — fused radix-digit
+    extraction straight into packed form. *)
+
+val unpack : t -> int array
+(** Unpack to a 0/1 word vector. *)
+
+val extend : t -> int array
+(** Unpack each flag to a 0 / all-ones word — packed-to-mux-mask in one
+    pass. *)
+
+val xor : t -> t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bnot : t -> t
+val xor_into : t -> t -> unit
+val xor3 : t -> t -> t -> t
+val popcount : t -> int
+
+val random : Prg.t -> int -> t
+(** [random prg n]: n uniform flags from [words_for n] PRG draws (one call
+    per 63 flags instead of one per flag). *)
+
+val append : t -> t -> t
+val concat_many : t array -> t
+val sub : t -> int -> int -> t
+val gather : t -> int array -> t
+(** Result flag [i] = input flag [idx.(i)]; bounds validated under
+    {!Debug.set_checks}. *)
+
+val scatter : t -> int array -> t
+(** Input flag [i] lands at [idx.(i)]; [idx] must be a permutation
+    (validated under {!Debug.set_checks}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -87,7 +87,7 @@ let cdiff_run (db : G.mpc) =
   let same_pid =
     Orq_circuits.Compare.eq ctx ~w:G.w_id (hd pid) (tl pid)
   in
-  let both_valid = Orq_proto.Mpc.band ~width:1 ctx (hd v) (tl v) in
+  let both_valid = Orq_proto.Mpc.band1 ctx (hd v) (tl v) in
   let diff = Orq_circuits.Adder.sub ctx ~w:(G.w_time + 1) (tl tm) (hd tm) in
   let ge15 =
     Orq_circuits.Compare.ge ctx ~w:(G.w_time + 1) diff
@@ -98,9 +98,9 @@ let cdiff_run (db : G.mpc) =
       (Orq_proto.Share.public ctx Orq_proto.Share.Bool (n - 1) 56)
   in
   let mark =
-    Orq_proto.Mpc.band ~width:1 ctx
-      (Orq_proto.Mpc.band ~width:1 ctx same_pid both_valid)
-      (Orq_proto.Mpc.band ~width:1 ctx ge15 le56)
+    Orq_proto.Mpc.band1 ctx
+      (Orq_proto.Mpc.band1 ctx same_pid both_valid)
+      (Orq_proto.Mpc.band1 ctx ge15 le56)
   in
   let marker =
     Orq_proto.Share.append (Orq_proto.Share.public ctx Orq_proto.Share.Bool 1 0) mark

@@ -1,0 +1,333 @@
+(* Bit-packed flag-lane tests.
+
+   The packing invariant (ISSUE: bit-packed single-bit share lanes): with
+   packing ON or OFF (ORQ_NO_BITPACK), every flag primitive must produce
+   identical opened values and identical Comm tallies — bits, messages AND
+   rounds, on both the online and the preprocessing counters. Packing may
+   only change local work and PRG consumption. Verified here per primitive
+   under all three protocols, and end-to-end through quicksort, radixsort
+   (both variants) and an aggregation network. *)
+
+open Orq_util
+open Orq_proto
+open Orq_circuits
+module Comm = Orq_net.Comm
+
+let kinds = Ctx.all_kinds
+
+let with_bitpack on f =
+  let prev = Mpc.bitpack_enabled () in
+  Mpc.set_bitpack on;
+  Fun.protect ~finally:(fun () -> Mpc.set_bitpack prev) f
+
+(* Deterministic 0/1 vector, independent of any ctx PRG. *)
+let bitvec n seed =
+  Array.init n (fun i -> ((i * 2654435761) lxor seed) lsr 3 land 1)
+
+let share_bits ctx n seed = Mpc.share_b ctx (bitvec n seed)
+
+(* ------------------------------------------------------------------ *)
+(* Bits: pack/unpack round-trips and canonical form                    *)
+(* ------------------------------------------------------------------ *)
+
+let edge_lengths = [ 0; 1; 63; 64; 65; 4097 ]
+
+let test_bits_roundtrip () =
+  List.iter
+    (fun n ->
+      let v = bitvec n (n + 11) in
+      let t = Bits.pack v in
+      Alcotest.(check int) (Printf.sprintf "length n=%d" n) n (Bits.length t);
+      Alcotest.(check (array int))
+        (Printf.sprintf "pack/unpack n=%d" n)
+        v (Bits.unpack t);
+      Array.iteri
+        (fun i b ->
+          Alcotest.(check int) (Printf.sprintf "get n=%d i=%d" n i) b
+            (Bits.get t i))
+        v;
+      Alcotest.(check int)
+        (Printf.sprintf "popcount n=%d" n)
+        (Array.fold_left ( + ) 0 v)
+        (Bits.popcount t);
+      (* canonical tail: words survive an of_words round-trip *)
+      let t' = Bits.of_words n (Array.copy (Bits.words t)) in
+      Alcotest.(check bool) (Printf.sprintf "of_words n=%d" n) true
+        (Bits.equal t t');
+      Alcotest.(check (array int))
+        (Printf.sprintf "extend n=%d" n)
+        (Array.map (fun b -> -b) v)
+        (Bits.extend t))
+    edge_lengths
+
+let test_bits_ops () =
+  List.iter
+    (fun n ->
+      let va = bitvec n 3 and vb = bitvec n 19 in
+      let a = Bits.pack va and b = Bits.pack vb in
+      let map2 f = Array.init n (fun i -> f va.(i) vb.(i)) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "xor n=%d" n)
+        (map2 ( lxor ))
+        (Bits.unpack (Bits.xor a b));
+      Alcotest.(check (array int))
+        (Printf.sprintf "band n=%d" n)
+        (map2 ( land ))
+        (Bits.unpack (Bits.band a b));
+      Alcotest.(check (array int))
+        (Printf.sprintf "bor n=%d" n)
+        (map2 ( lor ))
+        (Bits.unpack (Bits.bor a b));
+      let nt = Bits.bnot a in
+      Alcotest.(check (array int))
+        (Printf.sprintf "bnot n=%d" n)
+        (Array.map (fun x -> 1 - x) va)
+        (Bits.unpack nt);
+      (* bnot stays canonical: popcount counts only live flags *)
+      Alcotest.(check int)
+        (Printf.sprintf "bnot canonical n=%d" n)
+        (n - Array.fold_left ( + ) 0 va)
+        (Bits.popcount nt);
+      if n > 1 then begin
+        let pos = n / 3 and len = n / 2 in
+        Alcotest.(check (array int))
+          (Printf.sprintf "sub n=%d" n)
+          (Array.sub va pos len)
+          (Bits.unpack (Bits.sub a pos len));
+        Alcotest.(check (array int))
+          (Printf.sprintf "append n=%d" n)
+          (Array.append va vb)
+          (Bits.unpack (Bits.append a b));
+        let perm = Array.init n (fun i -> (i + 7) mod n) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "gather n=%d" n)
+          (Array.map (fun j -> va.(j)) perm)
+          (Bits.unpack (Bits.gather a perm));
+        let out = Array.make n 0 in
+        Array.iteri (fun i j -> out.(j) <- va.(i)) perm;
+        Alcotest.(check (array int))
+          (Printf.sprintf "scatter n=%d" n)
+          out
+          (Bits.unpack (Bits.scatter a perm))
+      end)
+    [ 1; 63; 64; 65; 4097 ]
+
+(* ------------------------------------------------------------------ *)
+(* Packed == unpacked: values and tallies per primitive                *)
+(* ------------------------------------------------------------------ *)
+
+type tallies = { online : Comm.tally; preproc : Comm.tally }
+
+(* Run [f] on a fresh ctx with packing [on]; return (values, tallies). *)
+let run_mode kind on (f : Ctx.t -> int array list) : int array list * tallies =
+  with_bitpack on (fun () ->
+      let ctx = Ctx.create ~seed:77 kind in
+      let c0 = Comm.snapshot ctx.Ctx.comm in
+      let p0 = Comm.snapshot ctx.Ctx.preproc in
+      let vs = f ctx in
+      ( vs,
+        {
+          online = Comm.since ctx.Ctx.comm c0;
+          preproc = Comm.since ctx.Ctx.preproc p0;
+        } ))
+
+let check_modes_equal lbl kind (f : Ctx.t -> int array list) =
+  let vp, tp = run_mode kind true f in
+  let vu, tu = run_mode kind false f in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check (array int)) (Printf.sprintf "%s value %d" lbl i) b a)
+    (List.combine vp vu);
+  let ck what a b =
+    Alcotest.(check int) (Printf.sprintf "%s %s" lbl what) b a
+  in
+  ck "online bits" tp.online.Comm.t_bits tu.online.Comm.t_bits;
+  ck "online messages" tp.online.Comm.t_messages tu.online.Comm.t_messages;
+  ck "online rounds" tp.online.Comm.t_rounds tu.online.Comm.t_rounds;
+  ck "preproc bits" tp.preproc.Comm.t_bits tu.preproc.Comm.t_bits;
+  ck "preproc messages" tp.preproc.Comm.t_messages tu.preproc.Comm.t_messages
+
+let test_primitives_packed_eq_unpacked () =
+  List.iter
+    (fun kind ->
+      let lbl = Ctx.kind_label kind in
+      List.iter
+        (fun n ->
+          check_modes_equal
+            (Printf.sprintf "%s n=%d primitives" lbl n)
+            kind
+            (fun ctx ->
+              let x = Share.pack_flags (share_bits ctx n 1) in
+              let y = Share.pack_flags (share_bits ctx n 2) in
+              let b = Share.pack_flags (share_bits ctx n 3) in
+              let band = Mpc.band_f ctx x y in
+              let bor = Mpc.bor_f ctx x y in
+              let bxor = Mpc.xor_f x y in
+              let bnot = Mpc.bnot_f x in
+              let mux = Mpc.mux_f ctx b x y in
+              let opened = Mpc.open_f ctx band in
+              List.map
+                (fun f -> Bits.unpack (Share.reconstruct_flags f))
+                [ band; bor; bxor; bnot; mux ]
+              @ [ Bits.unpack opened ]))
+        [ 1; 63; 64; 65; 200 ])
+    kinds
+
+let test_many_and_b2a_packed_eq_unpacked () =
+  List.iter
+    (fun kind ->
+      let lbl = Ctx.kind_label kind in
+      check_modes_equal (lbl ^ " band_f_many/bit_b2a") kind (fun ctx ->
+          let n = 130 in
+          let xs =
+            Array.init 5 (fun i -> Share.pack_flags (share_bits ctx n (10 + i)))
+          in
+          let ys =
+            Array.init 5 (fun i -> Share.pack_flags (share_bits ctx n (20 + i)))
+          in
+          let ands = Mpc.band_f_many ctx xs ys in
+          let ors = Mpc.bor_f_many ctx xs ys in
+          let ariths = Convert.bit_b2a_flags_many ctx ands in
+          let cs = Mpc.open_f_many ctx ors in
+          Array.to_list
+            (Array.map (fun f -> Bits.unpack (Share.reconstruct_flags f)) ands)
+          @ Array.to_list (Array.map Share.reconstruct ariths)
+          @ Array.to_list (Array.map Bits.unpack cs)))
+    kinds
+
+(* band1 must be value- and traffic-identical to band ~width:1. *)
+let test_band1_vs_band_width1 () =
+  List.iter
+    (fun kind ->
+      let lbl = Ctx.kind_label kind in
+      let run f =
+        let ctx = Ctx.create ~seed:99 kind in
+        let x = share_bits ctx 77 4 and y = share_bits ctx 77 5 in
+        let before = Comm.snapshot ctx.Ctx.comm in
+        let z = f ctx x y in
+        (Share.reconstruct z, Comm.since ctx.Ctx.comm before)
+      in
+      let v1, t1 = run (fun ctx x y -> Mpc.band1 ctx x y) in
+      let v2, t2 = run (fun ctx x y -> Mpc.band ~width:1 ctx x y) in
+      Alcotest.(check (array int)) (lbl ^ " band1 value") v2 v1;
+      Alcotest.(check int) (lbl ^ " band1 bits") t2.Comm.t_bits t1.Comm.t_bits;
+      Alcotest.(check int)
+        (lbl ^ " band1 messages")
+        t2.Comm.t_messages t1.Comm.t_messages;
+      Alcotest.(check int)
+        (lbl ^ " band1 rounds")
+        t2.Comm.t_rounds t1.Comm.t_rounds)
+    kinds
+
+(* ------------------------------------------------------------------ *)
+(* End to end: sorts and aggregation identical across modes            *)
+(* ------------------------------------------------------------------ *)
+
+let test_e2e_quicksort () =
+  List.iter
+    (fun kind ->
+      let lbl = Ctx.kind_label kind in
+      check_modes_equal (lbl ^ " quicksort") kind (fun ctx ->
+          let n = 40 in
+          (* unique keys: a fixed permutation of 0..n-1 *)
+          let keys = Array.init n (fun i -> (i * 17) mod n) in
+          let carry = Array.init n (fun i -> i * 3) in
+          let kc = Mpc.share_b ctx keys and cc = Mpc.share_b ctx carry in
+          let module Q = Orq_sort.Quicksort in
+          let ks, cs =
+            Q.sort ctx ~keys:[ { Q.col = kc; width = 8; dir = Q.Asc } ] [ cc ]
+          in
+          List.map Share.reconstruct (ks @ cs)))
+    kinds
+
+let test_e2e_radixsort () =
+  List.iter
+    (fun kind ->
+      let lbl = Ctx.kind_label kind in
+      check_modes_equal (lbl ^ " radixsort") kind (fun ctx ->
+          let n = 40 in
+          let keys = Array.init n (fun i -> (i * 13) mod 32) in
+          let carry = Array.init n (fun i -> 1000 + i) in
+          let kc = Mpc.share_b ctx keys and cc = Mpc.share_b ctx carry in
+          let k1, r1 = Orq_sort.Radixsort.sort ctx ~bits:5 kc [ cc ] in
+          let (k2, r2), sigma =
+            Orq_sort.Radix_compose.sort_with_perm ctx ~bits:5 kc [ cc ]
+          in
+          List.map Share.reconstruct ((k1 :: r1) @ (k2 :: r2) @ [ sigma ])))
+    kinds
+
+let test_e2e_aggnet () =
+  List.iter
+    (fun kind ->
+      let lbl = Ctx.kind_label kind in
+      check_modes_equal (lbl ^ " aggnet") kind (fun ctx ->
+          let n = 24 in
+          (* sorted grouping key with repeats, plus values *)
+          let keys = Array.init n (fun i -> i / 4) in
+          let vals = Array.init n (fun i -> (i * 7) mod 50) in
+          let kc = Mpc.share_b ctx keys in
+          let va = Mpc.share_a ctx vals and vb = Mpc.share_b ctx vals in
+          let module A = Orq_core.Aggnet in
+          let out =
+            A.run ctx
+              ~keys:[ (kc, 6) ]
+              [
+                { A.col = va; func = A.Sum; keys = A.Group; width = 16 };
+                { A.col = vb; func = A.Min 8; keys = A.Group; width = 8 };
+                { A.col = vb; func = A.Copy; keys = A.Group; width = 8 };
+              ]
+          in
+          let dist = A.distinct_bits ctx ~keys:[ (kc, 6) ] in
+          List.map Share.reconstruct (out @ [ dist ])))
+    kinds
+
+(* Sorted plaintext correctness (not just cross-mode equality): the packed
+   quicksort still sorts. *)
+let test_quicksort_sorts () =
+  List.iter
+    (fun kind ->
+      let ctx = Ctx.create ~seed:5 kind in
+      let n = 64 in
+      let keys = Array.init n (fun i -> (i * 29) mod n) in
+      let kc = Mpc.share_b ctx keys in
+      let module Q = Orq_sort.Quicksort in
+      let ks, _ =
+        Q.sort ctx ~keys:[ { Q.col = kc; width = 8; dir = Q.Asc } ] []
+      in
+      let got = Share.reconstruct (List.hd ks) in
+      let want = Array.init n (fun i -> i) in
+      Alcotest.(check (array int))
+        (Ctx.kind_label kind ^ " sorted")
+        want got)
+    kinds
+
+let () =
+  Alcotest.run "bitpack"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "pack/unpack round-trips" `Quick
+            test_bits_roundtrip;
+          Alcotest.test_case "bulk ops + structural ops" `Quick test_bits_ops;
+        ] );
+      ( "packed == unpacked",
+        [
+          Alcotest.test_case "primitives: values and tallies" `Quick
+            test_primitives_packed_eq_unpacked;
+          Alcotest.test_case "_many + bit_b2a: values and tallies" `Quick
+            test_many_and_b2a_packed_eq_unpacked;
+          Alcotest.test_case "band1 == band ~width:1" `Quick
+            test_band1_vs_band_width1;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "quicksort identical across modes" `Quick
+            test_e2e_quicksort;
+          Alcotest.test_case "radixsort identical across modes" `Quick
+            test_e2e_radixsort;
+          Alcotest.test_case "aggregation identical across modes" `Quick
+            test_e2e_aggnet;
+          Alcotest.test_case "packed quicksort sorts" `Quick
+            test_quicksort_sorts;
+        ] );
+    ]
