@@ -1,18 +1,32 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test kernels-smoke bench bench-rounds bench-bitpack bench-service serve clean
+.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-service serve clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
 ORQ_SF ?= 0.001
 
-check: build test kernels-smoke
+check: build test lint kernels-smoke
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Static leakage lint (see DESIGN.md "Leakage analysis"): the audited tree
+# must be clean, and the deliberately-leaky fixture must trip both core
+# rules (self-test that the lint still catches what it claims to).
+lint:
+	dune exec bin/orq_lint.exe -- lint lib
+	dune exec bin/orq_lint.exe -- lint --expect-violations test/lint_fixtures
+
+# Oblivious-transcript certificate: predicted (cost model over a shape
+# twin) vs measured structural transcripts for the 31-query suite under
+# all three protocols; writes CERTIFICATE.json. ~2 min; `--quick` or
+# ORQ_CERTIFY_QUICK=1 runs a representative subset in seconds.
+certify:
+	dune exec bin/orq_lint.exe -- certify
 
 # Quick micro-kernel benchmark at 2 domains: exercises the pool dispatch
 # path end to end and refreshes BENCH_kernels.json (quick sizes, ~10s).

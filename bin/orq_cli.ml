@@ -89,10 +89,34 @@ let profile_of_string = function
   | "geo" -> Ok Netsim.geo
   | s -> Error (`Msg ("unknown profile " ^ s ^ " (lan|wan|geo)"))
 
+(* ORQ_TRACE=1: record the structural communication transcript while the
+   query runs and dump it event-by-event afterwards — the same recorder the
+   transcript certifier (orq_lint certify) compares against the cost model. *)
+let trace_requested =
+  match Sys.getenv_opt "ORQ_TRACE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let start_trace (ctx : Ctx.t) =
+  if trace_requested then Orq_net.Comm.start_recording ctx.Ctx.comm
+
+let dump_trace (ctx : Ctx.t) =
+  if trace_requested then begin
+    let tr = Orq_net.Comm.transcript ctx.Ctx.comm in
+    let dropped = Orq_net.Comm.dropped_events ctx.Ctx.comm in
+    Printf.printf "\ntranscript (%d events%s):\n" (Array.length tr)
+      (if dropped > 0 then Printf.sprintf "; oldest %d dropped" dropped else "");
+    Array.iteri
+      (fun i e -> Format.printf "  %6d  %a@." i Orq_net.Comm.pp_event e)
+      tr;
+    Orq_net.Comm.stop_recording ctx.Ctx.comm
+  end
+
 (* --sql: run an ad-hoc SQL query against the TPC-H catalog through the
    automatic planner (lib/planner). *)
 let run_sql sql proto sf profile =
   let ctx = Ctx.create proto in
+  start_trace ctx;
   let db = Tpch_gen.share ctx (Tpch_gen.generate sf) in
   Printf.printf "planning and running under %s...\n%!" (Ctx.kind_label proto);
   match Orq_planner.Sql.run (Tpch_gen.catalog db) sql with
@@ -126,6 +150,7 @@ let run_sql sql proto sf profile =
         (float_of_int tally.Orq_net.Comm.t_bits /. 8. /. 1024. /. 1024.)
         profile.Netsim.label
         (Netsim.network_time profile tally);
+      dump_trace ctx;
       0
 
 let run_registered query proto sf n profile validate =
@@ -135,6 +160,7 @@ let run_registered query proto sf n profile validate =
         1
     | Some r ->
         let ctx = Ctx.create proto in
+        start_trace ctx;
         Printf.printf "running %s under %s (%d parties)...\n%!" query
           (Ctx.kind_label proto) ctx.Ctx.parties;
         let t0 = Unix.gettimeofday () in
@@ -163,6 +189,7 @@ let run_registered query proto sf n profile validate =
         Printf.printf "simulation compute: %.2fs | estimated %s end-to-end: %.2fs\n"
           compute profile.Netsim.label
           (compute +. Netsim.network_time profile tally);
+        dump_trace ctx;
         if validate then
           if check () then begin
             print_endline "validation against plaintext engine: OK";
@@ -411,11 +438,51 @@ let query_cmd =
     (Cmd.info "query" ~doc:"send one SQL query to a running service")
     Term.(const client_query $ socket_t $ proto_label_t $ sql_pos_t)
 
+(* lint: the static leakage lint, also available as the standalone orq_lint
+   driver (which adds the fixture self-test and the transcript certifier). *)
+let run_lint_cli paths =
+  let module Lint = Orq_analysis.Lint in
+  let findings =
+    try Lint.lint_paths paths
+    with Sys_error e ->
+      Printf.eprintf "lint: %s\n" e;
+      exit 2
+  in
+  let violations = Lint.violations findings in
+  List.iter
+    (fun (f : Lint.finding) ->
+      match Lint.verdict f with
+      | Lint.Leaky e ->
+          Format.printf "leaky: %a  (%s)@." Lint.pp_finding f
+            e.Orq_analysis.Declass.d_why
+      | _ -> ())
+    (Lint.leaky_findings findings);
+  List.iter
+    (fun f -> Format.printf "VIOLATION: %a@." Lint.pp_finding f)
+    violations;
+  Format.printf "lint: %d findings, %d violations@." (List.length findings)
+    (List.length violations);
+  if violations = [] then 0 else 1
+
+let lint_cmd =
+  let paths_t =
+    Arg.(
+      value
+      & pos_all string [ "lib" ]
+      & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "static leakage lint: every declassification and every branch on \
+          opened data must be registered in the audited allowlist")
+    Term.(const run_lint_cli $ paths_t)
+
 let cmd =
   let doc = "run ORQ oblivious relational queries under MPC" in
   Cmd.group ~default:run_term
     (Cmd.info "orq_cli" ~doc)
-    [ run_cmd; serve_cmd; query_cmd ]
+    [ run_cmd; serve_cmd; query_cmd; lint_cmd ]
 
 let () =
   Orq_util.Parallel.init_from_env ();

@@ -1,0 +1,135 @@
+(* Leakage lint + oblivious-transcript certifier driver.
+
+     orq_lint lint [paths...]            static lint (default path: lib)
+     orq_lint lint --expect-violations p self-test: fixture must trip rules
+     orq_lint certify [options]          predicted-vs-measured transcripts
+
+   Exit status is the certificate: 0 = clean/certified, 1 = leakage. *)
+
+module Lint = Orq_analysis.Lint
+module Declass = Orq_analysis.Declass
+module Certify = Orq_analysis.Certify
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* ---------------- lint ---------------- *)
+
+let run_lint ~expect_violations paths =
+  let paths = if paths = [] then [ "lib" ] else paths in
+  let findings =
+    try Lint.lint_paths paths
+    with Sys_error e ->
+      say "orq_lint: %s" e;
+      exit 2
+  in
+  let violations = Lint.violations findings in
+  let leaky = Lint.leaky_findings findings in
+  let allowed =
+    List.filter
+      (fun f -> match Lint.verdict f with Lint.Allowed _ -> true | _ -> false)
+      findings
+  in
+  if expect_violations then begin
+    (* self-test over the seeded fixture: both core rules must fire *)
+    let has rule =
+      List.exists (fun (f : Lint.finding) -> f.Lint.f_rule = rule) violations
+    in
+    List.iter (fun f -> say "seeded: %a" Lint.pp_finding f) violations;
+    if has Declass.Declass && has Declass.Branch then begin
+      say "lint self-test: fixture trips declass + branch rules (%d findings)"
+        (List.length violations);
+      exit 0
+    end
+    else begin
+      say
+        "lint self-test FAILED: expected both an unregistered open_ and a \
+         branch-on-opened violation in %s"
+        (String.concat " " paths);
+      exit 1
+    end
+  end
+  else begin
+    List.iter
+      (fun (f : Lint.finding) ->
+        match Lint.verdict f with
+        | Lint.Leaky e ->
+            say "leaky: %a  (%s)" Lint.pp_finding f e.Declass.d_why
+        | _ -> ())
+      leaky;
+    List.iter (fun f -> say "VIOLATION: %a" Lint.pp_finding f) violations;
+    say
+      "lint: %d findings — %d audited declassifications, %d leaky-by-design \
+       baseline sites, %d violations"
+      (List.length findings) (List.length allowed) (List.length leaky)
+      (List.length violations);
+    exit (if violations = [] then 0 else 1)
+  end
+
+(* ---------------- certify ---------------- *)
+
+(* Quick mode mirrors the round-fusion bench's representative subset, one
+   protocol per security model class. *)
+let quick_names = [ "Q1"; "Q4"; "Q6"; "Q13"; "Aspirin"; "Comorbidity" ]
+
+let run_certify ~quick ~sf ~other_n ~out =
+  let names = if quick then Some quick_names else None in
+  let kinds =
+    if quick then [ Orq_proto.Ctx.Sh_dm; Orq_proto.Ctx.Mal_hm ]
+    else Orq_proto.Ctx.all_kinds
+  in
+  let certs = Certify.run_suite ~sf ~other_n ~kinds ?names () in
+  List.iter (fun c -> say "%a" Certify.pp_cert c) certs;
+  let ok = Certify.all_ok certs in
+  let oc = open_out out in
+  output_string oc (Certify.report_json ~sf ~other_n certs);
+  close_out oc;
+  say "wrote %s" out;
+  let exact =
+    List.length (List.filter (fun c -> c.Certify.c_mode = Certify.Exact) certs)
+  in
+  say
+    "certify: %d/%d (query, protocol) pairs certified (%d exact, %d \
+     modulo-quicksort)%s"
+    (List.length (List.filter (fun c -> c.Certify.c_ok) certs))
+    (List.length certs) exact
+    (List.length certs - exact)
+    (if ok then "" else " — TRANSCRIPT DEPENDS ON SECRET DATA");
+  exit (if ok then 0 else 1)
+
+(* ---------------- arg parsing ---------------- *)
+
+let usage () =
+  say
+    "usage: orq_lint [lint [--expect-violations] [paths...]]\n\
+    \       orq_lint certify [--quick] [--sf F] [--n N] [--out FILE]";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "certify" :: rest ->
+      let quick = ref (Sys.getenv_opt "ORQ_CERTIFY_QUICK" <> None) in
+      let sf = ref 0.0002 and n = ref 400 and out = ref "CERTIFICATE.json" in
+      let rec parse = function
+        | [] -> ()
+        | "--quick" :: r -> quick := true; parse r
+        | "--sf" :: v :: r -> sf := float_of_string v; parse r
+        | "--n" :: v :: r -> n := int_of_string v; parse r
+        | "--out" :: v :: r -> out := v; parse r
+        | _ -> usage ()
+      in
+      parse rest;
+      run_certify ~quick:!quick ~sf:!sf ~other_n:!n ~out:!out
+  | argv -> (
+      let rest =
+        match argv with _ :: "lint" :: r -> r | _ :: r -> r | [] -> []
+      in
+      match rest with
+      | "--help" :: _ | "-h" :: _ -> usage ()
+      | _ ->
+          let expect = List.mem "--expect-violations" rest in
+          let paths =
+            List.filter (fun a -> a <> "--expect-violations") rest
+          in
+          if List.exists (fun a -> String.length a > 0 && a.[0] = '-') paths
+          then usage ();
+          run_lint ~expect_violations:expect paths)

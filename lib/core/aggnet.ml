@@ -53,6 +53,7 @@ let slices s d =
     functions. Returns the updated columns in the order of [specs]. *)
 let run (ctx : Ctx.t) ~(keys : (Share.shared * int) list)
     ?(tid : Share.shared option) (specs : spec list) : Share.shared list =
+  Ctx.with_label ctx "aggnet" @@ fun () ->
   let n = Share.length (fst (List.hd keys)) in
   let n2 = Orq_util.Ring.next_pow2 n in
   let extra = n2 - n in

@@ -14,6 +14,7 @@ type order = Tablesort.order = Asc | Desc
 (** SELECT ... WHERE: evaluate the predicate obliviously and fold it into
     the validity column. *)
 let filter (t : Table.t) (p : Expr.pred) : Table.t =
+  Ctx.with_label (Table.ctx t) "filter" @@ fun () ->
   Table.and_valid t (Expr.eval_pred t p)
 
 (** Attach a derived column (e.g. Revenue = Price * (100 - Discount) / 100). *)
@@ -31,6 +32,7 @@ let project = Table.project
 (** ORDER BY: valid rows float to the top (validity is a leading descending
     key), then the user keys apply. *)
 let order_by (t : Table.t) (specs : (string * order) list) : Table.t =
+  Ctx.with_label (Table.ctx t) "orderby" @@ fun () ->
   Tablesort.sort ~lead:[ (t.Table.valid, 1, Tablesort.Desc) ] t specs
 
 (** LIMIT k (after an ORDER BY): keep the first k physical rows. *)
@@ -39,6 +41,7 @@ let limit (t : Table.t) k : Table.t = Table.take_rows t k
 (** DISTINCT on a composite key: sort and keep each group's first row. *)
 let distinct (t : Table.t) (keys : string list) : Table.t =
   let ctx = Table.ctx t in
+  Ctx.with_label ctx "distinct" @@ fun () ->
   let t =
     Tablesort.sort
       ~lead:[ (t.Table.valid, 1, Tablesort.Asc) ]
@@ -172,6 +175,7 @@ let expand_agg (t : Table.t) (a : agg) :
     computed with the fully private non-restoring division circuit. *)
 let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
   let ctx = Table.ctx t in
+  Ctx.with_label ctx "aggregate" @@ fun () ->
   let t =
     Tablesort.sort
       ~lead:[ (t.Table.valid, 1, Tablesort.Asc) ]
@@ -251,6 +255,7 @@ let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
     level's comparisons and selections are shared rounds across lanes). *)
 let global_aggregate (t : Table.t) ~(aggs : agg list) : Table.t =
   let ctx = Table.ctx t in
+  Ctx.with_label ctx "globalagg" @@ fun () ->
   let module Cv = Orq_circuits.Convert in
   let module Mx = Orq_circuits.Mux in
   let module Cp = Orq_circuits.Compare in

@@ -224,6 +224,7 @@ let finalize (ctx : Ctx.t) ~name ~(valid : Share.shared)
 let join (ctx : Ctx.t) (variant : variant) ?(copy : string list = [])
     ?(aggs : agg_spec list = []) ?(trim : trim_mode = `Auto)
     ~(left : Table.t) ~(right : Table.t) ~(on : string list) () : Table.t =
+  Ctx.with_label ctx "join" @@ fun () ->
   let n = Table.nrows left and m = Table.nrows right in
   let p = prepare ctx ~left ~right ~on ~aggs in
   let { p_v_lr = v_lr'; p_keys = keys'; p_tid = tid'; p_dist = dist; _ } = p in
@@ -345,6 +346,7 @@ let join (ctx : Ctx.t) (variant : variant) ?(copy : string list = [])
 let join_unique (ctx : Ctx.t) ?(copy : string list = [])
     ?(trim : trim_mode = `Auto) ~(left : Table.t) ~(right : Table.t)
     ~(on : string list) () : Table.t =
+  Ctx.with_label ctx "joinunique" @@ fun () ->
   let n = Table.nrows left and m = Table.nrows right in
   let p = prepare ctx ~left ~right ~on ~aggs:[] in
   let nm = n + m in

@@ -138,6 +138,7 @@ let and_valid t (bit : Share.shared) =
     carry information. Returns the valid rows as plaintext columns. *)
 let reveal (t : t) : (string * int array) list =
   let ctx = t.ctx in
+  Ctx.with_label ctx "reveal" @@ fun () ->
   let ext = Mpc.extend_bit t.valid in
   let names = List.map fst t.cols in
   let datas = List.map (fun (_, c) -> Column.as_bool ctx c) t.cols in

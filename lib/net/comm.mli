@@ -4,19 +4,89 @@
     on the wire in a real deployment: total bits sent (summed over all
     parties), message count, and communication rounds — the
     latency-critical quantity ORQ's vectorization exists to minimize.
-    Snapshots support scoped measurement by subtraction. *)
+    Snapshots support scoped measurement by subtraction.
+
+    Besides the aggregate counters, the layer can record a {e structural
+    transcript}: the exact sequence of metering events, each tagged with
+    the operator-label stack active when it fired. Two executions are
+    observably identical iff their transcripts are event-for-event equal —
+    the property the obliviousness tests and the certifier check.
+    Recording is off by default and costs one [match] per metering call. *)
+
+type ev_op =
+  | Round  (** one communication round carrying payload *)
+  | Traffic  (** payload piggybacking on the current round *)
+  | Barrier  (** payload-free extra rounds (lockstep barrier) *)
+  | Refund  (** rounds retracted by the fusion layer *)
+
+type event = {
+  ev_op : ev_op;
+  ev_label : string;  (** operator-label stack, outermost first, "/"-joined *)
+  ev_rounds : int;  (** signed round delta of this event *)
+  ev_bits : int;
+  ev_messages : int;
+}
+
+type recorder
 
 type t = {
   parties : int;
   mutable rounds : int;  (** sequential message-exchange rounds *)
   mutable bits : int;  (** total bits sent, summed over all parties *)
   mutable messages : int;  (** number of (batched) point-to-point sends *)
+  mutable recorder : recorder option;
 }
 
 type tally = { t_rounds : int; t_bits : int; t_messages : int }
 
 val create : parties:int -> t
 val reset : t -> unit
+
+(** {2 Structural transcripts} *)
+
+val start_recording : ?capacity:int -> t -> unit
+(** Start recording events into a fresh ring buffer of [capacity] events
+    (rounded up to a power of two; default [2^18]). Any previous
+    transcript is discarded; the label stack starts empty. *)
+
+val stop_recording : t -> unit
+(** Stop recording. The transcript remains readable until the next
+    {!start_recording}. *)
+
+val recording : t -> bool
+
+val recorded_events : t -> int
+(** Events recorded since {!start_recording}, including any that were
+    overwritten in the ring. *)
+
+val dropped_events : t -> int
+(** Events lost to ring overwrite. A transcript with drops is not
+    certifiable — re-record with a larger capacity. *)
+
+val transcript : t -> event array
+(** The recorded events, oldest first (only the last [capacity] survive). *)
+
+val push_label : t -> string -> unit
+(** Push an operator label onto the recording stack (no-op when recording
+    is off). Labels nest; events record the full stack outermost-first.
+    Normally called through [Ctx.with_label]. *)
+
+val pop_label : t -> unit
+val current_label : t -> string
+val event_equal : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+
+val transcript_diff :
+  event array -> event array -> (int * event option * event option) option
+(** First position where two transcripts disagree, with the differing
+    events ([None] = that transcript ended early); [None] if equal. *)
+
+(** {2 Metering}
+
+    Under [ORQ_DEBUG_CHECKS] (see {!Orq_util.Debug}) each call validates
+    the tally invariants: traffic deltas are never negative and a refund
+    never exceeds the recorded rounds; violations raise
+    [Invalid_argument]. *)
 
 val round : t -> bits:int -> messages:int -> unit
 (** Record one communication round in which the parties collectively send

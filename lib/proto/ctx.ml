@@ -73,6 +73,14 @@ let create ?(seed = 0x5EED) ?(ell = 64) kind =
     tamper = None;
   }
 
+(** Run [f] with [lbl] pushed on the transcript label stack of the
+    online-phase meter. Operators wrap their bodies in this so recorded
+    events carry the operator path ("aggregate/radixsort/shuffle", …).
+    Free when transcript recording is off. *)
+let with_label t lbl f =
+  Orq_net.Comm.push_label t.comm lbl;
+  Fun.protect ~finally:(fun () -> Orq_net.Comm.pop_label t.comm) f
+
 let with_tamper t f g =
   let saved = t.tamper in
   t.tamper <- Some f;

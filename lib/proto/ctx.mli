@@ -44,6 +44,11 @@ exception Abort of string
 
 val create : ?seed:int -> ?ell:int -> kind -> t
 
+val with_label : t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk with an operator label pushed on the online meter's
+    transcript label stack (popped on exit, exception-safe). Free when
+    transcript recording is off. *)
+
 val with_tamper : t -> tamper -> (unit -> 'a) -> 'a
 (** Run a thunk with the fault-injection hook installed (restored after). *)
 

@@ -16,6 +16,7 @@ let perm_width (ctx : Ctx.t) = ctx.perm_bits
 (** Protocol 4: oblivious shuffle — generate and apply a random sharded
     permutation. *)
 let shuffle ?width (ctx : Ctx.t) (x : Share.shared) : Share.shared =
+  Ctx.with_label ctx "shuffle" @@ fun () ->
   let p = Permmgr.gen ctx (Share.length x) in
   Shardedperm.apply ?width ctx x p
 
@@ -25,6 +26,7 @@ let shuffle_table ?width (ctx : Ctx.t) (cols : Share.shared list) :
   match cols with
   | [] -> []
   | c :: _ ->
+      Ctx.with_label ctx "shuffle" @@ fun () ->
       let p = Permmgr.gen ctx (Share.length c) in
       Shardedperm.apply_table ?width ctx cols p
 
@@ -35,6 +37,7 @@ let apply_elementwise ?width (ctx : Ctx.t) (x : Share.shared)
     (rho : Share.shared) : Share.shared =
   let n = Share.length x in
   if Share.length rho <> n then invalid_arg "apply_elementwise: length";
+  Ctx.with_label ctx "applyperm" @@ fun () ->
   let p1, p2 = Permmgr.gen_pair ctx n in
   let pair =
     Mpc.fuse_rounds ctx
@@ -59,6 +62,7 @@ let apply_elementwise_flags (ctx : Ctx.t) (x : Share.flags)
   if not (Mpc.bitpack_enabled ()) then
     Share.pack_flags (apply_elementwise ~width:1 ctx (Share.unpack_flags x) rho)
   else begin
+    Ctx.with_label ctx "applyperm" @@ fun () ->
     let p1, p2 = Permmgr.gen_pair ctx n in
     let pair =
       Mpc.fuse_rounds ctx
@@ -82,6 +86,7 @@ let apply_elementwise_table ?width (ctx : Ctx.t) (cols : Share.shared list)
   match cols with
   | [] -> []
   | c0 :: _ ->
+      Ctx.with_label ctx "applyperm" @@ fun () ->
       let n = Share.length c0 in
       let p1, p2 = Permmgr.gen_pair ctx n in
       let pair =
@@ -101,6 +106,7 @@ let compose (ctx : Ctx.t) (sigma : Share.shared) (rho : Share.shared) :
     Share.shared =
   let n = Share.length sigma in
   if Share.length rho <> n then invalid_arg "compose: length";
+  Ctx.with_label ctx "permcompose" @@ fun () ->
   let p = Permmgr.gen ctx n in
   let ps = Shardedperm.apply ~width:(perm_width ctx) ctx sigma p in
   let c = Mpc.open_ ~width:(perm_width ctx) ctx ps in
@@ -113,6 +119,7 @@ let compose (ctx : Ctx.t) (sigma : Share.shared) (rho : Share.shared) :
 let invert ?enc (ctx : Ctx.t) (pi : Share.shared) : Share.shared =
   let n = Share.length pi in
   let enc = Option.value enc ~default:pi.Share.enc in
+  Ctx.with_label ctx "perminvert" @@ fun () ->
   let identity = Share.public_vec ctx enc (Localperm.identity n) in
   apply_elementwise ~width:(perm_width ctx) ctx identity pi
 
@@ -125,6 +132,7 @@ let convert (ctx : Ctx.t) (x : Share.shared) (target : Share.enc) :
     Share.shared =
   if x.Share.enc = target then x
   else
+    Ctx.with_label ctx "permconvert" @@ fun () ->
     match ctx.kind with
     | Ctx.Sh_dm -> (
         match target with

@@ -26,9 +26,11 @@ let index_column (ctx : Ctx.t) n =
 let run_base (ctx : Ctx.t) algo dir ~w key carry =
   match algo with
   | Radixsort ->
+      Ctx.with_label ctx "radixsort" @@ fun () ->
       let rdir = match dir with Asc -> Radixsort.Asc | Desc -> Radixsort.Desc in
       Radixsort.sort ctx ~bits:w ~dir:rdir key carry
   | Quicksort -> (
+      Ctx.with_label ctx "quicksort" @@ fun () ->
       let n = Share.length key in
       (* the index is part of the composite key: uniqueness + stability *)
       let idx = index_column ctx n in

@@ -3,21 +3,37 @@
    message counts, and physical output sizes) must be *identical* for any
    two inputs of the same shape, whatever the data distribution,
    selectivities, join hit-rates or group structure. A difference in any
-   metered quantity would be a leak. *)
+   metered quantity would be a leak.
+
+   Equality is checked on *structural transcripts* (Comm.transcript): the
+   exact labeled event sequence, not aggregate totals — two traces that
+   differ but happen to sum to the same (rounds, bits, messages) triple
+   still fail. *)
 
 open Orq_proto
 open Orq_core
+module Comm = Orq_net.Comm
 
-(* Run [f] on a fresh context and return its full communication trace. *)
+(* Run [f] on a fresh context and return its structural transcript. *)
 let trace kind f =
   let ctx = Ctx.create ~seed:123 kind in
+  Comm.start_recording ctx.Ctx.comm;
   f ctx;
-  let t = Orq_net.Comm.snapshot ctx.Ctx.comm in
-  (t.Orq_net.Comm.t_rounds, t.Orq_net.Comm.t_bits, t.Orq_net.Comm.t_messages)
+  let tr = Comm.transcript ctx.Ctx.comm in
+  Alcotest.(check int) "no transcript overflow" 0
+    (Comm.dropped_events ctx.Ctx.comm);
+  Comm.stop_recording ctx.Ctx.comm;
+  tr
+
+let event_t = Alcotest.testable Comm.pp_event Comm.event_equal
 
 let check_same name kind f1 f2 =
   let t1 = trace kind f1 and t2 = trace kind f2 in
-  Alcotest.(check (triple int int int)) name t1 t2
+  Alcotest.(check bool) (name ^ ": transcripts nonempty") true
+    (Array.length t1 > 0);
+  Alcotest.(check (array event_t))
+    (name ^ " [" ^ Ctx.kind_label kind ^ "]")
+    t1 t2
 
 let for_all_kinds f = List.iter f Ctx.all_kinds
 
@@ -151,6 +167,72 @@ let test_quicksort_adversarial_orders () =
             (rounds < 100 * Orq_util.Ring.log2_ceil n))
         inputs)
 
+let test_joinagg_oblivious () =
+  (* the join-aggregation operator (§3.5): group sizes, aggregate values
+     and key overlap must all be invisible in the structural transcript *)
+  for_all_kinds (fun kind ->
+      check_same "joinagg trace independent of groups and values" kind
+        (fun ctx ->
+          let l =
+            Table.create ctx "L"
+              [ ("k", 8, [| 1; 2; 3; 4 |]); ("lv", 8, [| 1; 2; 3; 4 |]) ]
+          in
+          let r =
+            Table.create ctx "R"
+              [ ("k", 8, [| 1; 1; 1; 1; 1; 1 |]); ("x", 8, [| 9; 9; 9; 9; 9; 9 |]) ]
+          in
+          ignore
+            (Dataflow.inner_join l r ~on:[ "k" ] ~copy:[ "lv" ]
+               ~aggs:
+                 [
+                   {
+                     Dataflow.a_src = "x";
+                     a_dst = "sx";
+                     a_func = Aggnet.Sum;
+                     a_width = 12;
+                   };
+                 ]))
+        (fun ctx ->
+          let l =
+            Table.create ctx "L"
+              [ ("k", 8, [| 5; 6; 7; 8 |]); ("lv", 8, [| 0; 0; 0; 0 |]) ]
+          in
+          let r =
+            Table.create ctx "R"
+              [ ("k", 8, [| 1; 2; 3; 4; 5; 6 |]); ("x", 8, [| 0; 1; 2; 3; 4; 5 |]) ]
+          in
+          ignore
+            (Dataflow.inner_join l r ~on:[ "k" ] ~copy:[ "lv" ]
+               ~aggs:
+                 [
+                   {
+                     Dataflow.a_src = "x";
+                     a_dst = "sx";
+                     a_func = Aggnet.Sum;
+                     a_width = 12;
+                   };
+                 ])))
+
+let test_service_path_oblivious () =
+  (* the query-service execution path: SQL text -> planner -> engine over
+     the shared TPC-H catalog must produce the same transcript on the real
+     database and on its shape twin (values replaced by a function of the
+     row index) *)
+  let sf = 0.0001 in
+  let plain = Orq_workloads.Tpch_gen.generate ~seed:99 sf in
+  let twin = Orq_analysis.Certify.twin_tpch plain in
+  let sql =
+    "SELECT n_regionkey, COUNT(*) AS c FROM nation GROUP BY n_regionkey"
+  in
+  let run db ctx =
+    let mdb = Orq_workloads.Tpch_gen.share ctx db in
+    ignore
+      (Orq_planner.Sql.run (Orq_workloads.Tpch_gen.catalog mdb) sql)
+  in
+  for_all_kinds (fun kind ->
+      check_same "service path trace equals shape-twin trace" kind (run plain)
+        (run twin))
+
 let suite =
   [
     Alcotest.test_case "filter selectivity hidden" `Quick test_filter_oblivious;
@@ -164,6 +246,10 @@ let suite =
       test_shares_look_random;
     Alcotest.test_case "quicksort on adversarial orders" `Quick
       test_quicksort_adversarial_orders;
+    Alcotest.test_case "joinagg groups and values hidden" `Quick
+      test_joinagg_oblivious;
+    Alcotest.test_case "query-service path transcript equality" `Quick
+      test_service_path_oblivious;
   ]
 
 let () = Alcotest.run "orq_oblivious" [ ("oblivious", suite) ]
