@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-service serve clean
+.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-service bench-service-quick serve clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -54,10 +54,18 @@ bench-bitpack:
 serve:
 	dune exec bin/orq_cli.exe -- serve --socket $(ORQ_SOCKET) --sf $(ORQ_SF) -v
 
-# Closed-loop service throughput sweep; refreshes BENCH_service.json.
-# ORQ_SERVICE_QUICK=1 shrinks it to a few seconds.
+# Closed-loop service throughput sweep over (protocol, workers,
+# concurrency, cache mode); refreshes BENCH_service.json. Cold cells run
+# LAN-paced (workers hold their slot for the query's modeled network
+# time) and every cold response is checked byte-identical against the
+# serial workers=1 reference; exits nonzero if 8-worker cold throughput
+# is below 4x the single worker. ORQ_SERVICE_QUICK=1 shrinks it to a
+# workers 1-vs-4 gate (>= 2x) in a few seconds.
 bench-service:
 	dune exec bench/service.exe
+
+bench-service-quick:
+	ORQ_SERVICE_QUICK=1 dune exec bench/service.exe
 
 clean:
 	dune clean

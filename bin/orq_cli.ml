@@ -217,43 +217,65 @@ let run list_only query sql proto sf n profile validate =
 (* serve / query: the long-running service and its client              *)
 (* ------------------------------------------------------------------ *)
 
-let serve socket sf seed max_jobs max_rows cache_cap verbose =
-  let cfg =
-    {
-      Service.socket_path = socket;
-      sf;
-      seed;
-      max_jobs;
-      max_rows;
-      cache_capacity = cache_cap;
-      verbose;
-      job_hook = None;
-    }
-  in
-  let t = Service.start cfg in
-  Printf.printf
-    "orq service listening on %s (sf=%g, max-jobs=%d, max-rows=%d, \
-     cache=%d)\n\
-     stop with Ctrl-C; query with: orq_cli query --socket %s \"SELECT ...\"\n\
-     %!"
-    socket sf max_jobs max_rows cache_cap socket;
-  Service.wait t;
-  0
+let serve socket sf seed workers pace_label max_jobs max_rows cache_cap verbose
+    =
+  match Service.pace_of_label (String.lowercase_ascii pace_label) with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok pace ->
+      let defaults = Service.default_config () in
+      let cfg =
+        {
+          Service.socket_path = socket;
+          sf;
+          seed;
+          workers = max 1 workers;
+          max_jobs;
+          max_rows;
+          cache_capacity = cache_cap;
+          admit_timeout_s = defaults.Service.admit_timeout_s;
+          drain_timeout_s = defaults.Service.drain_timeout_s;
+          pace;
+          prewarm = defaults.Service.prewarm;
+          verbose;
+          job_hook = None;
+        }
+      in
+      let t = Service.start cfg in
+      Printf.printf
+        "orq service listening on %s (sf=%g, workers=%d, max-jobs=%d, \
+         max-rows=%d, cache=%d%s)\n\
+         stop with Ctrl-C; query with: orq_cli query --socket %s \"SELECT \
+         ...\"\n\
+         %!"
+        socket sf cfg.Service.workers max_jobs max_rows cache_cap
+        (match pace with
+        | Some p -> ", pace=" ^ p.Orq_net.Netsim.label
+        | None -> "")
+        socket;
+      Service.wait t;
+      0
 
-let client_query socket proto sql =
-  match Client.connect socket with
+let client_query socket proto prio timeout_ms set_workers sql =
+  match Client.connect ?timeout_ms socket with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "cannot connect to %s: %s (is the server running?)\n"
         socket (Unix.error_message e);
       1
   | c -> (
       Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match set_workers with
+      | Some n ->
+          let s = Client.set_workers c n in
+          Printf.printf "workers resized to %d\n%!" s.Wire.s_workers
+      | None -> ());
       match Client.set_protocol c proto with
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           1
       | Ok label -> (
-          match Client.query c sql with
+          match Client.query ?prio c sql with
           | Error (code, msg) ->
               Printf.eprintf "error (%s): %s\n" (Wire.err_label code) msg;
               1
@@ -374,6 +396,29 @@ let socket_t =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
+  let workers_t =
+    Arg.(
+      value
+      & opt int service_defaults.Service.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Execution worker domains (default: the ORQ_SERVICE_WORKERS \
+             environment variable, else 1).")
+  in
+  let pace_t =
+    Arg.(
+      value
+      & opt string
+          (match service_defaults.Service.pace with
+          | Some p -> p.Orq_net.Netsim.label
+          | None -> "off")
+      & info [ "pace" ] ~docv:"PROFILE"
+          ~doc:
+            "Paced execution: each worker holds its slot for the query's \
+             modeled network time under this Netsim profile (off, lan, wan \
+             or geo; default: the ORQ_SERVICE_PACE environment variable, \
+             else off).")
+  in
   let max_jobs_t =
     Arg.(
       value
@@ -408,17 +453,17 @@ let serve_cmd =
   let verbose_t =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log sessions to stderr.")
   in
-  let serve_with_domains domains socket sf seed max_jobs max_rows cache verbose
-      =
+  let serve_with_domains domains socket sf seed workers pace max_jobs max_rows
+      cache verbose =
     if domains > 0 then Orq_util.Parallel.set_num_domains domains;
-    serve socket sf seed max_jobs max_rows cache verbose
+    serve socket sf seed workers pace max_jobs max_rows cache verbose
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"start the oblivious query service on a Unix-domain socket")
     Term.(
       const serve_with_domains $ domains_t $ socket_t $ sf_t $ seed_t
-      $ max_jobs_t $ max_rows_t $ cache_t $ verbose_t)
+      $ workers_t $ pace_t $ max_jobs_t $ max_rows_t $ cache_t $ verbose_t)
 
 let query_cmd =
   let sql_pos_t =
@@ -434,9 +479,34 @@ let query_cmd =
       & info [ "p"; "protocol" ] ~docv:"PROTO"
           ~doc:"Session protocol: sh-dm, sh-hm or mal-hm.")
   in
+  let prio_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prio" ] ~docv:"P"
+          ~doc:"Priority class: 0 = high, 1 = normal, 2 = low.")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Receive timeout in milliseconds (default: the \
+             ORQ_CLIENT_TIMEOUT_MS environment variable, else none).")
+  in
+  let set_workers_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "set-workers" ] ~docv:"N"
+          ~doc:"Live-resize the server's worker pool before querying.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"send one SQL query to a running service")
-    Term.(const client_query $ socket_t $ proto_label_t $ sql_pos_t)
+    Term.(
+      const client_query $ socket_t $ proto_label_t $ prio_t $ timeout_t
+      $ set_workers_t $ sql_pos_t)
 
 (* lint: the static leakage lint, also available as the standalone orq_lint
    driver (which adds the fixture self-test and the transcript certifier). *)

@@ -29,13 +29,27 @@ type query_result = {
 
 type stats = {
   s_sessions : int;
+  s_workers : int;
   s_jobs : int;
   s_rejected : int;
   s_cache_hits : int;
   s_cache_misses : int;
+  s_coalesced : int;
+  s_queue_depth : int;
+  s_in_flight : int;
+  s_wait_p50_ms : float;
+  s_wait_p95_ms : float;
+  s_exec_p50_ms : float;
+  s_exec_p95_ms : float;
 }
 
-type request = Hello of string | Query of string | Ping | Stats_req
+type request =
+  | Hello of { h_proto : string; h_client : string }
+  | Query of string
+  | Query_p of { q_sql : string; q_prio : int }
+  | Ping
+  | Stats_req
+  | Set_workers of int
 
 type response =
   | Hello_ok of { session : int; proto : string }
@@ -160,6 +174,8 @@ let tag_hello = 0x01
 and tag_query = 0x02
 and tag_ping = 0x03
 and tag_stats_req = 0x04
+and tag_query_p = 0x05
+and tag_set_workers = 0x06
 
 let tag_hello_ok = 0x81
 and tag_result = 0x82
@@ -170,14 +186,22 @@ and tag_stats = 0x85
 let encode_request (r : request) : bytes =
   let b = Buffer.create 64 in
   (match r with
-  | Hello proto ->
+  | Hello { h_proto; h_client } ->
       put_u8 b tag_hello;
-      put_string b proto
+      put_string b h_proto;
+      put_string b h_client
   | Query sql ->
       put_u8 b tag_query;
       put_string b sql
+  | Query_p { q_sql; q_prio } ->
+      put_u8 b tag_query_p;
+      put_u8 b q_prio;
+      put_string b q_sql
   | Ping -> put_u8 b tag_ping
-  | Stats_req -> put_u8 b tag_stats_req);
+  | Stats_req -> put_u8 b tag_stats_req
+  | Set_workers n ->
+      put_u8 b tag_set_workers;
+      put_u32 b n);
   Buffer.to_bytes b
 
 let code_of_int = function
@@ -219,20 +243,36 @@ let encode_response (r : response) : bytes =
   | Stats_r s ->
       put_u8 b tag_stats;
       put_i64 b s.s_sessions;
+      put_i64 b s.s_workers;
       put_i64 b s.s_jobs;
       put_i64 b s.s_rejected;
       put_i64 b s.s_cache_hits;
-      put_i64 b s.s_cache_misses);
+      put_i64 b s.s_cache_misses;
+      put_i64 b s.s_coalesced;
+      put_i64 b s.s_queue_depth;
+      put_i64 b s.s_in_flight;
+      put_f64 b s.s_wait_p50_ms;
+      put_f64 b s.s_wait_p95_ms;
+      put_f64 b s.s_exec_p50_ms;
+      put_f64 b s.s_exec_p95_ms);
   Buffer.to_bytes b
 
 let decode_request (body : bytes) : request =
   let c = { buf = body; pos = 0 } in
   let r =
     match get_u8 c with
-    | t when t = tag_hello -> Hello (get_string c)
+    | t when t = tag_hello ->
+        let h_proto = get_string c in
+        let h_client = get_string c in
+        Hello { h_proto; h_client }
     | t when t = tag_query -> Query (get_string c)
+    | t when t = tag_query_p ->
+        let q_prio = get_u8 c in
+        let q_sql = get_string c in
+        Query_p { q_sql; q_prio }
     | t when t = tag_ping -> Ping
     | t when t = tag_stats_req -> Stats_req
+    | t when t = tag_set_workers -> Set_workers (get_u32 c)
     | t -> fail "unknown request tag 0x%02x" t
   in
   finish c;
@@ -275,11 +315,34 @@ let decode_response (body : bytes) : response =
     | t when t = tag_pong -> Pong
     | t when t = tag_stats ->
         let s_sessions = get_i64 c in
+        let s_workers = get_i64 c in
         let s_jobs = get_i64 c in
         let s_rejected = get_i64 c in
         let s_cache_hits = get_i64 c in
         let s_cache_misses = get_i64 c in
-        Stats_r { s_sessions; s_jobs; s_rejected; s_cache_hits; s_cache_misses }
+        let s_coalesced = get_i64 c in
+        let s_queue_depth = get_i64 c in
+        let s_in_flight = get_i64 c in
+        let s_wait_p50_ms = get_f64 c in
+        let s_wait_p95_ms = get_f64 c in
+        let s_exec_p50_ms = get_f64 c in
+        let s_exec_p95_ms = get_f64 c in
+        Stats_r
+          {
+            s_sessions;
+            s_workers;
+            s_jobs;
+            s_rejected;
+            s_cache_hits;
+            s_cache_misses;
+            s_coalesced;
+            s_queue_depth;
+            s_in_flight;
+            s_wait_p50_ms;
+            s_wait_p95_ms;
+            s_exec_p50_ms;
+            s_exec_p95_ms;
+          }
     | t -> fail "unknown response tag 0x%02x" t
   in
   finish c;

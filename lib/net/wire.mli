@@ -47,17 +47,37 @@ type query_result = {
 
 type stats = {
   s_sessions : int;  (** currently connected sessions *)
+  s_workers : int;  (** configured execution workers *)
   s_jobs : int;  (** queries executed since startup *)
   s_rejected : int;  (** queries refused by admission control *)
   s_cache_hits : int;
   s_cache_misses : int;
+  s_coalesced : int;  (** queries served by another in-flight execution *)
+  s_queue_depth : int;  (** jobs queued, not yet executing *)
+  s_in_flight : int;  (** jobs queued + executing *)
+  s_wait_p50_ms : float;  (** recent queue-wait percentiles *)
+  s_wait_p95_ms : float;
+  s_exec_p50_ms : float;  (** recent execution-time percentiles *)
+  s_exec_p95_ms : float;
 }
+(** Scheduler observability: queue depth and latency percentiles travel
+    with every stats frame, so clients see *how* saturated the server is
+    rather than a binary busy signal. *)
 
 type request =
-  | Hello of string  (** set the session protocol: "sh-dm"|"sh-hm"|"mal-hm" *)
-  | Query of string  (** SQL text *)
+  | Hello of { h_proto : string; h_client : string }
+      (** set the session protocol ("sh-dm"|"sh-hm"|"mal-hm") and an
+          optional client-group name ([""] = this connection is its own
+          group). Connections sharing a group share one fairness lane in
+          the job queue — a client flooding from many connections still
+          cannot starve other groups. *)
+  | Query of string  (** SQL text, normal priority *)
+  | Query_p of { q_sql : string; q_prio : int }
+      (** SQL text with an explicit priority class (0 = high, 1 = normal,
+          2 = low) *)
   | Ping
   | Stats_req
+  | Set_workers of int  (** live-resize the execution worker pool *)
 
 type response =
   | Hello_ok of { session : int; proto : string }

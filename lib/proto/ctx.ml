@@ -73,6 +73,18 @@ let create ?(seed = 0x5EED) ?(ell = 64) kind =
     tamper = None;
   }
 
+(** Restart the context's randomness from [seed], exactly as if the
+    context had just been created with it: both the protocol stream and
+    the dedicated shuffle-permutation stream are re-derived. Metering
+    state is untouched. The query service reseeds before every execution
+    with a seed derived from (service seed, protocol, query) so each
+    query's transcript — including data-dependent control flow like
+    shuffled-quicksort recursion — is a pure function of the query, never
+    of what ran before it or of which worker ran it. *)
+let reseed t seed =
+  Prg.reseed t.prg seed;
+  Prg.sync ~dst:t.perm_prg ~src:(Prg.split t.prg 0x9E4B)
+
 (** Run [f] with [lbl] pushed on the transcript label stack of the
     online-phase meter. Operators wrap their bodies in this so recorded
     events carry the operator path ("aggregate/radixsort/shuffle", …).

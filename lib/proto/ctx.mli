@@ -44,6 +44,12 @@ exception Abort of string
 
 val create : ?seed:int -> ?ell:int -> kind -> t
 
+val reseed : t -> int -> unit
+(** Restart the session randomness (protocol and permutation streams)
+    from [seed], as if the context were freshly created with it; metering
+    state is untouched. Makes an execution's transcript independent of
+    execution history — the query service reseeds per query. *)
+
 val with_label : t -> string -> (unit -> 'a) -> 'a
 (** Run a thunk with an operator label pushed on the online meter's
     transcript label stack (popped on exit, exception-safe). Free when

@@ -4,9 +4,25 @@ exception Service_error of string
 
 type t = { fd : Unix.file_descr }
 
-let connect path =
+let env_timeout_ms () =
+  match Sys.getenv_opt "ORQ_CLIENT_TIMEOUT_MS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> Some v
+      | _ -> None)
+  | None -> None
+
+let connect ?timeout_ms path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
+  (try
+     Unix.connect fd (Unix.ADDR_UNIX path);
+     let tmo =
+       match timeout_ms with Some _ as t -> t | None -> env_timeout_ms ()
+     in
+     match tmo with
+     | Some ms when ms > 0 ->
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO (float_of_int ms /. 1e3)
+     | _ -> ()
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
@@ -19,15 +35,22 @@ let rpc t (req : Wire.request) : Wire.response =
   match Wire.recv_response t.fd with
   | Some r -> r
   | None -> raise (Service_error "connection closed by server")
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise (Service_error "receive timeout waiting for server response")
 
-let set_protocol t label =
-  match rpc t (Wire.Hello label) with
+let set_protocol ?(client = "") t label =
+  match rpc t (Wire.Hello { h_proto = label; h_client = client }) with
   | Wire.Hello_ok { proto; _ } -> Ok proto
   | Wire.Error_r { msg; _ } -> Error msg
   | _ -> raise (Service_error "unexpected response to Hello")
 
-let query t sql =
-  match rpc t (Wire.Query sql) with
+let query ?prio t sql =
+  let req =
+    match prio with
+    | None -> Wire.Query sql
+    | Some p -> Wire.Query_p { q_sql = sql; q_prio = p }
+  in
+  match rpc t req with
   | Wire.Result r -> Ok r
   | Wire.Error_r { code; msg } -> Error (code, msg)
   | _ -> raise (Service_error "unexpected response to Query")
@@ -38,3 +61,8 @@ let stats t =
   match rpc t Wire.Stats_req with
   | Wire.Stats_r s -> s
   | _ -> raise (Service_error "unexpected response to Stats")
+
+let set_workers t n =
+  match rpc t (Wire.Set_workers n) with
+  | Wire.Stats_r s -> s
+  | _ -> raise (Service_error "unexpected response to Set_workers")

@@ -2,21 +2,38 @@
     request/response in lockstep over the {!Orq_net.Wire} protocol. *)
 
 exception Service_error of string
-(** Connection closed or an unexpected response arrived. *)
+(** Connection closed, receive timeout, or an unexpected response
+    arrived. *)
 
 type t
 
-val connect : string -> t
-(** Connect to the service socket at the given path. *)
+val connect : ?timeout_ms:int -> string -> t
+(** Connect to the service socket at the given path. [timeout_ms] (or the
+    [ORQ_CLIENT_TIMEOUT_MS] environment variable when absent) arms a
+    receive timeout on the socket: an RPC whose response does not arrive
+    in time raises {!Service_error} instead of hanging forever on a
+    stalled server. *)
 
 val close : t -> unit
 
-val set_protocol : t -> string -> (string, string) result
-(** [Hello]: select this session's protocol ("sh-dm"|"sh-hm"|"mal-hm");
-    returns the server's canonical label, or the server's error. *)
+val set_protocol : ?client:string -> t -> string -> (string, string) result
+(** [Hello]: select this session's protocol ("sh-dm"|"sh-hm"|"mal-hm")
+    and optionally a client-group name — connections sharing a group
+    share one fairness lane in the server's job queue. Returns the
+    server's canonical label, or the server's error. *)
 
-val query : t -> string -> (Orq_net.Wire.query_result, Orq_net.Wire.err_code * string) result
-(** Run one SQL query; blocks until the result (or error) frame. *)
+val query :
+  ?prio:int ->
+  t ->
+  string ->
+  (Orq_net.Wire.query_result, Orq_net.Wire.err_code * string) result
+(** Run one SQL query; blocks until the result (or error) frame. [prio]
+    is a priority class (0 = high, 1 = normal, 2 = low; default
+    normal). *)
 
 val ping : t -> bool
 val stats : t -> Orq_net.Wire.stats
+
+val set_workers : t -> int -> Orq_net.Wire.stats
+(** Live-resize the server's execution worker pool; returns the stats
+    snapshot after the resize. *)

@@ -5,33 +5,61 @@ module Netsim = Orq_net.Netsim
 module Sql = Orq_planner.Sql
 module Table = Orq_core.Table
 module Tpch_gen = Orq_workloads.Tpch_gen
+module Parallel = Orq_util.Parallel
 
 type config = {
   socket_path : string;
   sf : float;
   seed : int;
+  workers : int;
   max_jobs : int;
   max_rows : int;
   cache_capacity : int;
+  admit_timeout_s : float;
+  drain_timeout_s : float;
+  pace : Netsim.profile option;
+  prewarm : Ctx.kind list;
   verbose : bool;
   job_hook : (unit -> unit) option;
 }
 
 let env_int name default =
   match Sys.getenv_opt name with
-  | Some s -> ( match int_of_string_opt (String.trim s) with
-    | Some v when v >= 0 -> v
-    | _ -> default)
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 0 -> v
+      | _ -> default)
   | None -> default
 
+let pace_of_label = function
+  | "" | "off" | "none" -> Ok None
+  | "lan" -> Ok (Some Netsim.lan)
+  | "wan" -> Ok (Some Netsim.wan)
+  | "geo" -> Ok (Some Netsim.geo)
+  | s -> Error (Printf.sprintf "unknown pace profile %S (off|lan|wan|geo)" s)
+
+let env_pace () =
+  match Sys.getenv_opt "ORQ_SERVICE_PACE" with
+  | None -> None
+  | Some s -> (
+      match pace_of_label (String.lowercase_ascii (String.trim s)) with
+      | Ok p -> p
+      | Error _ -> None)
+
 let default_config ?(socket_path = "/tmp/orq-service.sock") () =
+  let workers = max 1 (env_int "ORQ_SERVICE_WORKERS" 1) in
   {
     socket_path;
     sf = 0.001;
     seed = 42;
-    max_jobs = env_int "ORQ_SERVICE_MAX_JOBS" 4;
+    workers;
+    max_jobs = env_int "ORQ_SERVICE_MAX_JOBS" (max 4 (2 * workers));
     max_rows = env_int "ORQ_SERVICE_MAX_ROWS" 10_000;
     cache_capacity = 64;
+    admit_timeout_s = float_of_int (env_int "ORQ_SERVICE_ADMIT_MS" 2_000) /. 1e3;
+    drain_timeout_s = float_of_int (env_int "ORQ_SERVICE_DRAIN_MS" 5_000) /. 1e3;
+    pace = env_pace ();
+    prewarm = [];
     verbose = false;
     job_hook = None;
   }
@@ -42,25 +70,32 @@ let proto_of_label = function
   | "mal-hm" | "4pc" -> Ok Ctx.Mal_hm
   | s -> Error (Printf.sprintf "unknown protocol %S (sh-dm|sh-hm|mal-hm)" s)
 
-(* One backend per protocol kind: a long-lived context plus the shared
-   database. Built lazily on first use, by the worker thread only. *)
+(* One backend per (worker, protocol kind): a long-lived context plus this
+   worker's own sharing of the database. Worker-local so execution workers
+   never contend on protocol state (PRG, metering, label stacks). *)
 type backend = { b_ctx : Ctx.t; b_db : Tpch_gen.mpc }
 
 type job = {
   j_sql : string;
   j_proto : Ctx.kind;
+  j_qseed : int;  (** per-query session seed: derived, deterministic *)
   mutable j_reply : Wire.response option;
   j_m : Mutex.t;
   j_c : Condition.t;
 }
 
-type session = { s_id : int; s_fd : Unix.file_descr }
+type session = { s_id : int; s_fd : Unix.file_descr; mutable s_group : int }
+
+(* A live execution worker: the quit flag retires it on a live
+   resize-down without disturbing the rest of the pool. *)
+type worker = { w_id : int; w_quit : bool ref }
+
+let exec_ring_size = 512
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   plain : Tpch_gen.plain;
-  backends : (Ctx.kind, backend) Hashtbl.t;
   cache : Wire.query_result Plan_cache.t;
   jobs : job Jobqueue.t;
   catalog_version : int;
@@ -69,8 +104,15 @@ type t = {
   mutable next_session : int;
   mutable jobs_done : int;
   mutable rejected : int;
-  m : Mutex.t;  (** sessions / counters / running *)
-  mutable threads : Thread.t list;
+  mutable desired_workers : int;
+  mutable workers : worker list;  (** live workers, newest first *)
+  mutable next_worker : int;
+  mutable domains : unit Domain.t list;  (** every worker domain spawned *)
+  execs : float array;  (** ring of recent execution times, seconds *)
+  mutable nexecs : int;
+  m : Mutex.t;  (** sessions / counters / workers / running *)
+  mutable session_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
 }
 
 let with_lock t f =
@@ -85,17 +127,27 @@ let logf t fmt =
 let socket_path t = t.cfg.socket_path
 
 (* ------------------------------------------------------------------ *)
-(* Query execution (worker thread)                                     *)
+(* Query execution (worker domains)                                    *)
 (* ------------------------------------------------------------------ *)
 
-let backend t kind =
-  match Hashtbl.find_opt t.backends kind with
+(* Each query runs under a session seed derived from the service seed,
+   the protocol, and the normalized SQL — never from execution history.
+   Combined with [Ctx.reseed] this makes every execution a pure function
+   of (catalog, protocol, query): per-query Comm tallies and transcripts
+   are byte-identical whatever ran before, whichever worker runs it, and
+   at every worker count — including data-dependent control flow like
+   shuffled-quicksort recursion depths. *)
+let query_seed t ~proto_label ~sql =
+  Hashtbl.hash (t.cfg.seed, proto_label, Plan_cache.normalize sql)
+
+let backend t backends kind =
+  match Hashtbl.find_opt backends kind with
   | Some b -> b
   | None ->
       let b_ctx = Ctx.create ~seed:t.cfg.seed kind in
       let b_db = Tpch_gen.share b_ctx t.plain in
       let b = { b_ctx; b_db } in
-      Hashtbl.replace t.backends kind b;
+      Hashtbl.replace backends kind b;
       logf t "shared catalog for %s (%d parties)" (Ctx.kind_label kind)
         b_ctx.Ctx.parties;
       b
@@ -110,128 +162,258 @@ let rows_of_opened (opened : (string * int array) list) (cols : string list) =
   let rows = List.init n (fun i -> List.map (fun a -> a.(i)) arrays) in
   (present, List.sort compare rows)
 
-let execute t (j : job) : Wire.response =
-  let proto_label = Ctx.kind_label j.j_proto in
-  match
-    Plan_cache.find t.cache ~proto:proto_label ~version:t.catalog_version
-      ~sql:j.j_sql
-  with
-  | Some r -> Wire.Result { r with Wire.r_cache_hit = true }
-  | None -> (
-      let b = backend t j.j_proto in
-      let c0 = Comm.snapshot b.b_ctx.Ctx.comm in
-      let p0 = Comm.snapshot b.b_ctx.Ctx.preproc in
-      match Sql.run (Tpch_gen.catalog b.b_db) j.j_sql with
-      | exception Sql.Parse_error msg ->
-          Wire.Error_r { code = Wire.Bad_request; msg }
-      | exception Ctx.Abort msg ->
-          Wire.Error_r { code = Wire.Internal; msg = "protocol abort: " ^ msg }
-      | exception e ->
-          Wire.Error_r { code = Wire.Internal; msg = Printexc.to_string e }
-      | tbl, cols, fallbacks ->
-          let opened = Table.reveal tbl in
-          let r_tally = Comm.since b.b_ctx.Ctx.comm c0 in
-          let r_pre = Comm.since b.b_ctx.Ctx.preproc p0 in
-          let r_cols, rows = rows_of_opened opened cols in
-          let r_truncated = List.length rows > t.cfg.max_rows in
-          let r_rows =
-            if r_truncated then List.filteri (fun i _ -> i < t.cfg.max_rows) rows
-            else rows
-          in
-          let r =
-            {
-              Wire.r_cols;
-              r_rows;
-              r_truncated;
-              r_fallbacks = fallbacks;
-              r_cache_hit = false;
-              r_tally;
-              r_pre;
-              r_lan_s = Netsim.network_time Netsim.lan r_tally;
-              r_wan_s = Netsim.network_time Netsim.wan r_tally;
-            }
-          in
-          Plan_cache.add t.cache ~proto:proto_label ~version:t.catalog_version
-            ~sql:j.j_sql r;
-          Wire.Result r)
+let execute t backends (j : job) : Wire.response =
+  let b = backend t backends j.j_proto in
+  Ctx.reseed b.b_ctx j.j_qseed;
+  let c0 = Comm.snapshot b.b_ctx.Ctx.comm in
+  let p0 = Comm.snapshot b.b_ctx.Ctx.preproc in
+  match Sql.run (Tpch_gen.catalog b.b_db) j.j_sql with
+  | exception Sql.Parse_error msg ->
+      Wire.Error_r { code = Wire.Bad_request; msg }
+  | exception Ctx.Abort msg ->
+      Wire.Error_r { code = Wire.Internal; msg = "protocol abort: " ^ msg }
+  | exception e -> Wire.Error_r { code = Wire.Internal; msg = Printexc.to_string e }
+  | tbl, cols, fallbacks ->
+      let opened = Table.reveal tbl in
+      let r_tally = Comm.since b.b_ctx.Ctx.comm c0 in
+      let r_pre = Comm.since b.b_ctx.Ctx.preproc p0 in
+      let r_cols, rows = rows_of_opened opened cols in
+      let r_truncated = List.length rows > t.cfg.max_rows in
+      let r_rows =
+        if r_truncated then List.filteri (fun i _ -> i < t.cfg.max_rows) rows
+        else rows
+      in
+      Wire.Result
+        {
+          Wire.r_cols;
+          r_rows;
+          r_truncated;
+          r_fallbacks = fallbacks;
+          r_cache_hit = false;
+          r_tally;
+          r_pre;
+          r_lan_s = Netsim.network_time Netsim.lan r_tally;
+          r_wan_s = Netsim.network_time Netsim.wan r_tally;
+        }
 
-let worker t () =
+let deliver (j : job) (reply : Wire.response) =
+  Mutex.lock j.j_m;
+  j.j_reply <- Some reply;
+  Condition.signal j.j_c;
+  Mutex.unlock j.j_m
+
+(* Partition the global data-parallel lane budget across the execution
+   workers: inter-query concurrency times intra-query data parallelism
+   never exceeds ORQ_DOMAINS lanes in total. *)
+let lanes_per_worker t =
+  max 1 (Parallel.get_num_domains () / max 1 t.desired_workers)
+
+let worker_loop t (w : worker) () =
+  let backends : (Ctx.kind, backend) Hashtbl.t = Hashtbl.create 4 in
+  (* build the configured protocol backends before serving, so the first
+     queries after startup (or a live resize) don't pay catalog sharing *)
+  List.iter (fun k -> ignore (backend t backends k)) t.cfg.prewarm;
   let rec loop () =
-    match Jobqueue.pop t.jobs with
+    Parallel.set_lanes (lanes_per_worker t);
+    match Jobqueue.pop ~should_stop:(fun () -> !(w.w_quit)) t.jobs with
     | None -> ()
     | Some j ->
         (match t.cfg.job_hook with Some h -> h () | None -> ());
+        let t0 = Unix.gettimeofday () in
         let reply =
-          try execute t j
+          try execute t backends j
           with e ->
             Wire.Error_r { code = Wire.Internal; msg = Printexc.to_string e }
         in
+        (* Paced mode: model a real deployment where each query's wall
+           time is compute + network (Netsim's first-order model). The
+           worker stays bound to the query for its modeled network time —
+           exactly the regime in which a pool of workers, each driving
+           its own party connections, overlaps queries and scales
+           throughput. *)
+        (match (t.cfg.pace, reply) with
+        | Some p, Wire.Result r ->
+            Unix.sleepf (Netsim.network_time p r.Wire.r_tally)
+        | _ -> ());
         Jobqueue.finish t.jobs;
-        with_lock t (fun () -> t.jobs_done <- t.jobs_done + 1);
-        Mutex.lock j.j_m;
-        j.j_reply <- Some reply;
-        Condition.signal j.j_c;
-        Mutex.unlock j.j_m;
+        let dt = Unix.gettimeofday () -. t0 in
+        with_lock t (fun () ->
+            t.jobs_done <- t.jobs_done + 1;
+            t.execs.(t.nexecs mod exec_ring_size) <- dt;
+            t.nexecs <- t.nexecs + 1);
+        deliver j reply;
         loop ()
   in
   loop ()
+
+(* Spawn [n] fresh workers (caller must not hold [t.m]). *)
+let spawn_workers t n =
+  for _ = 1 to n do
+    let w =
+      with_lock t (fun () ->
+          let w = { w_id = t.next_worker; w_quit = ref false } in
+          t.next_worker <- t.next_worker + 1;
+          t.workers <- w :: t.workers;
+          w)
+    in
+    let d = Domain.spawn (worker_loop t w) in
+    with_lock t (fun () -> t.domains <- d :: t.domains);
+    logf t "worker %d started" w.w_id
+  done
+
+(* Live resize: spawn up, or retire the newest workers down (they finish
+   their current job, re-check their quit flag, and exit). *)
+let set_workers t n =
+  let n = max 1 (min 64 n) in
+  let grow =
+    with_lock t (fun () ->
+        t.desired_workers <- n;
+        let cur = List.length t.workers in
+        if n >= cur then n - cur
+        else begin
+          let rec retire k = function
+            | w :: rest when k > 0 ->
+                w.w_quit := true;
+                retire (k - 1) rest
+            | rest -> rest
+          in
+          t.workers <- retire (cur - n) t.workers;
+          0
+        end)
+  in
+  if grow > 0 then spawn_workers t grow;
+  Jobqueue.wake t.jobs;
+  logf t "workers resized to %d" n
+
+let workers t = with_lock t (fun () -> t.desired_workers)
 
 (* ------------------------------------------------------------------ *)
 (* Sessions (one handler thread per connection)                        *)
 (* ------------------------------------------------------------------ *)
 
+let percentiles samples n =
+  let n = min n (Array.length samples) in
+  if n = 0 then (0., 0.)
+  else begin
+    let s = Array.sub samples 0 n in
+    Array.sort compare s;
+    let at p =
+      s.(min (n - 1) (int_of_float ((float_of_int (n - 1) *. p) +. 0.5)))
+    in
+    (at 0.5, at 0.95)
+  end
+
 let stats t : Wire.stats =
+  let qc = Jobqueue.counts t.jobs in
+  let w50, w95 = Jobqueue.wait_percentiles t.jobs in
   with_lock t (fun () ->
+      let e50, e95 = percentiles t.execs t.nexecs in
       {
         Wire.s_sessions = List.length t.sessions;
+        s_workers = t.desired_workers;
         s_jobs = t.jobs_done;
         s_rejected = t.rejected;
         s_cache_hits = Plan_cache.hits t.cache;
         s_cache_misses = Plan_cache.misses t.cache;
+        s_coalesced = Plan_cache.coalesced t.cache;
+        s_queue_depth = qc.Jobqueue.c_depth;
+        s_in_flight = qc.Jobqueue.c_depth + qc.Jobqueue.c_running;
+        s_wait_p50_ms = w50 *. 1e3;
+        s_wait_p95_ms = w95 *. 1e3;
+        s_exec_p50_ms = e50 *. 1e3;
+        s_exec_p95_ms = e95 *. 1e3;
       })
 
-let submit t proto sql : Wire.response =
-  let j =
+let busy_frame t =
+  let qc = Jobqueue.counts t.jobs in
+  Wire.Error_r
     {
-      j_sql = sql;
-      j_proto = proto;
-      j_reply = None;
-      j_m = Mutex.create ();
-      j_c = Condition.create ();
+      code = Wire.Busy;
+      msg =
+        Printf.sprintf
+          "server busy: %d queued + %d executing (capacity %d, waited %.0f \
+           ms; by class h/n/l = %d/%d/%d)"
+          qc.Jobqueue.c_depth qc.Jobqueue.c_running (Jobqueue.capacity t.jobs)
+          (t.cfg.admit_timeout_s *. 1e3)
+          qc.Jobqueue.c_by_class.(0) qc.Jobqueue.c_by_class.(1)
+          qc.Jobqueue.c_by_class.(2);
     }
-  in
-  if not (Jobqueue.try_push t.jobs j) then begin
-    with_lock t (fun () -> t.rejected <- t.rejected + 1);
-    Wire.Error_r
-      {
-        code = Wire.Busy;
-        msg =
-          Printf.sprintf "server busy: %d jobs in flight (max %d)"
-            (Jobqueue.in_flight t.jobs) t.cfg.max_jobs;
-      }
-  end
-  else begin
-    Mutex.lock j.j_m;
-    while j.j_reply = None do
-      Condition.wait j.j_c j.j_m
-    done;
-    let r = Option.get j.j_reply in
-    Mutex.unlock j.j_m;
-    r
-  end
+
+(* Submit one query from a session thread. Cache hits and coalesced
+   replays are answered here without touching the job queue; only genuine
+   cold executions occupy a worker. *)
+let rec submit t (s : session) ~prio proto sql : Wire.response =
+  if not (with_lock t (fun () -> t.running)) then
+    Wire.Error_r { code = Wire.Busy; msg = "server shutting down" }
+  else
+    let proto_label = Ctx.kind_label proto in
+    let version = t.catalog_version in
+    match Plan_cache.acquire t.cache ~proto:proto_label ~version ~sql with
+    | Plan_cache.Cached r -> Wire.Result { r with Wire.r_cache_hit = true }
+    | Plan_cache.Coalesced (Some r) ->
+        Wire.Result { r with Wire.r_cache_hit = true }
+    | Plan_cache.Coalesced None ->
+        (* the flight we joined aborted; take our own turn *)
+        submit t s ~prio proto sql
+    | Plan_cache.Execute flight ->
+        let j =
+          {
+            j_sql = sql;
+            j_proto = proto;
+            j_qseed = query_seed t ~proto_label ~sql;
+            j_reply = None;
+            j_m = Mutex.create ();
+            j_c = Condition.create ();
+          }
+        in
+        let resolve v =
+          Plan_cache.resolve t.cache ~proto:proto_label ~version ~sql flight v
+        in
+        if
+          not
+            (Jobqueue.push t.jobs ~group:s.s_group ~prio
+               ~timeout_s:t.cfg.admit_timeout_s j)
+        then begin
+          resolve None;
+          with_lock t (fun () -> t.rejected <- t.rejected + 1);
+          busy_frame t
+        end
+        else begin
+          Mutex.lock j.j_m;
+          while j.j_reply = None do
+            Condition.wait j.j_c j.j_m
+          done;
+          let r = Option.get j.j_reply in
+          Mutex.unlock j.j_m;
+          (match r with
+          | Wire.Result res -> resolve (Some res)
+          | _ -> resolve None);
+          r
+        end
 
 let handle_session t (s : session) =
   let proto = ref Ctx.Sh_hm in
+  let run_query sql prio =
+    logf t "session %d: query under %s (%s): %s" s.s_id
+      (Ctx.kind_label !proto)
+      (Jobqueue.prio_label prio)
+      sql;
+    Wire.send_response s.s_fd (submit t s ~prio !proto sql)
+  in
   (try
      let rec loop () =
        match Wire.recv_request s.s_fd with
        | None -> logf t "session %d: closed" s.s_id
        | Some req ->
            (match req with
-           | Wire.Hello label -> (
-               match proto_of_label label with
+           | Wire.Hello { h_proto; h_client } -> (
+               match proto_of_label h_proto with
                | Ok k ->
                    proto := k;
+                   (* connections sharing a client name share a fairness
+                      lane; anonymous connections are their own group *)
+                   if h_client <> "" then
+                     s.s_group <- Hashtbl.hash ("client:" ^ h_client);
                    Wire.send_response s.s_fd
                      (Wire.Hello_ok
                         { session = s.s_id; proto = Ctx.kind_label k })
@@ -241,10 +423,21 @@ let handle_session t (s : session) =
            | Wire.Ping -> Wire.send_response s.s_fd Wire.Pong
            | Wire.Stats_req ->
                Wire.send_response s.s_fd (Wire.Stats_r (stats t))
-           | Wire.Query sql ->
-               logf t "session %d: query under %s: %s" s.s_id
-                 (Ctx.kind_label !proto) sql;
-               Wire.send_response s.s_fd (submit t !proto sql));
+           | Wire.Set_workers n ->
+               set_workers t n;
+               Wire.send_response s.s_fd (Wire.Stats_r (stats t))
+           | Wire.Query sql -> run_query sql Jobqueue.Normal
+           | Wire.Query_p { q_sql; q_prio } -> (
+               match Jobqueue.prio_of_int q_prio with
+               | Some prio -> run_query q_sql prio
+               | None ->
+                   Wire.send_response s.s_fd
+                     (Wire.Error_r
+                        {
+                          code = Wire.Bad_request;
+                          msg =
+                            Printf.sprintf "bad priority %d (0|1|2)" q_prio;
+                        })));
            loop ()
      in
      loop ()
@@ -275,13 +468,13 @@ let accept_loop t () =
           with_lock t (fun () ->
               let id = t.next_session in
               t.next_session <- id + 1;
-              let s = { s_id = id; s_fd = fd } in
+              let s = { s_id = id; s_fd = fd; s_group = id } in
               t.sessions <- s :: t.sessions;
               s)
         in
         logf t "session %d: accepted" s.s_id;
         let th = Thread.create (fun () -> handle_session t s) () in
-        with_lock t (fun () -> t.threads <- th :: t.threads);
+        with_lock t (fun () -> t.session_threads <- th :: t.session_threads);
         loop ()
   in
   loop ()
@@ -302,7 +495,6 @@ let start (cfg : config) : t =
       cfg;
       listen_fd;
       plain = Tpch_gen.generate ~seed:cfg.seed cfg.sf;
-      backends = Hashtbl.create 4;
       cache = Plan_cache.create ~capacity:cfg.cache_capacity;
       jobs = Jobqueue.create ~capacity:cfg.max_jobs;
       catalog_version = 1;
@@ -311,41 +503,80 @@ let start (cfg : config) : t =
       next_session = 1;
       jobs_done = 0;
       rejected = 0;
+      desired_workers = max 1 cfg.workers;
+      workers = [];
+      next_worker = 0;
+      domains = [];
+      execs = Array.make exec_ring_size 0.;
+      nexecs = 0;
       m = Mutex.create ();
-      threads = [];
+      session_threads = [];
+      accept_thread = None;
     }
   in
-  let worker_th = Thread.create (worker t) () in
-  with_lock t (fun () -> t.threads <- worker_th :: t.threads);
-  let accept_th = Thread.create (accept_loop t) () in
-  with_lock t (fun () -> t.threads <- accept_th :: t.threads);
-  logf t "listening on %s (sf=%g, max-jobs=%d, max-rows=%d, cache=%d)"
-    cfg.socket_path cfg.sf cfg.max_jobs cfg.max_rows cfg.cache_capacity;
+  spawn_workers t t.desired_workers;
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  logf t
+    "listening on %s (sf=%g, workers=%d, max-jobs=%d, max-rows=%d, cache=%d%s)"
+    cfg.socket_path cfg.sf t.desired_workers cfg.max_jobs cfg.max_rows
+    cfg.cache_capacity
+    (match cfg.pace with
+    | Some p -> ", pace=" ^ p.Netsim.label
+    | None -> "");
   t
 
+(* Shutdown ordering: stop accepting, give in-flight jobs a drain
+   deadline, fail whatever never started with a proper error frame, join
+   the workers, and only then wind down the sessions — so a client
+   mid-query gets its result (or an explicit shutdown error), never a
+   silently dropped connection. *)
 let stop t =
-  let was_running = with_lock t (fun () ->
-      let r = t.running in
-      t.running <- false;
-      r)
+  let was_running =
+    with_lock t (fun () ->
+        let r = t.running in
+        t.running <- false;
+        r)
   in
   if was_running then begin
-    Jobqueue.close t.jobs;
-    (* shutdown before close: close alone does not wake a thread blocked
-       in accept on Linux *)
+    (* 1. stop accepting new connections; shutdown before close: close
+       alone does not wake a thread blocked in accept on Linux *)
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
     (try Unix.close t.listen_fd with _ -> ());
-    (* wake handler threads blocked in read *)
+    (match t.accept_thread with
+    | Some th -> ( try Thread.join th with _ -> ())
+    | None -> ());
+    (* 2. drain in-flight jobs up to the deadline (new submissions are
+       already refused by the [running] check in [submit]) *)
+    let deadline = Unix.gettimeofday () +. t.cfg.drain_timeout_s in
+    while Jobqueue.in_flight t.jobs > 0 && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    (* 3. close the queue; answer whatever never started with an error
+       frame (their session threads wake, reply, and return to recv) *)
+    Jobqueue.close t.jobs;
+    List.iter
+      (fun j ->
+        deliver j
+          (Wire.Error_r { code = Wire.Busy; msg = "server shutting down" }))
+      (Jobqueue.drain_remaining t.jobs);
+    (* 4. workers exit on the closed queue once their current job is done *)
+    List.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
+    (* 5. sessions: end the read side only — in-flight replies and error
+       frames still go out on the write side — then join the handlers *)
     with_lock t (fun () ->
         List.iter
           (fun s ->
-            try Unix.shutdown s.s_fd Unix.SHUTDOWN_ALL with _ -> ())
+            try Unix.shutdown s.s_fd Unix.SHUTDOWN_RECEIVE with _ -> ())
           t.sessions);
-    let ths = with_lock t (fun () -> t.threads) in
+    let ths = with_lock t (fun () -> t.session_threads) in
     List.iter (fun th -> try Thread.join th with _ -> ()) ths;
     try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()
   end
 
 let wait t =
-  let ths = with_lock t (fun () -> t.threads) in
-  List.iter (fun th -> try Thread.join th with _ -> ()) ths
+  (match t.accept_thread with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ());
+  let ths = with_lock t (fun () -> t.session_threads) in
+  List.iter (fun th -> try Thread.join th with _ -> ())
+    ths

@@ -4,13 +4,28 @@
     automatic planner, on a Unix-domain socket speaking the {!Orq_net.Wire}
     framed protocol. Each connection is a session with its own protocol
     kind (sh-dm / sh-hm / mal-hm, selected by [Hello]); queries from all
-    sessions funnel through a bounded job queue (admission control: a full
-    queue refuses with a [Busy] error frame rather than stalling) into a
-    single execution worker, whose per-query scoped {!Orq_net.Comm}
-    tallies and {!Orq_net.Netsim} LAN/WAN estimates travel back in the
-    response — every reply is a mini §5 report. A plan cache keyed by
-    normalized SQL + protocol + catalog version replays the exact cold
-    response (rows and tallies byte-identical).
+    sessions funnel through a fair, prioritized, bounded {!Jobqueue} into
+    a pool of execution {b worker domains} (default size
+    [ORQ_SERVICE_WORKERS], live-resizable with [Set_workers]). Each worker
+    lazily builds its own per-protocol backend (context + shared catalog),
+    so workers never contend on protocol state and cold queries on
+    distinct workers run concurrently.
+
+    {b Determinism.} Every query executes under a session seed derived
+    only from (service seed, protocol, normalized SQL) via
+    {!Orq_proto.Ctx.reseed}, so its scoped {!Orq_net.Comm} tallies and
+    certified transcript are byte-identical whichever worker runs it, at
+    every worker count, whatever ran before — exactly those of a serial
+    run. The plan cache replays the exact cold response; concurrent
+    identical cold queries are coalesced single-flight (one execution,
+    everyone replays its bytes).
+
+    {b Pacing.} With [ORQ_SERVICE_PACE] (or [config.pace]) set to a
+    {!Orq_net.Netsim} profile, each worker holds its slot for the query's
+    modeled network time after computing — reproducing the paper's
+    network-bound deployment where per-query latency is dominated by
+    round trips, and a pool of workers overlaps queries for near-linear
+    throughput scaling on any core count.
 
     The server process ignores SIGPIPE and treats per-session failures
     (client disconnect mid-query, malformed frames) as session-local:
@@ -20,32 +35,64 @@ type config = {
   socket_path : string;
   sf : float;  (** TPC-H scale factor of the served catalog *)
   seed : int;  (** data-generation and protocol randomness seed *)
+  workers : int;  (** execution worker domains (>= 1) *)
   max_jobs : int;  (** in-flight query bound (admission control) *)
   max_rows : int;  (** response row cap; larger results are truncated *)
   cache_capacity : int;  (** plan-cache entries; 0 disables caching *)
+  admit_timeout_s : float;
+      (** how long a full queue blocks an admission before refusing *)
+  drain_timeout_s : float;
+      (** how long {!stop} waits for in-flight queries to finish *)
+  pace : Orq_net.Netsim.profile option;
+      (** paced execution: workers hold their slot for the query's
+          modeled network time ([None] = compute-bound, no pacing) *)
+  prewarm : Orq_proto.Ctx.kind list;
+      (** protocol backends each worker builds at spawn (catalog sharing
+          off the query path; default none — backends build lazily) *)
   verbose : bool;  (** log sessions/queries to stderr *)
   job_hook : (unit -> unit) option;
-      (** test instrumentation: runs in the worker before each query *)
+      (** test instrumentation: runs in the worker before each execution
+          (cache hits and coalesced replays do not trigger it) *)
 }
 
 val default_config : ?socket_path:string -> unit -> config
-(** Defaults: sf 0.001, seed 42, [ORQ_SERVICE_MAX_JOBS] (else 4),
-    [ORQ_SERVICE_MAX_ROWS] (else 10000), cache 64, quiet. *)
+(** Defaults: sf 0.001, seed 42, [ORQ_SERVICE_WORKERS] (else 1),
+    [ORQ_SERVICE_MAX_JOBS] (else [2 x workers], min 4),
+    [ORQ_SERVICE_MAX_ROWS] (else 10000), cache 64,
+    [ORQ_SERVICE_ADMIT_MS] (else 2000), [ORQ_SERVICE_DRAIN_MS] (else
+    5000), [ORQ_SERVICE_PACE] (off | lan | wan | geo, else off), quiet. *)
 
 type t
 
 val start : config -> t
 (** Bind the socket (replacing any stale file), spawn the accept loop and
-    the execution worker, and return immediately. *)
+    the worker pool, and return immediately. *)
 
 val stop : t -> unit
-(** Close the listener and all sessions, drain the worker, remove the
-    socket file. Idempotent. *)
+(** Graceful shutdown: stop accepting, let in-flight queries finish (up
+    to [drain_timeout_s]), answer never-started jobs with an explicit
+    shutdown error frame, join every worker domain and session thread,
+    remove the socket file. A client mid-query gets its result or a
+    proper error — never a silently dropped connection. Idempotent. *)
 
 val wait : t -> unit
 (** Block until the server is stopped (for a foreground [serve]). *)
+
+val set_workers : t -> int -> unit
+(** Live-resize the execution pool (clamped to 1..64). Growing spawns
+    fresh domains; shrinking retires the newest workers after their
+    current job. *)
+
+val workers : t -> int
+(** Currently configured worker count. *)
+
+val stats : t -> Orq_net.Wire.stats
+(** The same snapshot a [Stats_req] frame returns. *)
 
 val socket_path : t -> string
 
 val proto_of_label : string -> (Orq_proto.Ctx.kind, string) result
 (** "sh-dm" | "2pc" | "sh-hm" | "3pc" | "mal-hm" | "4pc". *)
+
+val pace_of_label : string -> (Orq_net.Netsim.profile option, string) result
+(** "off" | "none" | "" | "lan" | "wan" | "geo". *)

@@ -1,26 +1,35 @@
-(** Data-parallel execution of local vector work over a persistent pool of
+(** Data-parallel execution of local vector work over persistent pools of
     OCaml 5 domains.
 
     ORQ's engine is data-parallel within each computing party (§4): workers
     operate on disjoint partitions of a vector. We mirror that with a
-    chunked-parallel layer backed by a *persistent* domain pool — workers
+    chunked-parallel layer backed by *persistent* domain pools — workers
     are spawned once and parked on a condition variable between dispatches,
     so the per-call overhead is a lock/signal pair rather than a
     [Domain.spawn]/[join] (hundreds of µs) per operation. The calling
     domain participates in draining the span queue, so [k] configured
-    domains means [k] lanes of work, not [k + 1].
+    lanes means [k] lanes of work, not [k + 1].
 
-    The number of domains defaults to 1 so unit tests are deterministic and
+    Pools are {e per calling domain} (domain-local storage): the query
+    service runs several execution workers, each in its own domain, and
+    each gets its own private pool sized by {!set_lanes}. That is how
+    intra-query data parallelism and inter-query concurrency compose
+    without oversubscription — the service partitions the global
+    [ORQ_DOMAINS] budget across its execution workers, and no two workers
+    ever contend on pool state. Pool worker domains are permanently marked
+    busy, so nested dispatch from inside a span runs sequentially instead
+    of spawning pools-of-pools.
+
+    The number of lanes defaults to 1 so unit tests are deterministic and
     cheap; benchmarks and the CLI enable more via {!set_num_domains} (or
     the [ORQ_DOMAINS] environment variable through {!init_from_env}). The
     minimum per-span element count that justifies a dispatch is
-    configurable with {!set_min_chunk} — the old hardcoded 65536-element
-    cutoff kept every shipped bench size on the sequential path.
+    configurable with {!set_min_chunk}.
 
     Only *local* (communication-free) loops go through this module: all
     {!Orq_net.Comm} metering and PRG consumption stays on the calling
     domain, which is what keeps traffic tallies and protocol randomness
-    byte-identical whatever the domain count (asserted by the
+    byte-identical whatever the lane count (asserted by the
     metering-invariance tests). *)
 
 let num_domains = ref 1
@@ -46,7 +55,25 @@ let chunks n k =
       (pos, len))
 
 (* ------------------------------------------------------------------ *)
-(* Persistent worker pool                                              *)
+(* Per-domain lane budgets                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A domain-local lane override: service execution workers partition the
+   global [num_domains] budget among themselves with [set_lanes]; domains
+   with no override (the main domain, tests, the CLI) use the global
+   setting. *)
+let lanes_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_lanes n =
+  let r = Domain.DLS.get lanes_key in
+  r := if n <= 0 then None else Some (max 1 n)
+
+let effective_lanes () =
+  match !(Domain.DLS.get lanes_key) with Some n -> n | None -> !num_domains
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool (one per dispatching domain)                 *)
 (* ------------------------------------------------------------------ *)
 
 type pool = {
@@ -61,12 +88,14 @@ type pool = {
   mutable workers : unit Domain.t list;
 }
 
-let pool : pool option ref = ref None
+let pool_key : pool option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-(* True while a dispatch is in flight. A span function that itself calls
-   back into this module (nested data parallelism) must run sequentially:
-   re-dispatching would clobber the active job. *)
-let busy = Atomic.make false
+(* True while this domain has a dispatch in flight. A span function that
+   itself calls back into this module (nested data parallelism) must run
+   sequentially: re-dispatching would clobber the active job. Pool worker
+   domains are marked permanently busy for the same reason. *)
+let busy_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 let record_failure p e =
   Mutex.lock p.m;
@@ -94,7 +123,8 @@ let rec worker p =
       Mutex.unlock p.m
 
 let shutdown_pool () =
-  match !pool with
+  let slot = Domain.DLS.get pool_key in
+  match !slot with
   | None -> ()
   | Some p ->
       Mutex.lock p.m;
@@ -102,16 +132,21 @@ let shutdown_pool () =
       Condition.broadcast p.ready;
       Mutex.unlock p.m;
       List.iter Domain.join p.workers;
-      pool := None
+      slot := None
 
-let exit_hook_registered = ref false
+let exit_hook_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
 
-(* The pool holds [num_domains - 1] parked workers; the calling domain is
-   the remaining lane. Created lazily on first parallel dispatch, torn down
-   and respawned when the configured size changes. *)
+(* The pool holds [lanes - 1] parked workers; the calling domain is the
+   remaining lane. Created lazily on first parallel dispatch in each
+   domain, torn down and respawned when the configured size changes. Each
+   pool worker marks itself permanently busy so spans that re-enter this
+   module run their nested loops sequentially. *)
 let ensure_pool () =
-  match !pool with
-  | Some p when List.length p.workers = !num_domains - 1 -> p
+  let lanes = effective_lanes () in
+  let slot = Domain.DLS.get pool_key in
+  match !slot with
+  | Some p when List.length p.workers = lanes - 1 -> p
   | _ ->
       shutdown_pool ();
       let p =
@@ -128,11 +163,17 @@ let ensure_pool () =
         }
       in
       p.workers <-
-        List.init (!num_domains - 1) (fun _ -> Domain.spawn (fun () -> worker p));
-      pool := Some p;
-      if not !exit_hook_registered then begin
-        exit_hook_registered := true;
-        at_exit shutdown_pool
+        List.init (lanes - 1) (fun _ ->
+            Domain.spawn (fun () ->
+                Domain.DLS.get busy_key := true;
+                worker p));
+      slot := Some p;
+      let hooked = Domain.DLS.get exit_hook_key in
+      if not !hooked then begin
+        hooked := true;
+        (* per-domain: tears the pool down when this domain terminates
+           (at program exit for the main domain) *)
+        Domain.at_exit shutdown_pool
       end;
       p
 
@@ -165,7 +206,8 @@ let init_from_env () =
    for stragglers. The first exception raised by any span is re-raised
    here once every span has completed. *)
 let dispatch p spans f =
-  Atomic.set busy true;
+  let busy = Domain.DLS.get busy_key in
+  busy := true;
   Mutex.lock p.m;
   p.job <- f;
   p.queue <- spans;
@@ -190,28 +232,28 @@ let dispatch p spans f =
   let fail = p.failed in
   p.failed <- None;
   Mutex.unlock p.m;
-  Atomic.set busy false;
+  busy := false;
   match fail with Some e -> raise e | None -> ()
 
-(** [run_spans n f] calls [f pos len] for each chunk of [0, n), on the pool
-    when more than one domain is configured and every lane gets at least
-    {!set_min_chunk} elements; below that the dispatch overhead exceeds the
-    parallel win (the BENCH_kernels small-input regression), so the call
-    runs sequentially on the calling domain instead of shrinking the lane
-    count. [f] must only write to disjoint output ranges determined by its
-    span. *)
+(** [run_spans n f] calls [f pos len] for each chunk of [0, n), on this
+    domain's pool when more than one lane is configured and every lane
+    gets at least {!set_min_chunk} elements; below that the dispatch
+    overhead exceeds the parallel win (the BENCH_kernels small-input
+    regression), so the call runs sequentially on the calling domain
+    instead of shrinking the lane count. [f] must only write to disjoint
+    output ranges determined by its span. *)
 let run_spans n f =
-  let d = !num_domains in
-  if d <= 1 || n < d * !min_chunk || Atomic.get busy then f 0 n
+  let d = effective_lanes () in
+  if d <= 1 || n < d * !min_chunk || !(Domain.DLS.get busy_key) then f 0 n
   else dispatch (ensure_pool ()) (chunks n d) f
 
 (** [run_tasks k f] runs the indexed tasks [f 0 .. f (k-1)] on the pool
-    (sequentially when only one domain is configured). Used for blocked
+    (sequentially when only one lane is configured). Used for blocked
     algorithms — e.g. the two-pass parallel prefix sum — that need an
     explicit chunk decomposition shared across phases. *)
 let run_tasks k f =
-  let d = !num_domains in
-  if d <= 1 || k <= 1 || Atomic.get busy then
+  let d = effective_lanes () in
+  if d <= 1 || k <= 1 || !(Domain.DLS.get busy_key) then
     for i = 0 to k - 1 do
       f i
     done

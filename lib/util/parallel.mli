@@ -11,10 +11,21 @@
     the calling domain. *)
 
 val set_num_domains : int -> unit
-(** Configure the number of parallel lanes (calling domain included). The
-    pool is resized lazily at the next dispatch. *)
+(** Configure the global default number of parallel lanes (calling domain
+    included). Pools are resized lazily at the next dispatch. *)
 
 val get_num_domains : unit -> int
+
+val set_lanes : int -> unit
+(** Override the lane budget for the *calling domain only* ([n <= 0]
+    restores the global default). Pools are per dispatching domain, so
+    concurrent execution workers partition the global [ORQ_DOMAINS]
+    budget among themselves with this — intra-query data parallelism and
+    inter-query concurrency then compose without oversubscription. *)
+
+val effective_lanes : unit -> int
+(** The lane budget in force on the calling domain: its {!set_lanes}
+    override if any, else the global default. *)
 
 val set_min_chunk : int -> unit
 (** Minimum elements per span for a parallel dispatch to be worthwhile;
@@ -43,8 +54,9 @@ val run_tasks : int -> (int -> unit) -> unit
     phases (e.g. the two-pass prefix sum). *)
 
 val shutdown_pool : unit -> unit
-(** Join and discard the worker domains (also registered via [at_exit]).
-    The pool respawns automatically on the next parallel dispatch. *)
+(** Join and discard the calling domain's worker domains (also registered
+    via [Domain.at_exit]). The pool respawns automatically on the next
+    parallel dispatch in that domain. *)
 
 val map : (int -> int) -> int array -> int array
 val map2 : (int -> int -> int) -> int array -> int array -> int array

@@ -14,6 +14,15 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(** Restart the stream from [seed], discarding any state. Used to give
+    each service query its own derived session seed so executions are
+    history-independent (identical transcripts whatever ran before). *)
+let reseed t seed = t.state <- Int64.of_int seed
+
+(** Overwrite [dst]'s state with [src]'s, making [dst] continue [src]'s
+    stream in place (for generators embedded in immutable record fields). *)
+let sync ~dst ~src = dst.state <- src.state
+
 (** Derive an independent child generator; used to give each (pair of)
     parties its own stream from a session seed. *)
 let split t i =

@@ -14,6 +14,14 @@ val create : int -> t
 val copy : t -> t
 (** An independent handle continuing the same stream. *)
 
+val reseed : t -> int -> unit
+(** [reseed t seed] restarts the stream from [seed] in place, exactly as
+    if [t] had just been built by [create seed]. *)
+
+val sync : dst:t -> src:t -> unit
+(** [sync ~dst ~src] overwrites [dst]'s state with [src]'s so [dst]
+    continues [src]'s stream in place. *)
+
 val split : t -> int -> t
 (** [split t i] derives the [i]-th child generator (independent stream),
     without advancing [t]. *)

@@ -1,8 +1,10 @@
 (* Tests for the query service subsystem: wire-protocol round-trips, the
-   bounded job queue, SQL normalization, and the live server over
+   fair prioritized job queue, SQL normalization, and the live server over
    Unix-domain sockets — concurrent clients with independent results,
-   admission-control rejection, plan-cache hit ≡ cold execution, and
-   survival of mid-query client disconnects and malformed frames. *)
+   admission-control rejection, plan-cache hit ≡ cold execution,
+   single-flight coalescing, worker-count-independent tallies, per-group
+   fairness, graceful shutdown, client receive timeouts, and survival of
+   mid-query client disconnects and malformed frames. *)
 
 open Orq_proto
 open Orq_core
@@ -40,8 +42,16 @@ let roundtrip_request (r : Wire.request) : Wire.request =
 let test_wire_requests () =
   List.iter
     (fun r -> assert (roundtrip_request r = r))
-    [ Wire.Hello "sh-dm"; Wire.Query "SELECT x FROM t"; Wire.Ping;
-      Wire.Stats_req ]
+    [
+      Wire.Hello { h_proto = "sh-dm"; h_client = "" };
+      Wire.Hello { h_proto = "mal-hm"; h_client = "analytics-team" };
+      Wire.Query "SELECT x FROM t";
+      Wire.Query_p { q_sql = "SELECT y FROM u"; q_prio = 0 };
+      Wire.Query_p { q_sql = "SELECT z FROM v"; q_prio = 2 };
+      Wire.Ping;
+      Wire.Stats_req;
+      Wire.Set_workers 8;
+    ]
 
 let test_wire_responses () =
   let result =
@@ -69,10 +79,18 @@ let test_wire_responses () =
       Wire.Stats_r
         {
           s_sessions = 1;
+          s_workers = 8;
           s_jobs = 2;
           s_rejected = 3;
           s_cache_hits = 4;
           s_cache_misses = 5;
+          s_coalesced = 6;
+          s_queue_depth = 7;
+          s_in_flight = 9;
+          s_wait_p50_ms = 0.5;
+          s_wait_p95_ms = 12.25;
+          s_exec_p50_ms = 3.875;
+          s_exec_p95_ms = 100.0625;
         };
     ]
 
@@ -98,20 +116,54 @@ let test_wire_rejects_oversized () =
 
 let test_jobqueue_admission () =
   let q = Jobqueue.create ~capacity:2 in
-  assert (Jobqueue.try_push q 1);
-  assert (Jobqueue.try_push q 2);
-  Alcotest.(check bool) "full" false (Jobqueue.try_push q 3);
+  assert (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal 1);
+  assert (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal 2);
+  Alcotest.(check bool)
+    "full" false
+    (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal 3);
+  (* blocking admission times out while the queue stays full *)
+  Alcotest.(check bool)
+    "push times out" false
+    (Jobqueue.push q ~group:1 ~prio:Jobqueue.Normal ~timeout_s:0.05 3);
   (* popping moves a job to 'running': still counted in-flight *)
   assert (Jobqueue.pop q = Some 1);
-  Alcotest.(check bool) "still full" false (Jobqueue.try_push q 3);
+  Alcotest.(check bool)
+    "still full" false
+    (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal 3);
   Jobqueue.finish q;
-  Alcotest.(check bool) "slot freed" true (Jobqueue.try_push q 3);
+  Alcotest.(check bool)
+    "slot freed" true
+    (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal 3);
   Jobqueue.close q;
-  Alcotest.(check bool) "closed" false (Jobqueue.try_push q 4);
+  Alcotest.(check bool)
+    "closed" false
+    (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal 4);
   (* close drains the queue before returning None *)
   assert (Jobqueue.pop q = Some 2);
   assert (Jobqueue.pop q = Some 3);
   assert (Jobqueue.pop q = None)
+
+let test_jobqueue_priorities () =
+  let q = Jobqueue.create ~capacity:10 in
+  assert (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Low "low");
+  assert (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal "normal");
+  assert (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.High "high");
+  Alcotest.(check (option string)) "high first" (Some "high") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "then normal" (Some "normal") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "then low" (Some "low") (Jobqueue.pop q)
+
+let test_jobqueue_group_fairness () =
+  let q = Jobqueue.create ~capacity:10 in
+  (* group 1 floods three jobs before group 2's single job arrives *)
+  List.iter
+    (fun x -> assert (Jobqueue.try_push q ~group:1 ~prio:Jobqueue.Normal x))
+    [ "a1"; "a2"; "a3" ];
+  assert (Jobqueue.try_push q ~group:2 ~prio:Jobqueue.Normal "b1");
+  Alcotest.(check (option string)) "g1 head" (Some "a1") (Jobqueue.pop q);
+  (* round-robin: the other group is served before the flood's backlog *)
+  Alcotest.(check (option string)) "g2 next" (Some "b1") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "back to g1" (Some "a2") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "g1 tail" (Some "a3") (Jobqueue.pop q)
 
 let test_normalize () =
   let n = Plan_cache.normalize in
@@ -129,8 +181,8 @@ let test_normalize () =
 
 let counter = ref 0
 
-let with_server ?(max_jobs = 4) ?(max_rows = 10_000) ?(cache = 64) ?job_hook f
-    =
+let with_server ?(workers = 1) ?(max_jobs = 4) ?(max_rows = 10_000)
+    ?(cache = 64) ?(admit_s = 2.0) ?(drain_s = 5.0) ?job_hook f =
   incr counter;
   let socket_path =
     Filename.concat
@@ -142,15 +194,20 @@ let with_server ?(max_jobs = 4) ?(max_rows = 10_000) ?(cache = 64) ?job_hook f
       Service.socket_path;
       sf = 0.001;
       seed = 42;
+      workers;
       max_jobs;
       max_rows;
       cache_capacity = cache;
+      admit_timeout_s = admit_s;
+      drain_timeout_s = drain_s;
+      pace = None;
+      prewarm = [];
       verbose = false;
       job_hook;
     }
   in
   let t = Service.start cfg in
-  Fun.protect ~finally:(fun () -> Service.stop t) (fun () -> f socket_path)
+  Fun.protect ~finally:(fun () -> Service.stop t) (fun () -> f t socket_path)
 
 (* Reference results straight through the planner on the same catalog
    (same seed and scale factor as the server). *)
@@ -177,7 +234,7 @@ let test_concurrent_clients () =
     ]
   in
   let expected = List.map expected_rows cases in
-  with_server @@ fun socket ->
+  with_server ~workers:2 @@ fun _ socket ->
   let results = Array.make (List.length cases) [] in
   let threads =
     List.mapi
@@ -202,7 +259,7 @@ let test_concurrent_clients () =
     expected
 
 let test_per_session_protocol () =
-  with_server @@ fun socket ->
+  with_server @@ fun _ socket ->
   let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
   let run proto =
     let c = Client.connect socket in
@@ -221,9 +278,9 @@ let test_per_session_protocol () =
     (r2.Wire.r_tally = r4.Wire.r_tally)
 
 let test_admission_control () =
-  with_server ~max_jobs:1 ~cache:0
+  with_server ~max_jobs:1 ~cache:0 ~admit_s:0.05
     ~job_hook:(fun () -> Thread.delay 0.4)
-  @@ fun socket ->
+  @@ fun _ socket ->
   let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
   let slow_result = ref None in
   let slow =
@@ -235,10 +292,16 @@ let test_admission_control () =
       ()
   in
   Thread.delay 0.15;
-  (* the single job slot is taken: admission control must refuse *)
+  (* the single in-flight slot is taken: admission control must refuse
+     once the (shortened) admit timeout expires *)
   let c = Client.connect socket in
   (match Client.query c sql with
-  | Error (Wire.Busy, _) -> ()
+  | Error (Wire.Busy, msg) ->
+      (* graceful backpressure: the refusal reports queue numbers *)
+      Alcotest.(check bool)
+        "busy message carries depth info" true
+        (String.length msg > 0
+        && String.index_opt msg ':' <> None)
   | Ok _ -> Alcotest.fail "expected busy rejection, got a result"
   | Error (code, msg) ->
       Alcotest.failf "expected busy, got %s: %s" (Wire.err_label code) msg);
@@ -253,7 +316,7 @@ let test_admission_control () =
   ignore (query_ok c sql)
 
 let test_plan_cache_hit_equals_cold () =
-  with_server @@ fun socket ->
+  with_server @@ fun _ socket ->
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let cold =
@@ -283,17 +346,221 @@ let test_plan_cache_hit_equals_cold () =
     && cold.Wire.r_wan_s = hit.Wire.r_wan_s)
 
 let test_cache_disabled () =
-  with_server ~cache:0 @@ fun socket ->
+  with_server ~cache:0 @@ fun _ socket ->
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
   let a = query_ok c sql in
   let b = query_ok c sql in
   Alcotest.(check bool) "no hit" false (a.Wire.r_cache_hit || b.Wire.r_cache_hit);
-  Alcotest.(check rows_t) "still deterministic" a.Wire.r_rows b.Wire.r_rows
+  Alcotest.(check rows_t) "still deterministic" a.Wire.r_rows b.Wire.r_rows;
+  (* per-query reseeding: re-executions are byte-identical, tallies too *)
+  Alcotest.(check bool)
+    "identical tallies on re-execution" true
+    (a.Wire.r_tally = b.Wire.r_tally && a.Wire.r_pre = b.Wire.r_pre)
+
+(* Satellite 3a: per-query tallies are a pure function of (seed, protocol,
+   query) — a server with 8 workers under heavy concurrency produces
+   byte-identical responses to a serial 1-worker server. *)
+let test_tallies_workers_1_vs_8 () =
+  let cases =
+    [
+      ("sh-dm",
+       "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey");
+      ("sh-hm",
+       "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+        o_orderpriority");
+      ("mal-hm",
+       "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY \
+        c_mktsegment");
+      ("sh-hm",
+       "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey");
+    ]
+  in
+  let run_all ~workers =
+    with_server ~workers ~max_jobs:16 ~cache:0 @@ fun _ socket ->
+    let out = Array.make (List.length cases) None in
+    let threads =
+      List.mapi
+        (fun i (proto, sql) ->
+          Thread.create
+            (fun () ->
+              let c = Client.connect socket in
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              (match Client.set_protocol c proto with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "hello: %s" m);
+              out.(i) <- Some (query_ok c sql))
+            ())
+        cases
+    in
+    List.iter Thread.join threads;
+    Array.to_list out |> List.map Option.get
+  in
+  let serial = run_all ~workers:1 in
+  let pooled = run_all ~workers:8 in
+  List.iteri
+    (fun i ((proto, _), (a, b)) ->
+      Alcotest.(check rows_t)
+        (Printf.sprintf "case %d (%s) rows" i proto)
+        a.Wire.r_rows b.Wire.r_rows;
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d (%s) full response byte-identical" i proto)
+        true (a = b))
+    (List.combine cases (List.combine serial pooled))
+
+(* Satellite 3b: M concurrent identical cold queries fire exactly one
+   execution; the rest replay the leader's byte-identical response. *)
+let test_single_flight () =
+  let executions = Atomic.make 0 in
+  with_server ~workers:4 ~max_jobs:16
+    ~job_hook:(fun () ->
+      Atomic.incr executions;
+      (* hold the flight open long enough for every follower to join *)
+      Thread.delay 0.25)
+  @@ fun _ socket ->
+  let sql =
+    "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+     o_orderpriority"
+  in
+  let m = 6 in
+  let out = Array.make m None in
+  let threads =
+    List.init m (fun i ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect socket in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            out.(i) <- Some (query_ok c sql))
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "exactly one execution" 1 (Atomic.get executions);
+  let first = Option.get out.(0) in
+  Array.iteri
+    (fun i r ->
+      let r = Option.get r in
+      Alcotest.(check rows_t)
+        (Printf.sprintf "client %d rows" i)
+        first.Wire.r_rows r.Wire.r_rows;
+      Alcotest.(check bool)
+        (Printf.sprintf "client %d tally identical" i)
+        true
+        (r.Wire.r_tally = first.Wire.r_tally))
+    out
+
+(* Satellite 3c: one session's flood cannot starve another session beyond
+   a bounded delay — the solo client finishes while the flood still has
+   backlog. *)
+let test_fairness_under_flood () =
+  with_server ~workers:1 ~max_jobs:8 ~cache:0
+    ~job_hook:(fun () -> Thread.delay 0.1)
+  @@ fun _ socket ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  let flood_done = ref false in
+  let flood_threads =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            let c = Client.connect socket in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            (match Client.set_protocol ~client:"flood" c "sh-hm" with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "hello: %s" m);
+            for _ = 1 to 3 do
+              ignore (query_ok c sql)
+            done)
+          ())
+  in
+  let watcher =
+    Thread.create
+      (fun () ->
+        List.iter Thread.join flood_threads;
+        flood_done := true)
+      ()
+  in
+  (* let the flood fill the queue first *)
+  Thread.delay 0.25;
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.set_protocol ~client:"solo" c "sh-hm" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "hello: %s" m);
+  ignore (query_ok c sql);
+  (* round-robin across client groups: the solo query was served while
+     the flood (12 x 0.1 s of work on one worker) was still draining *)
+  Alcotest.(check bool) "flood still has backlog" false !flood_done;
+  Thread.join watcher
+
+(* Satellite 1: graceful stop — the running query completes and is
+   delivered; the queued-but-never-started one gets an explicit shutdown
+   error frame, not a dropped connection. *)
+let test_graceful_stop () =
+  with_server ~workers:1 ~max_jobs:4 ~cache:0 ~drain_s:0.01
+    ~job_hook:(fun () -> Thread.delay 0.5)
+  @@ fun t socket ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  let r_running = ref None and r_queued = ref None in
+  let spawn slot =
+    Thread.create
+      (fun () ->
+        let c = Client.connect socket in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        slot := Some (Client.query c sql))
+      ()
+  in
+  let a = spawn r_running in
+  Thread.delay 0.1;
+  (* a is executing (hook sleeps 0.5 s); b sits queued behind it *)
+  let b = spawn r_queued in
+  Thread.delay 0.1;
+  Service.stop t;
+  Thread.join a;
+  Thread.join b;
+  (match !r_running with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "in-flight query should complete during drain");
+  match !r_queued with
+  | Some (Error (Wire.Busy, msg)) ->
+      Alcotest.(check string) "shutdown frame" "server shutting down" msg
+  | Some (Ok _) ->
+      (* the worker may have started it before the queue closed *)
+      ()
+  | _ -> Alcotest.fail "queued query should get a proper shutdown frame"
+
+(* Satellite 2: a client receive timeout fires instead of hanging on a
+   stalled server. *)
+let test_client_timeout () =
+  with_server ~cache:0 ~job_hook:(fun () -> Thread.delay 1.0)
+  @@ fun _ socket ->
+  let c = Client.connect ~timeout_ms:100 socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match
+    Client.query c
+      "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey"
+  with
+  | exception Client.Service_error msg ->
+      Alcotest.(check bool)
+        "timeout message" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected a receive-timeout Service_error"
+
+let test_set_workers_live () =
+  with_server ~workers:1 @@ fun _ socket ->
+  let c = Client.connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
+  ignore (query_ok c sql);
+  let s = Client.set_workers c 4 in
+  Alcotest.(check int) "grown" 4 s.Wire.s_workers;
+  ignore (query_ok c sql);
+  let s = Client.set_workers c 1 in
+  Alcotest.(check int) "shrunk" 1 s.Wire.s_workers;
+  (* still serving after both resizes *)
+  ignore (query_ok c sql)
 
 let test_max_rows_truncation () =
-  with_server ~max_rows:3 @@ fun socket ->
+  with_server ~max_rows:3 @@ fun _ socket ->
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let r =
@@ -305,7 +572,7 @@ let test_max_rows_truncation () =
   Alcotest.(check int) "3 rows" 3 (List.length r.Wire.r_rows)
 
 let test_sql_error_frame () =
-  with_server @@ fun socket ->
+  with_server @@ fun _ socket ->
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   (match Client.query c "SELECT x FROM nosuch" with
@@ -317,7 +584,7 @@ let test_sql_error_frame () =
     (query_ok c "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey")
 
 let test_survives_disconnect_mid_query () =
-  with_server ~cache:0 @@ fun socket ->
+  with_server ~cache:0 @@ fun _ socket ->
   (* fire a query and slam the connection before the reply *)
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX socket);
@@ -336,7 +603,7 @@ let test_survives_disconnect_mid_query () =
   Alcotest.(check bool) "jobs ran" true (s.Wire.s_jobs >= 1)
 
 let test_survives_malformed_frame () =
-  with_server @@ fun socket ->
+  with_server @@ fun _ socket ->
   (* hostile length prefix *)
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX socket);
@@ -361,16 +628,19 @@ let test_survives_malformed_frame () =
     (query_ok c "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey")
 
 let test_stats () =
-  with_server @@ fun socket ->
+  with_server @@ fun _ socket ->
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let sql = "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey" in
   ignore (query_ok c sql);
   ignore (query_ok c sql);
   let s = Client.stats c in
-  Alcotest.(check int) "jobs" 2 s.Wire.s_jobs;
+  (* the repeat was a cache hit served in the session thread: one job *)
+  Alcotest.(check int) "jobs" 1 s.Wire.s_jobs;
   Alcotest.(check bool) "one hit" true (s.Wire.s_cache_hits >= 1);
-  Alcotest.(check int) "sessions" 1 s.Wire.s_sessions
+  Alcotest.(check int) "sessions" 1 s.Wire.s_sessions;
+  Alcotest.(check int) "workers" 1 s.Wire.s_workers;
+  Alcotest.(check bool) "exec p95 measured" true (s.Wire.s_exec_p95_ms > 0.)
 
 let () =
   Alcotest.run "service"
@@ -385,6 +655,9 @@ let () =
       ( "queue+cache",
         [
           Alcotest.test_case "bounded admission" `Quick test_jobqueue_admission;
+          Alcotest.test_case "priority classes" `Quick test_jobqueue_priorities;
+          Alcotest.test_case "per-group round-robin" `Quick
+            test_jobqueue_group_fairness;
           Alcotest.test_case "sql normalization" `Quick test_normalize;
         ] );
       ( "server",
@@ -397,6 +670,15 @@ let () =
           Alcotest.test_case "plan-cache hit = cold" `Quick
             test_plan_cache_hit_equals_cold;
           Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+          Alcotest.test_case "tallies workers 1 = 8" `Quick
+            test_tallies_workers_1_vs_8;
+          Alcotest.test_case "single-flight coalescing" `Quick
+            test_single_flight;
+          Alcotest.test_case "fairness under flood" `Quick
+            test_fairness_under_flood;
+          Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
+          Alcotest.test_case "client timeout" `Quick test_client_timeout;
+          Alcotest.test_case "live worker resize" `Quick test_set_workers_live;
           Alcotest.test_case "max-rows truncation" `Quick
             test_max_rows_truncation;
           Alcotest.test_case "sql error frame" `Quick test_sql_error_frame;
