@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-service bench-service-quick serve clean
+.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -66,6 +66,25 @@ bench-service:
 
 bench-service-quick:
 	ORQ_SERVICE_QUICK=1 dune exec bench/service.exe
+
+# Forked local 3-party cluster on loopback TCP — real OS processes
+# exchanging real framed messages — running demo queries and printing
+# metered-vs-measured wire traffic (see DESIGN.md "Real multi-party
+# deployment"). Use `orq_cli party --id k --peers ...` for the manual
+# N-terminal version.
+party-demo:
+	dune exec bin/orq_cli.exe -- party --local -p sh-hm
+
+# Real-deployment audit: for each protocol, fork a complete party
+# cluster on loopback TCP (2/3/4 processes) and push the SQL suite
+# through it, asserting every response and every measured wire counter
+# byte-identical to the in-process simulation; refreshes BENCH_net.json.
+# ORQ_NET_QUICK=1 runs a 3-query subset per protocol in seconds.
+bench-net:
+	dune exec bench/net.exe
+
+bench-net-quick:
+	ORQ_NET_QUICK=1 dune exec bench/net.exe
 
 clean:
 	dune clean

@@ -21,8 +21,10 @@ open Orq_proto
 open Orq_workloads
 module Netsim = Orq_net.Netsim
 module Wire = Orq_net.Wire
+module Transport = Orq_net.Transport
 module Service = Orq_service.Service
 module Client = Orq_service.Client
+module Cluster = Orq_party.Cluster
 
 (* Cost lines name the round-counting mode so logs from fused and
    unfused (ORQ_NO_FUSION=1) runs are distinguishable side by side. *)
@@ -257,7 +259,117 @@ let serve socket sf seed workers pace_label max_jobs max_rows cache_cap verbose
       Service.wait t;
       0
 
-let client_query socket proto prio timeout_ms set_workers sql =
+(* ------------------------------------------------------------------ *)
+(* party: one process of a real multi-party cluster                    *)
+(* ------------------------------------------------------------------ *)
+
+let print_result label (r : Wire.query_result) =
+  let n = List.length r.Wire.r_rows in
+  Printf.printf "result (%d rows%s, under %s):\n  %s\n" n
+    (if r.Wire.r_truncated then ", truncated" else "")
+    label
+    (String.concat " | " r.Wire.r_cols);
+  List.iteri
+    (fun i row ->
+      if i < 20 then
+        Printf.printf "  %s\n"
+          (String.concat " | " (List.map string_of_int row)))
+    r.Wire.r_rows;
+  if n > 20 then Printf.printf "  ... (%d more)\n" (n - 20)
+
+let print_net_stats (s : Wire.net_stats) =
+  Printf.printf
+    "wire: %d parties | %d exchanges (%d refunded) | %.2f MiB measured \
+     payload | %d messages | %d frames | %.3fs wall\n"
+    s.Wire.n_parties s.Wire.n_exchanges s.Wire.n_refunds
+    (float_of_int s.Wire.n_payload_bytes /. 1024. /. 1024.)
+    s.Wire.n_messages s.Wire.n_frames s.Wire.n_wall_s
+
+let local_demo_queries =
+  [
+    "SELECT o_orderpriority, COUNT(*) AS n FROM orders GROUP BY \
+     o_orderpriority";
+    "SELECT n_regionkey, COUNT(*) AS n FROM nation GROUP BY n_regionkey";
+  ]
+
+(* --local: fork a full cluster on loopback, run a few demo queries as a
+   client, print results and measured wire traffic, shut down. The
+   three-terminal workflow (README) does the same by hand. *)
+let party_local proto seed sf max_rows verbose =
+  let label = String.lowercase_ascii (Ctx.kind_label proto) in
+  Printf.printf "launching a local %d-party %s cluster on loopback TCP...\n%!"
+    (Ctx.parties_of proto) label;
+  let l = Cluster.launch_local ~seed ~sf ~max_rows ~verbose proto in
+  Fun.protect ~finally:(fun () -> Cluster.shutdown_local l) @@ fun () ->
+  let c =
+    Client.connect ~retry_ms:10_000 (Transport.format_addr l.Cluster.l_client)
+  in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.set_protocol c label with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok _ ->
+      Printf.printf "cluster up at %s\n%!"
+        (Transport.format_addr l.Cluster.l_client);
+      let rc = ref 0 in
+      List.iter
+        (fun sql ->
+          Printf.printf "\n> %s\n%!" sql;
+          match Client.query c sql with
+          | Error (code, msg) ->
+              Printf.eprintf "error (%s): %s\n" (Wire.err_label code) msg;
+              rc := 1
+          | Ok r -> (
+              print_result label r;
+              Printf.printf "metered: %d rounds | %d bits | %d messages\n"
+                r.Wire.r_tally.Orq_net.Comm.t_rounds
+                r.Wire.r_tally.Orq_net.Comm.t_bits
+                r.Wire.r_tally.Orq_net.Comm.t_messages;
+              match Client.net_stats c with
+              | Ok s -> print_net_stats s
+              | Error msg -> Printf.eprintf "net-stats: %s\n" msg))
+        local_demo_queries;
+      !rc
+
+let party_run id listen_s peers_s client_s proto seed sf max_rows verbose
+    local =
+  if local then party_local proto seed sf max_rows verbose
+  else
+    let parse what s =
+      match Transport.parse_addr s with
+      | Ok a -> a
+      | Error m ->
+          Printf.eprintf "bad %s address: %s\n" what m;
+          exit 2
+    in
+    let peers =
+      match peers_s with
+      | [] ->
+          Printf.eprintf
+            "a party needs --peers with one mesh address per party (or \
+             --local for a self-contained demo cluster)\n";
+          exit 2
+      | l -> Array.of_list (List.map (parse "peer") l)
+    in
+    let cfg =
+      {
+        (Cluster.default_config ~party:id ~proto ~peers ()) with
+        Cluster.seed;
+        sf;
+        max_rows;
+        verbose;
+        listen = Option.map (parse "listen") listen_s;
+        client = Option.map (parse "client") client_s;
+      }
+    in
+    match Cluster.run cfg with
+    | () -> 0
+    | exception Cluster.Cluster_error msg ->
+        Printf.eprintf "party error: %s\n" msg;
+        1
+
+let client_query socket proto prio timeout_ms set_workers net_stats sql =
   match Client.connect ?timeout_ms socket with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "cannot connect to %s: %s (is the server running?)\n"
@@ -305,6 +417,10 @@ let client_query socket proto prio timeout_ms set_workers sql =
                 (float_of_int r.Wire.r_pre.Orq_net.Comm.t_bits /. 8. /. 1024.
                /. 1024.)
                 r.Wire.r_lan_s r.Wire.r_wan_s;
+              (if net_stats then
+                 match Client.net_stats c with
+                 | Ok s -> print_net_stats s
+                 | Error msg -> Printf.printf "net-stats: %s\n" msg);
               0))
 
 (* ------------------------------------------------------------------ *)
@@ -502,11 +618,90 @@ let query_cmd =
       & info [ "set-workers" ] ~docv:"N"
           ~doc:"Live-resize the server's worker pool before querying.")
   in
+  let net_stats_t =
+    Arg.(
+      value & flag
+      & info [ "net-stats" ]
+          ~doc:
+            "After the query, fetch the cluster's measured on-the-wire \
+             traffic (party clusters only).")
+  in
   Cmd.v
-    (Cmd.info "query" ~doc:"send one SQL query to a running service")
+    (Cmd.info "query"
+       ~doc:"send one SQL query to a running service or party cluster")
     Term.(
       const client_query $ socket_t $ proto_label_t $ prio_t $ timeout_t
-      $ set_workers_t $ sql_pos_t)
+      $ set_workers_t $ net_stats_t $ sql_pos_t)
+
+let party_cmd =
+  let id_t =
+    Arg.(
+      value & opt int 0
+      & info [ "id" ] ~docv:"K" ~doc:"This process's party id (0-based).")
+  in
+  let listen_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Mesh bind address override (default: this party's --peers \
+             entry). Addresses are unix:/path, tcp:host:port, or host:port.")
+  in
+  let peers_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "peers" ] ~docv:"A0,A1,.."
+          ~doc:
+            "Comma-separated mesh addresses of every party, in party-id \
+             order; the list length fixes the party count and must match \
+             the protocol (2 for sh-dm, 3 for sh-hm, 4 for mal-hm).")
+  in
+  let client_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "client" ] ~docv:"ADDR"
+          ~doc:
+            "Party 0 only: serve the query-service protocol to clients on \
+             this address.")
+  in
+  let seed_t =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Cluster seed (must agree across all parties).")
+  in
+  let max_rows_t =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-rows" ] ~docv:"R"
+          ~doc:"Truncate responses beyond this many rows.")
+  in
+  let verbose_t =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Log mesh and query events to stderr.")
+  in
+  let local_t =
+    Arg.(
+      value & flag
+      & info [ "local" ]
+          ~doc:
+            "Coordinator mode: fork a complete local cluster on loopback \
+             TCP, run demo queries against it, print results and measured \
+             wire traffic, and shut it down.")
+  in
+  Cmd.v
+    (Cmd.info "party"
+       ~doc:
+         "run one party of a real multi-party deployment: N processes \
+          exchanging actual framed messages over TCP or Unix sockets, \
+          round-for-round equal to the metered simulation")
+    Term.(
+      const party_run $ id_t $ listen_t $ peers_t $ client_t $ proto_t
+      $ seed_t $ sf_t $ max_rows_t $ verbose_t $ local_t)
 
 (* lint: the static leakage lint, also available as the standalone orq_lint
    driver (which adds the fixture self-test and the transcript certifier). *)
@@ -552,7 +747,7 @@ let cmd =
   let doc = "run ORQ oblivious relational queries under MPC" in
   Cmd.group ~default:run_term
     (Cmd.info "orq_cli" ~doc)
-    [ run_cmd; serve_cmd; query_cmd; lint_cmd ]
+    [ run_cmd; serve_cmd; query_cmd; party_cmd; lint_cmd ]
 
 let () =
   Orq_util.Parallel.init_from_env ();

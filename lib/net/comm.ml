@@ -48,18 +48,47 @@ type recorder = {
   mutable joined : string;  (** cached "/"-join of the stack, outermost first *)
 }
 
+(* Pluggable transport channel. The lockstep simulation meters virtual
+   traffic; when a channel is installed (the real multi-party deployment,
+   see lib/party/), every metering call additionally drives the hooks so
+   actual bytes cross actual sockets with exactly the metered shape:
+   [ch_round] opens a new on-the-wire exchange carrying [bits]/[messages],
+   [ch_traffic] batches more payload into the current exchange,
+   [ch_barrier] performs payload-free lockstep exchanges, and [ch_refund]
+   notes rounds retracted by the fusion layer (the sequential execution
+   still exchanged them physically; the accounting records the overlap a
+   concurrent deployment would achieve). Hooks run after the counters
+   update, on the metering (execution) thread. *)
+type channel = {
+  ch_round : bits:int -> messages:int -> unit;
+  ch_traffic : bits:int -> messages:int -> unit;
+  ch_barrier : int -> unit;
+  ch_refund : int -> unit;
+}
+
 type t = {
   parties : int;
   mutable rounds : int;  (** sequential message-exchange rounds *)
   mutable bits : int;  (** total bits sent, summed over all parties *)
   mutable messages : int;  (** number of (batched) point-to-point sends *)
   mutable recorder : recorder option;
+  mutable channel : channel option;
 }
 
 type tally = { t_rounds : int; t_bits : int; t_messages : int }
 
 let create ~parties =
-  { parties; rounds = 0; bits = 0; messages = 0; recorder = None }
+  {
+    parties;
+    rounds = 0;
+    bits = 0;
+    messages = 0;
+    recorder = None;
+    channel = None;
+  }
+
+let set_channel t ch = t.channel <- ch
+let channel t = t.channel
 
 let reset t =
   t.rounds <- 0;
@@ -193,7 +222,10 @@ let round t ~bits ~messages =
   t.rounds <- t.rounds + 1;
   t.bits <- t.bits + bits;
   t.messages <- t.messages + messages;
-  record t Round ~rounds:1 ~bits ~messages
+  record t Round ~rounds:1 ~bits ~messages;
+  match t.channel with
+  | None -> ()
+  | Some ch -> ch.ch_round ~bits ~messages
 
 (** [traffic t ~bits ~messages] records traffic that piggybacks on an
     already-counted round (the vectorized-batching case). *)
@@ -201,7 +233,10 @@ let traffic t ~bits ~messages =
   check_args "traffic" ~bits ~messages;
   t.bits <- t.bits + bits;
   t.messages <- t.messages + messages;
-  record t Traffic ~rounds:0 ~bits ~messages
+  record t Traffic ~rounds:0 ~bits ~messages;
+  match t.channel with
+  | None -> ()
+  | Some ch -> ch.ch_traffic ~bits ~messages
 
 (** [rounds_only t k] records [k] extra rounds with no new payload, e.g. a
     barrier or an empty acknowledgement. *)
@@ -209,7 +244,10 @@ let rounds_only t k =
   if Orq_util.Debug.enabled () && k < 0 then
     invalid_arg (Printf.sprintf "Comm.rounds_only: negative count %d" k);
   t.rounds <- t.rounds + k;
-  if k <> 0 then record t Barrier ~rounds:k ~bits:0 ~messages:0
+  if k <> 0 then begin
+    record t Barrier ~rounds:k ~bits:0 ~messages:0;
+    match t.channel with None -> () | Some ch -> ch.ch_barrier k
+  end
 
 (** [refund_rounds t k] retracts [k] already-counted rounds. Used by the
     round-fusion layer after running independent operation tracks
@@ -222,7 +260,10 @@ let refund_rounds t k =
          "Comm.refund_rounds: refund of %d exceeds the %d recorded rounds" k
          t.rounds);
   t.rounds <- t.rounds - k;
-  if k <> 0 then record t Refund ~rounds:(-k) ~bits:0 ~messages:0
+  if k <> 0 then begin
+    record t Refund ~rounds:(-k) ~bits:0 ~messages:0;
+    match t.channel with None -> () | Some ch -> ch.ch_refund k
+  end
 
 let snapshot t = { t_rounds = t.rounds; t_bits = t.bits; t_messages = t.messages }
 

@@ -29,18 +29,41 @@ type event = {
 
 type recorder
 
+type channel = {
+  ch_round : bits:int -> messages:int -> unit;
+      (** a new communication round was metered: open a fresh on-the-wire
+          exchange carrying this payload *)
+  ch_traffic : bits:int -> messages:int -> unit;
+      (** more payload batched into the current round's exchange *)
+  ch_barrier : int -> unit;  (** [k] payload-free lockstep rounds *)
+  ch_refund : int -> unit;
+      (** rounds retracted by the fusion layer (physically exchanged by the
+          sequential execution; a concurrent deployment overlaps them) *)
+}
+(** Pluggable transport: when installed, every metering call additionally
+    drives these hooks so a real deployment (lib/party/) places actual
+    bytes on actual sockets with exactly the metered shape. Hooks run
+    after the counters update, on the metering thread. [None] (the
+    default) is the pure in-process simulation. *)
+
 type t = {
   parties : int;
   mutable rounds : int;  (** sequential message-exchange rounds *)
   mutable bits : int;  (** total bits sent, summed over all parties *)
   mutable messages : int;  (** number of (batched) point-to-point sends *)
   mutable recorder : recorder option;
+  mutable channel : channel option;
 }
 
 type tally = { t_rounds : int; t_bits : int; t_messages : int }
 
 val create : parties:int -> t
 val reset : t -> unit
+
+val set_channel : t -> channel option -> unit
+(** Install ([Some]) or remove ([None]) the transport channel. *)
+
+val channel : t -> channel option
 
 (** {2 Structural transcripts} *)
 

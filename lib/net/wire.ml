@@ -7,6 +7,11 @@ exception Wire_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Wire_error s)) fmt
 let max_frame = 16 * 1024 * 1024
 
+(* Compat guard for future wire changes: [Hello] carries the client's
+   protocol version; the server rejects a mismatch with a clear error
+   instead of mis-decoding later frames. Bump on any frame-layout change. *)
+let protocol_version = 2
+
 type err_code = Bad_request | Busy | Too_large | Internal
 
 let err_label = function
@@ -43,13 +48,26 @@ type stats = {
   s_exec_p95_ms : float;
 }
 
+type net_stats = {
+  n_parties : int;  (** computing parties in the cluster *)
+  n_queries : int;  (** queries the cluster has executed *)
+  n_exchanges : int;  (** physical on-the-wire exchanges, last query *)
+  n_refunds : int;  (** fusion round refunds, last query *)
+  n_bits : int;  (** payload bits measured on the wire (all parties) *)
+  n_messages : int;  (** point-to-point sends measured on the wire *)
+  n_payload_bytes : int;  (** actual payload bytes carried (all parties) *)
+  n_frames : int;  (** frames sent on the mesh (all parties) *)
+  n_wall_s : float;  (** coordinator wall-clock of the last query *)
+}
+
 type request =
-  | Hello of { h_proto : string; h_client : string }
+  | Hello of { h_version : int; h_proto : string; h_client : string }
   | Query of string
   | Query_p of { q_sql : string; q_prio : int }
   | Ping
   | Stats_req
   | Set_workers of int
+  | Net_stats_req
 
 type response =
   | Hello_ok of { session : int; proto : string }
@@ -57,12 +75,18 @@ type response =
   | Error_r of { code : err_code; msg : string }
   | Pong
   | Stats_r of stats
+  | Net_stats_r of net_stats
 
 (* ------------------------------------------------------------------ *)
 (* Encoding primitives                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  if v < 0 || v > 0xffff then fail "u16 out of range: %d" v;
+  put_u8 b (v lsr 8);
+  put_u8 b v
 
 let put_u32 b v =
   if v < 0 || v > 0xffff_ffff then fail "u32 out of range: %d" v;
@@ -116,6 +140,11 @@ let get_u8 c =
   let v = Char.code (Bytes.get c.buf c.pos) in
   c.pos <- c.pos + 1;
   v
+
+let get_u16 c =
+  let a = get_u8 c in
+  let b = get_u8 c in
+  (a lsl 8) lor b
 
 let get_u32 c =
   let a = get_u8 c in
@@ -176,18 +205,21 @@ and tag_ping = 0x03
 and tag_stats_req = 0x04
 and tag_query_p = 0x05
 and tag_set_workers = 0x06
+and tag_net_stats_req = 0x07
 
 let tag_hello_ok = 0x81
 and tag_result = 0x82
 and tag_error = 0x83
 and tag_pong = 0x84
 and tag_stats = 0x85
+and tag_net_stats = 0x86
 
 let encode_request (r : request) : bytes =
   let b = Buffer.create 64 in
   (match r with
-  | Hello { h_proto; h_client } ->
+  | Hello { h_version; h_proto; h_client } ->
       put_u8 b tag_hello;
+      put_u16 b h_version;
       put_string b h_proto;
       put_string b h_client
   | Query sql ->
@@ -201,7 +233,8 @@ let encode_request (r : request) : bytes =
   | Stats_req -> put_u8 b tag_stats_req
   | Set_workers n ->
       put_u8 b tag_set_workers;
-      put_u32 b n);
+      put_u32 b n
+  | Net_stats_req -> put_u8 b tag_net_stats_req);
   Buffer.to_bytes b
 
 let code_of_int = function
@@ -240,6 +273,17 @@ let encode_response (r : response) : bytes =
       put_u8 b (int_of_code code);
       put_string b msg
   | Pong -> put_u8 b tag_pong
+  | Net_stats_r s ->
+      put_u8 b tag_net_stats;
+      put_i64 b s.n_parties;
+      put_i64 b s.n_queries;
+      put_i64 b s.n_exchanges;
+      put_i64 b s.n_refunds;
+      put_i64 b s.n_bits;
+      put_i64 b s.n_messages;
+      put_i64 b s.n_payload_bytes;
+      put_i64 b s.n_frames;
+      put_f64 b s.n_wall_s
   | Stats_r s ->
       put_u8 b tag_stats;
       put_i64 b s.s_sessions;
@@ -262,9 +306,10 @@ let decode_request (body : bytes) : request =
   let r =
     match get_u8 c with
     | t when t = tag_hello ->
+        let h_version = get_u16 c in
         let h_proto = get_string c in
         let h_client = get_string c in
-        Hello { h_proto; h_client }
+        Hello { h_version; h_proto; h_client }
     | t when t = tag_query -> Query (get_string c)
     | t when t = tag_query_p ->
         let q_prio = get_u8 c in
@@ -273,6 +318,7 @@ let decode_request (body : bytes) : request =
     | t when t = tag_ping -> Ping
     | t when t = tag_stats_req -> Stats_req
     | t when t = tag_set_workers -> Set_workers (get_u32 c)
+    | t when t = tag_net_stats_req -> Net_stats_req
     | t -> fail "unknown request tag 0x%02x" t
   in
   finish c;
@@ -313,6 +359,28 @@ let decode_response (body : bytes) : response =
         let msg = get_string c in
         Error_r { code; msg }
     | t when t = tag_pong -> Pong
+    | t when t = tag_net_stats ->
+        let n_parties = get_i64 c in
+        let n_queries = get_i64 c in
+        let n_exchanges = get_i64 c in
+        let n_refunds = get_i64 c in
+        let n_bits = get_i64 c in
+        let n_messages = get_i64 c in
+        let n_payload_bytes = get_i64 c in
+        let n_frames = get_i64 c in
+        let n_wall_s = get_f64 c in
+        Net_stats_r
+          {
+            n_parties;
+            n_queries;
+            n_exchanges;
+            n_refunds;
+            n_bits;
+            n_messages;
+            n_payload_bytes;
+            n_frames;
+            n_wall_s;
+          }
     | t when t = tag_stats ->
         let s_sessions = get_i64 c in
         let s_workers = get_i64 c in
@@ -411,3 +479,34 @@ let recv_request fd =
 
 let recv_response fd =
   match read_frame fd with None -> None | Some b -> Some (decode_response b)
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives, re-exported                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The party mesh protocol (lib/party/) shares this module's framing and
+   needs the same bounds-checked primitives for its own message bodies.
+   Re-exported under one name so the two protocols cannot drift apart on
+   integer endianness or string length prefixes. *)
+module Codec = struct
+  type nonrec cursor = cursor
+
+  let cursor body = { buf = body; pos = 0 }
+  let put_u8 = put_u8
+  let put_u16 = put_u16
+  let put_u32 = put_u32
+  let put_i64 = put_i64
+  let put_f64 = put_f64
+  let put_bool = put_bool
+  let put_string = put_string
+  let put_list = put_list
+  let get_u8 = get_u8
+  let get_u16 = get_u16
+  let get_u32 = get_u32
+  let get_i64 = get_i64
+  let get_f64 = get_f64
+  let get_bool = get_bool
+  let get_string = get_string
+  let get_list = get_list
+  let finish = finish
+end

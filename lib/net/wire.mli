@@ -21,6 +21,11 @@ exception Wire_error of string
 val max_frame : int
 (** Maximum accepted frame body size in bytes (16 MiB). *)
 
+val protocol_version : int
+(** Wire-protocol version carried in {!request.Hello}. The server rejects
+    a mismatching client with a clear error instead of mis-decoding later
+    frames. Bump on any frame-layout change. *)
+
 (** {2 Messages} *)
 
 type err_code =
@@ -64,13 +69,31 @@ type stats = {
     with every stats frame, so clients see *how* saturated the server is
     rather than a binary busy signal. *)
 
+type net_stats = {
+  n_parties : int;  (** computing parties in the cluster *)
+  n_queries : int;  (** queries the cluster has executed *)
+  n_exchanges : int;  (** physical on-the-wire exchanges, last query *)
+  n_refunds : int;  (** fusion round refunds, last query *)
+  n_bits : int;  (** payload bits measured on the wire (all parties) *)
+  n_messages : int;  (** point-to-point sends measured on the wire *)
+  n_payload_bytes : int;  (** actual payload bytes carried (all parties) *)
+  n_frames : int;  (** frames sent on the mesh (all parties) *)
+  n_wall_s : float;  (** coordinator wall-clock of the last query *)
+}
+(** On-the-wire measurements aggregated across a party cluster's mesh for
+    its most recent query — what bench/net.ml compares against the
+    {!Comm} tallies. Served only by party clusters ({!request.Net_stats_req}
+    against the plain in-process service yields [Error_r]). *)
+
 type request =
-  | Hello of { h_proto : string; h_client : string }
-      (** set the session protocol ("sh-dm"|"sh-hm"|"mal-hm") and an
-          optional client-group name ([""] = this connection is its own
-          group). Connections sharing a group share one fairness lane in
-          the job queue — a client flooding from many connections still
-          cannot starve other groups. *)
+  | Hello of { h_version : int; h_proto : string; h_client : string }
+      (** [h_version] is the client's {!protocol_version} (mismatches are
+          rejected). [h_proto] sets the session protocol
+          ("sh-dm"|"sh-hm"|"mal-hm"); [h_client] is an optional
+          client-group name ([""] = this connection is its own group).
+          Connections sharing a group share one fairness lane in the job
+          queue — a client flooding from many connections still cannot
+          starve other groups. *)
   | Query of string  (** SQL text, normal priority *)
   | Query_p of { q_sql : string; q_prio : int }
       (** SQL text with an explicit priority class (0 = high, 1 = normal,
@@ -78,6 +101,9 @@ type request =
   | Ping
   | Stats_req
   | Set_workers of int  (** live-resize the execution worker pool *)
+  | Net_stats_req
+      (** measured mesh traffic of the cluster's last query (party
+          clusters only) *)
 
 type response =
   | Hello_ok of { session : int; proto : string }
@@ -85,6 +111,7 @@ type response =
   | Error_r of { code : err_code; msg : string }
   | Pong
   | Stats_r of stats
+  | Net_stats_r of net_stats
 
 (** {2 Framed I/O} *)
 
@@ -97,7 +124,45 @@ val recv_request : Unix.file_descr -> request option
 
 val recv_response : Unix.file_descr -> response option
 
-(** {2 Raw framing (tests, fuzzing)} *)
+(** {2 Raw framing and codecs (party runtime, tests, fuzzing)} *)
 
 val write_frame : Unix.file_descr -> bytes -> unit
 val read_frame : Unix.file_descr -> bytes option
+
+val encode_request : request -> bytes
+val decode_request : bytes -> request
+
+val encode_response : response -> bytes
+(** The canonical encoding — what the party runtime digests for its
+    cross-party result-agreement check. *)
+
+val decode_response : bytes -> response
+
+(** {2 Codec primitives}
+
+    Shared with the party mesh protocol (lib/party/) so the two protocols
+    cannot drift apart on endianness or length prefixes. All [get_*]
+    primitives are bounds-checked and raise {!Wire_error} on truncation. *)
+module Codec : sig
+  type cursor
+
+  val cursor : bytes -> cursor
+  val put_u8 : Buffer.t -> int -> unit
+  val put_u16 : Buffer.t -> int -> unit
+  val put_u32 : Buffer.t -> int -> unit
+  val put_i64 : Buffer.t -> int -> unit
+  val put_f64 : Buffer.t -> float -> unit
+  val put_bool : Buffer.t -> bool -> unit
+  val put_string : Buffer.t -> string -> unit
+  val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+  val get_u8 : cursor -> int
+  val get_u16 : cursor -> int
+  val get_u32 : cursor -> int
+  val get_i64 : cursor -> int
+  val get_f64 : cursor -> float
+  val get_bool : cursor -> bool
+  val get_string : cursor -> string
+  val get_list : cursor -> (cursor -> 'a) -> 'a list
+  val finish : cursor -> unit
+  (** Reject trailing bytes after a fully-decoded body. *)
+end

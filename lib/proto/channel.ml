@@ -1,0 +1,26 @@
+(** Attach a real transport to a protocol context.
+
+    The MPC engine meters every primitive through [ctx.comm]; installing a
+    {!Orq_net.Comm.channel} there makes each metered round drive an actual
+    on-the-wire exchange (lib/party/). Only the online meter gets a
+    channel: preprocessing is dealer-simulated and stays virtual, exactly
+    as the paper separates the phases. *)
+
+type t = Orq_net.Comm.channel = {
+  ch_round : bits:int -> messages:int -> unit;
+  ch_traffic : bits:int -> messages:int -> unit;
+  ch_barrier : int -> unit;
+  ch_refund : int -> unit;
+}
+
+let attach (ctx : Ctx.t) (ch : t) = Orq_net.Comm.set_channel ctx.comm (Some ch)
+let detach (ctx : Ctx.t) = Orq_net.Comm.set_channel ctx.comm None
+let attached (ctx : Ctx.t) = Orq_net.Comm.channel ctx.comm <> None
+
+(** Run a thunk with the channel installed on the online meter, detaching
+    on exit (exception-safe). Channels do not nest: the engine has exactly
+    one transport, and silently stacking two would double-send. *)
+let with_channel (ctx : Ctx.t) (ch : t) f =
+  if attached ctx then invalid_arg "Channel.with_channel: already attached";
+  attach ctx ch;
+  Fun.protect ~finally:(fun () -> detach ctx) f

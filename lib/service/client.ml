@@ -1,4 +1,5 @@
 module Wire = Orq_net.Wire
+module Transport = Orq_net.Transport
 
 exception Service_error of string
 
@@ -12,10 +13,23 @@ let env_timeout_ms () =
       | _ -> None)
   | None -> None
 
-let connect ?timeout_ms path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+(* Addresses accept every Transport spelling (unix:/path, bare path,
+   tcp:host:port, host:port), so the same client dials the in-process
+   service's Unix socket or a party cluster's TCP front end. [retry_ms]
+   adds a bounded exponential-backoff dial window — a client started
+   alongside the server (cluster scripts, CI) needn't race its bind. *)
+let connect ?timeout_ms ?retry_ms addr_s =
+  let addr =
+    match Transport.parse_addr addr_s with
+    | Ok a -> a
+    | Error m -> raise (Service_error ("bad address: " ^ m))
+  in
+  let fd =
+    match retry_ms with
+    | Some total_ms when total_ms > 0 -> Transport.connect_retry ~total_ms addr
+    | _ -> Transport.connect addr
+  in
   (try
-     Unix.connect fd (Unix.ADDR_UNIX path);
      let tmo =
        match timeout_ms with Some _ as t -> t | None -> env_timeout_ms ()
      in
@@ -39,7 +53,15 @@ let rpc t (req : Wire.request) : Wire.response =
       raise (Service_error "receive timeout waiting for server response")
 
 let set_protocol ?(client = "") t label =
-  match rpc t (Wire.Hello { h_proto = label; h_client = client }) with
+  match
+    rpc t
+      (Wire.Hello
+         {
+           h_version = Wire.protocol_version;
+           h_proto = label;
+           h_client = client;
+         })
+  with
   | Wire.Hello_ok { proto; _ } -> Ok proto
   | Wire.Error_r { msg; _ } -> Error msg
   | _ -> raise (Service_error "unexpected response to Hello")
@@ -61,6 +83,12 @@ let stats t =
   match rpc t Wire.Stats_req with
   | Wire.Stats_r s -> s
   | _ -> raise (Service_error "unexpected response to Stats")
+
+let net_stats t =
+  match rpc t Wire.Net_stats_req with
+  | Wire.Net_stats_r s -> Ok s
+  | Wire.Error_r { msg; _ } -> Error msg
+  | _ -> raise (Service_error "unexpected response to Net_stats")
 
 let set_workers t n =
   match rpc t (Wire.Set_workers n) with

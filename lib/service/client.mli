@@ -7,12 +7,16 @@ exception Service_error of string
 
 type t
 
-val connect : ?timeout_ms:int -> string -> t
-(** Connect to the service socket at the given path. [timeout_ms] (or the
-    [ORQ_CLIENT_TIMEOUT_MS] environment variable when absent) arms a
+val connect : ?timeout_ms:int -> ?retry_ms:int -> string -> t
+(** Connect to a server address in any {!Orq_net.Transport} spelling
+    ([unix:/path], a bare path, [tcp:host:port], [host:port]) — the same
+    client dials the in-process service or a party cluster's TCP front
+    end. [timeout_ms] (or [ORQ_CLIENT_TIMEOUT_MS] when absent) arms a
     receive timeout on the socket: an RPC whose response does not arrive
     in time raises {!Service_error} instead of hanging forever on a
-    stalled server. *)
+    stalled server. [retry_ms] dials with bounded exponential-backoff
+    retry for that many milliseconds while the server is still binding
+    (default: a single attempt). *)
 
 val close : t -> unit
 
@@ -33,6 +37,10 @@ val query :
 
 val ping : t -> bool
 val stats : t -> Orq_net.Wire.stats
+
+val net_stats : t -> (Orq_net.Wire.net_stats, string) result
+(** Measured mesh traffic of the cluster's last query. Party clusters
+    only — the in-process service answers with its error string. *)
 
 val set_workers : t -> int -> Orq_net.Wire.stats
 (** Live-resize the server's execution worker pool; returns the stats

@@ -137,8 +137,11 @@ let socket_path t = t.cfg.socket_path
    are byte-identical whatever ran before, whichever worker runs it, and
    at every worker count — including data-dependent control flow like
    shuffled-quicksort recursion depths. *)
+let query_seed_for ~seed ~proto_label ~sql =
+  Hashtbl.hash (seed, proto_label, Plan_cache.normalize sql)
+
 let query_seed t ~proto_label ~sql =
-  Hashtbl.hash (t.cfg.seed, proto_label, Plan_cache.normalize sql)
+  query_seed_for ~seed:t.cfg.seed ~proto_label ~sql
 
 let backend t backends kind =
   match Hashtbl.find_opt backends kind with
@@ -155,19 +158,24 @@ let backend t backends kind =
 (* Canonical response rows: [Table.reveal] shuffles before opening (order
    carries no information), so we sort rows lexicographically to make
    responses deterministic — required for cache-hit ≡ cold-run equality. *)
-let rows_of_opened (opened : (string * int array) list) (cols : string list) =
+let canonical_rows (opened : (string * int array) list) (cols : string list) =
   let present = List.filter (fun c -> List.mem_assoc c opened) cols in
   let arrays = List.map (fun c -> List.assoc c opened) present in
   let n = match arrays with a :: _ -> Array.length a | [] -> 0 in
   let rows = List.init n (fun i -> List.map (fun a -> a.(i)) arrays) in
   (present, List.sort compare rows)
 
-let execute t backends (j : job) : Wire.response =
-  let b = backend t backends j.j_proto in
-  Ctx.reseed b.b_ctx j.j_qseed;
-  let c0 = Comm.snapshot b.b_ctx.Ctx.comm in
-  let p0 = Comm.snapshot b.b_ctx.Ctx.preproc in
-  match Sql.run (Tpch_gen.catalog b.b_db) j.j_sql with
+(* The one execution path every deployment shares: reseed to the derived
+   query seed, run the planner, reveal, canonicalize. The in-process
+   service calls it from worker domains; a party cluster (lib/party/)
+   calls it with a transport channel attached to [ctx.comm], so results
+   and tallies are byte-identical across deployments by construction. *)
+let execute_sql ~(ctx : Ctx.t) ~(db : Tpch_gen.mpc) ~qseed ~max_rows sql :
+    Wire.response =
+  Ctx.reseed ctx qseed;
+  let c0 = Comm.snapshot ctx.Ctx.comm in
+  let p0 = Comm.snapshot ctx.Ctx.preproc in
+  match Sql.run (Tpch_gen.catalog db) sql with
   | exception Sql.Parse_error msg ->
       Wire.Error_r { code = Wire.Bad_request; msg }
   | exception Ctx.Abort msg ->
@@ -175,12 +183,12 @@ let execute t backends (j : job) : Wire.response =
   | exception e -> Wire.Error_r { code = Wire.Internal; msg = Printexc.to_string e }
   | tbl, cols, fallbacks ->
       let opened = Table.reveal tbl in
-      let r_tally = Comm.since b.b_ctx.Ctx.comm c0 in
-      let r_pre = Comm.since b.b_ctx.Ctx.preproc p0 in
-      let r_cols, rows = rows_of_opened opened cols in
-      let r_truncated = List.length rows > t.cfg.max_rows in
+      let r_tally = Comm.since ctx.Ctx.comm c0 in
+      let r_pre = Comm.since ctx.Ctx.preproc p0 in
+      let r_cols, rows = canonical_rows opened cols in
+      let r_truncated = List.length rows > max_rows in
       let r_rows =
-        if r_truncated then List.filteri (fun i _ -> i < t.cfg.max_rows) rows
+        if r_truncated then List.filteri (fun i _ -> i < max_rows) rows
         else rows
       in
       Wire.Result
@@ -195,6 +203,11 @@ let execute t backends (j : job) : Wire.response =
           r_lan_s = Netsim.network_time Netsim.lan r_tally;
           r_wan_s = Netsim.network_time Netsim.wan r_tally;
         }
+
+let execute t backends (j : job) : Wire.response =
+  let b = backend t backends j.j_proto in
+  execute_sql ~ctx:b.b_ctx ~db:b.b_db ~qseed:j.j_qseed ~max_rows:t.cfg.max_rows
+    j.j_sql
 
 let deliver (j : job) (reply : Wire.response) =
   Mutex.lock j.j_m;
@@ -406,21 +419,43 @@ let handle_session t (s : session) =
        | None -> logf t "session %d: closed" s.s_id
        | Some req ->
            (match req with
-           | Wire.Hello { h_proto; h_client } -> (
-               match proto_of_label h_proto with
-               | Ok k ->
-                   proto := k;
-                   (* connections sharing a client name share a fairness
-                      lane; anonymous connections are their own group *)
-                   if h_client <> "" then
-                     s.s_group <- Hashtbl.hash ("client:" ^ h_client);
-                   Wire.send_response s.s_fd
-                     (Wire.Hello_ok
-                        { session = s.s_id; proto = Ctx.kind_label k })
-               | Error msg ->
-                   Wire.send_response s.s_fd
-                     (Wire.Error_r { code = Wire.Bad_request; msg }))
+           | Wire.Hello { h_version; h_proto; h_client } -> (
+               if h_version <> Wire.protocol_version then
+                 Wire.send_response s.s_fd
+                   (Wire.Error_r
+                      {
+                        code = Wire.Bad_request;
+                        msg =
+                          Printf.sprintf
+                            "protocol version mismatch: client speaks v%d, \
+                             server speaks v%d — upgrade the older side"
+                            h_version Wire.protocol_version;
+                      })
+               else
+                 match proto_of_label h_proto with
+                 | Ok k ->
+                     proto := k;
+                     (* connections sharing a client name share a fairness
+                        lane; anonymous connections are their own group *)
+                     if h_client <> "" then
+                       s.s_group <- Hashtbl.hash ("client:" ^ h_client);
+                     Wire.send_response s.s_fd
+                       (Wire.Hello_ok
+                          { session = s.s_id; proto = Ctx.kind_label k })
+                 | Error msg ->
+                     Wire.send_response s.s_fd
+                       (Wire.Error_r { code = Wire.Bad_request; msg }))
            | Wire.Ping -> Wire.send_response s.s_fd Wire.Pong
+           | Wire.Net_stats_req ->
+               Wire.send_response s.s_fd
+                 (Wire.Error_r
+                    {
+                      code = Wire.Bad_request;
+                      msg =
+                        "this server is the in-process simulation, not a \
+                         party cluster: no on-the-wire measurements (run \
+                         `orq party` for a real deployment)";
+                    })
            | Wire.Stats_req ->
                Wire.send_response s.s_fd (Wire.Stats_r (stats t))
            | Wire.Set_workers n ->

@@ -94,5 +94,33 @@ val socket_path : t -> string
 val proto_of_label : string -> (Orq_proto.Ctx.kind, string) result
 (** "sh-dm" | "2pc" | "sh-hm" | "3pc" | "mal-hm" | "4pc". *)
 
+(** {2 Shared execution path}
+
+    The party runtime (lib/party/) executes queries through exactly these
+    functions, so a cluster's per-query results and tallies are
+    byte-identical to this in-process service by construction. *)
+
+val query_seed_for : seed:int -> proto_label:string -> sql:string -> int
+(** The per-query session seed: a pure function of (service seed,
+    protocol label, normalized SQL) — never of execution history. *)
+
+val canonical_rows :
+  (string * int array) list -> string list -> string list * int list list
+(** Project the revealed columns onto the SELECT list and sort rows
+    lexicographically ([Table.reveal] shuffles before opening, so the
+    arrival order carries no information). *)
+
+val execute_sql :
+  ctx:Orq_proto.Ctx.t ->
+  db:Orq_workloads.Tpch_gen.mpc ->
+  qseed:int ->
+  max_rows:int ->
+  string ->
+  Orq_net.Wire.response
+(** Reseed to [qseed], run the SQL through the planner over [db], reveal,
+    canonicalize; parse errors and protocol aborts come back as
+    [Error_r] frames. Scoped online/preprocessing tallies and modeled
+    LAN/WAN times ride on the [Result]. *)
+
 val pace_of_label : string -> (Orq_net.Netsim.profile option, string) result
 (** "off" | "none" | "" | "lan" | "wan" | "geo". *)

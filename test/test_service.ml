@@ -43,14 +43,21 @@ let test_wire_requests () =
   List.iter
     (fun r -> assert (roundtrip_request r = r))
     [
-      Wire.Hello { h_proto = "sh-dm"; h_client = "" };
-      Wire.Hello { h_proto = "mal-hm"; h_client = "analytics-team" };
+      Wire.Hello
+        {
+          h_version = Wire.protocol_version;
+          h_proto = "sh-dm";
+          h_client = "";
+        };
+      Wire.Hello
+        { h_version = 1; h_proto = "mal-hm"; h_client = "analytics-team" };
       Wire.Query "SELECT x FROM t";
       Wire.Query_p { q_sql = "SELECT y FROM u"; q_prio = 0 };
       Wire.Query_p { q_sql = "SELECT z FROM v"; q_prio = 2 };
       Wire.Ping;
       Wire.Stats_req;
       Wire.Set_workers 8;
+      Wire.Net_stats_req;
     ]
 
 let test_wire_responses () =
