@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
+.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-join bench-join-quick bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -48,6 +48,17 @@ bench-rounds:
 # BENCH_bitpack.json. ORQ_BITPACK_QUICK=1 runs a representative subset.
 bench-bitpack:
 	dune exec bench/main.exe -- bitpack
+
+# Physical-join selection audit: the join-heavy TPC-H queries under
+# forced sort/linear/quad and cost-based auto (ORQ_JOIN), every run
+# plaintext-validated; gates that linear beats sort on measured rounds
+# and/or bits and that auto never loses to a forced mode; refreshes
+# BENCH_join.json. ORQ_JOIN_QUICK=1 runs Q3/Q9 under sh-hm in ~2 min.
+bench-join:
+	dune exec bench/main.exe -- join --sf 0.0002
+
+bench-join-quick:
+	ORQ_JOIN_QUICK=1 dune exec bench/main.exe -- join --sf 0.0002
 
 # Foreground query service on $(ORQ_SOCKET); query it with
 #   dune exec bin/orq_cli.exe -- query --socket $(ORQ_SOCKET) "SELECT ..."

@@ -16,7 +16,7 @@
 let experiments =
   [ "all"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
     "fig12"; "table1"; "table2"; "table7"; "ablation"; "micro";
-    "micro-kernels"; "rounds"; "bitpack" ]
+    "micro-kernels"; "rounds"; "bitpack"; "join" ]
 
 let usage () =
   Printf.printf "usage: main.exe [%s] [--sf F] [--n N]\n"
@@ -71,5 +71,9 @@ let () =
   (* explicit-only: packed-vs-word flag lanes micro + end-to-end + query
      suite invariant gate; writes BENCH_bitpack.json *)
   if List.mem "bitpack" cmds then Bitpack.run ();
+  (* explicit-only: physical-join operator comparison (sort vs linear vs
+     quad vs cost-based auto) over the join-heavy queries; writes
+     BENCH_join.json *)
+  if List.mem "join" cmds then Join.run ~sf ();
   Printf.printf "\ntotal bench wall time: %.1fs\n"
     (Unix.gettimeofday () -. t0)

@@ -12,6 +12,12 @@ open Orq_workloads
 open Bench_util
 module Comm = Orq_net.Comm
 module Netsim = Orq_net.Netsim
+module Joincost = Orq_core.Joincost
+
+let chosen_joins () =
+  List.map
+    (fun (d : Joincost.decision) -> Joincost.op_label d.Joincost.jd_chosen)
+    (Joincost.log ())
 
 type qrow = {
   r_name : string;
@@ -19,6 +25,8 @@ type qrow = {
   r_unfused : Comm.tally;
   r_ok_fused : bool;
   r_ok_unfused : bool;
+  r_joins : string list;
+      (** physical join operator run at each join node (Joincost log) *)
 }
 
 (* The queries the fusion work targets (multi-leg filters, aggregation
@@ -33,19 +41,21 @@ let with_fusion fused f =
 
 let run_tpch kind plain (q : Tpch.query) ~fused =
   with_fusion fused (fun () ->
+      Joincost.reset_log ();
       let ctx = Ctx.create ~seed:5 kind in
       let mdb = Tpch_gen.share ctx plain in
       let before = Comm.snapshot ctx.Ctx.comm in
       let ok, _, _ = Tpch.validate q plain mdb in
-      (ok, Comm.since ctx.Ctx.comm before))
+      (ok, Comm.since ctx.Ctx.comm before, chosen_joins ()))
 
 let run_other kind oplain (q : Other_queries.query) ~fused =
   with_fusion fused (fun () ->
+      Joincost.reset_log ();
       let ctx = Ctx.create ~seed:13 kind in
       let mdb = Other_gen.share ctx oplain in
       let before = Comm.snapshot ctx.Ctx.comm in
       let ok, _, _ = Other_queries.validate q oplain mdb in
-      (ok, Comm.since ctx.Ctx.comm before))
+      (ok, Comm.since ctx.Ctx.comm before, chosen_joins ()))
 
 let reduction_pct (r : qrow) =
   if r.r_unfused.Comm.t_rounds = 0 then 0.
@@ -70,12 +80,15 @@ let json_of_row (r : qrow) =
   Printf.sprintf
     "    {\"name\":\"%s\",\"rounds_fused\":%d,\"rounds_unfused\":%d,\
      \"reduction_pct\":%.1f,\"bits\":%d,\"messages\":%d,\
-     \"bits_match\":%b,\"ok_fused\":%b,\"ok_unfused\":%b,\"net\":{%s}}"
+     \"bits_match\":%b,\"ok_fused\":%b,\"ok_unfused\":%b,\"joins\":[%s],\
+     \"net\":{%s}}"
     r.r_name r.r_fused.Comm.t_rounds r.r_unfused.Comm.t_rounds
     (reduction_pct r) r.r_fused.Comm.t_bits r.r_fused.Comm.t_messages
     (r.r_fused.Comm.t_bits = r.r_unfused.Comm.t_bits
     && r.r_fused.Comm.t_messages = r.r_unfused.Comm.t_messages)
-    r.r_ok_fused r.r_ok_unfused net
+    r.r_ok_fused r.r_ok_unfused
+    (String.concat "," (List.map (Printf.sprintf "\"%s\"") r.r_joins))
+    net
 
 let run ~sf ~other_n () =
   let quick =
@@ -101,8 +114,8 @@ let run ~sf ~other_n () =
       (fun (q : Tpch.query) ->
         if not (keep q.Tpch.name) then None
         else
-          let ok_f, f = run_tpch kind plain q ~fused:true in
-          let ok_u, u = run_tpch kind plain q ~fused:false in
+          let ok_f, f, joins = run_tpch kind plain q ~fused:true in
+          let ok_u, u, _ = run_tpch kind plain q ~fused:false in
           Some
             {
               r_name = q.Tpch.name;
@@ -110,14 +123,15 @@ let run ~sf ~other_n () =
               r_unfused = u;
               r_ok_fused = ok_f;
               r_ok_unfused = ok_u;
+              r_joins = joins;
             })
       Tpch.all
     @ List.filter_map
         (fun (q : Other_queries.query) ->
           if not (keep q.Other_queries.name) then None
           else
-            let ok_f, f = run_other kind oplain q ~fused:true in
-            let ok_u, u = run_other kind oplain q ~fused:false in
+            let ok_f, f, joins = run_other kind oplain q ~fused:true in
+            let ok_u, u, _ = run_other kind oplain q ~fused:false in
             Some
               {
                 r_name = q.Other_queries.name;
@@ -125,14 +139,15 @@ let run ~sf ~other_n () =
                 r_unfused = u;
                 r_ok_fused = ok_f;
                 r_ok_unfused = ok_u;
+                r_joins = joins;
               })
         Other_queries.all
   in
-  hdr "%-14s %9s %9s %7s %12s %6s %10s %10s" "query" "rounds" "fused"
-    "cut%" "bits" "b/m=" "WAN-net" "WAN-fused";
+  hdr "%-14s %9s %9s %7s %12s %6s %10s %10s  %s" "query" "rounds" "fused"
+    "cut%" "bits" "b/m=" "WAN-net" "WAN-fused" "joins";
   List.iter
     (fun r ->
-      hdr "%-14s %9d %9d %6.1f%% %12d %6s %10s %10s" r.r_name
+      hdr "%-14s %9d %9d %6.1f%% %12d %6s %10s %10s  %s" r.r_name
         r.r_unfused.Comm.t_rounds r.r_fused.Comm.t_rounds (reduction_pct r)
         r.r_fused.Comm.t_bits
         (if
@@ -141,7 +156,8 @@ let run ~sf ~other_n () =
          then "yes"
          else "NO")
         (pretty_time (Netsim.network_time Netsim.wan r.r_unfused))
-        (pretty_time (Netsim.network_time Netsim.wan r.r_fused)))
+        (pretty_time (Netsim.network_time Netsim.wan r.r_fused))
+        (String.concat "," r.r_joins))
     rows;
   let bad_traffic =
     List.filter

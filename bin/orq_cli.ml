@@ -369,7 +369,32 @@ let party_run id listen_s peers_s client_s proto seed sf max_rows verbose
         Printf.eprintf "party error: %s\n" msg;
         1
 
-let client_query socket proto prio timeout_ms set_workers net_stats sql =
+(* --explain: the per-join-node physical-operator decisions of a cold
+   execution — chosen operator first, then every priced candidate. *)
+let print_explain label (e : Wire.explain) =
+  Printf.printf "physical join plan under %s (mode %s, profile %s):\n" label
+    e.Wire.e_mode e.Wire.e_profile;
+  if e.Wire.e_joins = [] then print_endline "  (no join nodes)";
+  List.iter
+    (fun (j : Wire.join_decision) ->
+      Printf.printf "  %s  [%s, n=%d, m=%d] -> %s%s\n" j.Wire.je_node
+        j.Wire.je_variant j.Wire.je_n j.Wire.je_m j.Wire.je_chosen
+        (if j.Wire.je_forced then " (forced)" else "");
+      List.iter
+        (fun (c : Wire.join_cand) ->
+          Printf.printf
+            "   %s %-6s  %7d rounds | %11d bits | %9d msgs | est. %.4fs\n"
+            (if c.Wire.jc_op = j.Wire.je_chosen then "*" else " ")
+            c.Wire.jc_op c.Wire.jc_rounds c.Wire.jc_bits c.Wire.jc_messages
+            c.Wire.jc_est_s)
+        j.Wire.je_cands)
+    e.Wire.e_joins;
+  if e.Wire.e_fallbacks > 0 then
+    Printf.printf "note: %d out-of-class quadratic fallback(s)\n"
+      e.Wire.e_fallbacks
+
+let client_query socket proto prio timeout_ms set_workers net_stats explain sql
+    =
   match Client.connect ?timeout_ms socket with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "cannot connect to %s: %s (is the server running?)\n"
@@ -386,6 +411,14 @@ let client_query socket proto prio timeout_ms set_workers net_stats sql =
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           1
+      | Ok label when explain -> (
+          match Client.explain c sql with
+          | Error (code, msg) ->
+              Printf.eprintf "error (%s): %s\n" (Wire.err_label code) msg;
+              1
+          | Ok e ->
+              print_explain label e;
+              0)
       | Ok label -> (
           match Client.query ?prio c sql with
           | Error (code, msg) ->
@@ -626,12 +659,22 @@ let query_cmd =
             "After the query, fetch the cluster's measured on-the-wire \
              traffic (party clusters only).")
   in
+  let explain_t =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Instead of the result, print the per-join-node physical \
+             operator decisions of a cold execution: the chosen operator \
+             and every applicable candidate's predicted rounds, bits, \
+             messages, and modeled network seconds.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"send one SQL query to a running service or party cluster")
     Term.(
       const client_query $ socket_t $ proto_label_t $ prio_t $ timeout_t
-      $ set_workers_t $ net_stats_t $ sql_pos_t)
+      $ set_workers_t $ net_stats_t $ explain_t $ sql_pos_t)
 
 let party_cmd =
   let id_t =

@@ -110,3 +110,45 @@ let tally_of (evs : Comm.event array) : Comm.tally =
         t_messages = t.Comm.t_messages + e.Comm.ev_messages;
       })
     Comm.zero_tally evs
+
+(* ------------------------------------------------------------------ *)
+(* Physical join candidates                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The planner-facing face of the cost model: closed-form (rounds, bits,
+    messages) per candidate physical join operator, as a function of
+    public node shape only. The forms themselves live next to the
+    operators in {!Orq_core.Joincost} — where {!Orq_core.Dataflow} prices
+    every join node before executing the winner — and are re-exported
+    here so analysis tooling prices plans through one module. *)
+module Join = struct
+  type op = Orq_core.Joincost.op = Sort | Linear | Quad
+
+  type shape = Orq_core.Joincost.shape = {
+    j_n : int;
+    j_m : int;
+    j_key_w : int list;
+    j_copy_w : int list;
+    j_pay_w : int list;
+    j_aggs : bool;
+    j_bounded : bool;
+    j_variant : Orq_core.Joincost.variant;
+  }
+
+  let applicable = Orq_core.Joincost.applicable
+  let predict = Orq_core.Joincost.predict
+  let seconds = Orq_core.Joincost.seconds
+  let choose = Orq_core.Joincost.choose
+
+  (** Every applicable candidate with its predicted tally and modeled
+      network seconds under the active pacing profile, cheapest first. *)
+  let rank ctx shape =
+    List.filter_map
+      (fun op ->
+        if applicable ctx shape op then
+          let t = predict ctx shape op in
+          Some (op, t, seconds t)
+        else None)
+      [ Sort; Linear; Quad ]
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+end

@@ -88,6 +88,24 @@ let all : entry list =
       "partition control flow driven by the post-shuffle comparison bits \
        above; trace is data-independent in distribution (Appendix B.1) — \
        certified modulo-quicksort by the transcript certifier";
+    (* --- linear join: keyed fingerprints behind independent shuffles --- *)
+    ok "Linjoin.join" Declass "open_many"
+      "LINQ-style linear join (PAPERS.md): opens per-row key fingerprints \
+       f = PRF_k(key) after (a) displacing every invalid row by a fresh \
+       uniform mask, (b) routing each side through an independent fresh \
+       random shuffle, and (c) keying the fingerprint with per-query \
+       secret constants (a secret multiplier and two keyed squarings \
+       standing in for a shared-key PRF). The opened multisets reveal \
+       only the declared LINQ profile — each side's valid key-multiplicity \
+       histogram and the cross-side match structure, behind uniform row \
+       positions — which Joincost prices as this operator's leakage class; \
+       the zero-leakage alternative remains the sort-based Joinagg";
+    ok "Linjoin.join" Branch "*"
+      "plaintext hash matching over the opened fingerprints above: \
+       control flow is a function of the declared opened values only, and \
+       drives nothing but local gathers and public validity masks (no \
+       further interactive work depends on it, so transcripts stay \
+       shape-deterministic for the certifier)";
     (* --- result delivery --- *)
     ok "Table.reveal" Declass "open_"
       "the analyst's output opening (§3.1): invalid rows are zero-masked \

@@ -437,13 +437,56 @@ type join_agg = Joinagg.agg_spec = {
   a_width : int;
 }
 
+(* The public shape of a join node, handed to the cost-based operator
+   selection (Joincost): cardinalities and widths only. *)
+let join_shape (left : Table.t) (right : Table.t) ~(on : string list)
+    ~(copy : string list) ~(aggs : bool) ~(bounded : bool)
+    ~(variant : Joincost.variant) : Joincost.shape =
+  let keys_w =
+    List.map (fun k -> max (Table.width left k) (Table.width right k)) on
+  in
+  let pay_w =
+    List.filter_map
+      (fun (name, c) ->
+        if List.mem name on then None else Some c.Column.width)
+      right.Table.cols
+  in
+  {
+    Joincost.j_n = Table.nrows left;
+    j_m = Table.nrows right;
+    j_key_w = keys_w;
+    j_copy_w = List.map (fun c -> Table.width left c) copy;
+    j_pay_w = pay_w;
+    j_aggs = aggs;
+    j_bounded = bounded;
+    j_variant = variant;
+  }
+
 (** INNER JOIN (one-to-many: [left] must have unique keys — pre-aggregate
     first for many-to-many, §3.6). [copy] propagates left columns into the
-    matching right rows. *)
+    matching right rows. The physical operator — sort-based
+    join-aggregation, LINQ-style linear join, or the quadratic baseline —
+    is chosen per node by the {!Joincost} cost model (override with
+    [ORQ_JOIN]). *)
 let inner_join ?copy ?aggs ?trim (left : Table.t) (right : Table.t)
     ~(on : string list) : Table.t =
-  Joinagg.join (Table.ctx left) Joinagg.V_inner ?copy ?aggs ?trim ~left ~right
-    ~on ()
+  let ctx = Table.ctx left in
+  let has_aggs = match aggs with Some (_ :: _) -> true | _ -> false in
+  let shape =
+    join_shape left right ~on
+      ~copy:(Option.value copy ~default:[])
+      ~aggs:has_aggs
+      ~bounded:(trim = Some `Always)
+      ~variant:Joincost.J_inner
+  in
+  let node =
+    Printf.sprintf "%s \xe2\x8b\x88 %s" left.Table.name right.Table.name
+  in
+  match Joincost.choose_logged ctx ~node shape with
+  | Joincost.Linear -> Linjoin.join ctx `Inner ?copy ~left ~right ~on ()
+  | Joincost.Quad -> Linjoin.quad ctx ?copy ~left ~right ~on ()
+  | Joincost.Sort ->
+      Joinagg.join ctx Joinagg.V_inner ?copy ?aggs ?trim ~left ~right ~on ()
 
 let left_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
     ~(on : string list) : Table.t =
@@ -490,10 +533,23 @@ let theta_join ?copy ?aggs ?trim (left : Table.t) (right : Table.t)
     left schema. Handles duplicates on both sides. *)
 let semi_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
     Table.t =
+  let ctx = Table.ctx left in
   let right' = Table.project right on in
+  let shape =
+    join_shape right' left ~on ~copy:[] ~aggs:false
+      ~bounded:(trim = Some `Always) ~variant:Joincost.J_semi
+  in
+  let node =
+    Printf.sprintf "%s \xe2\x8b\x89 %s" left.Table.name right.Table.name
+  in
   let joined =
-    Joinagg.join (Table.ctx left) Joinagg.V_inner ?trim ~left:right'
-      ~right:left ~on ()
+    (* the linear operator needs no unique-key contract here: with no copy
+       columns only membership in the build side matters, and duplicate
+       build keys share one fingerprint *)
+    match Joincost.choose_logged ctx ~node shape with
+    | Joincost.Linear -> Linjoin.join ctx `Inner ~left:right' ~right:left ~on ()
+    | Joincost.Quad | Joincost.Sort ->
+        Joinagg.join ctx Joinagg.V_inner ?trim ~left:right' ~right:left ~on ()
   in
   Table.rename (Table.project joined (Table.col_names left)) left.Table.name
 
@@ -501,10 +557,20 @@ let semi_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
     with cross-table valid propagation, Appendix C.1). *)
 let anti_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
     Table.t =
+  let ctx = Table.ctx left in
   let right' = Table.project right on in
+  let shape =
+    join_shape right' left ~on ~copy:[] ~aggs:false
+      ~bounded:(trim = Some `Always) ~variant:Joincost.J_anti
+  in
+  let node =
+    Printf.sprintf "%s \xe2\x96\xb7 %s" left.Table.name right.Table.name
+  in
   let joined =
-    Joinagg.join (Table.ctx left) Joinagg.V_anti ?trim ~left:right'
-      ~right:left ~on ()
+    match Joincost.choose_logged ctx ~node shape with
+    | Joincost.Linear -> Linjoin.join ctx `Anti ~left:right' ~right:left ~on ()
+    | Joincost.Quad | Joincost.Sort ->
+        Joinagg.join ctx Joinagg.V_anti ?trim ~left:right' ~right:left ~on ()
   in
   Table.rename (Table.project joined (Table.col_names left)) left.Table.name
 

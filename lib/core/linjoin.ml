@@ -1,0 +1,243 @@
+(** LINQ-style linear-complexity oblivious join — see the interface for
+    the contract and the declared leakage.
+
+    Pipeline (all vector lengths are the public physical sizes n, m,
+    N = n + m):
+
+    + pack the per-row composite key into one ring word (widths maxed
+      across sides; local GF(2) shifts and xors);
+    + convert packed keys to arithmetic and validity bits to 0/1 in one
+      fused opening round;
+    + fingerprint every row under per-query secret constants (r, c1, c2)
+      and a per-row fresh mask u:
+      {[ f = ((x*r + c1)^2 + c2)^2 + (1 - v) * u ]}
+      — four multiplication lanes in three fused rounds. The secret
+      multiplier and the two keyed squarings stand in for a shared-key
+      PRF on the key (equal keys agree, distinct keys collide with
+      probability ~ (n*m)/2^57); invalid rows are displaced by the
+      uniform mask u, so they never match anything;
+    + shuffle build and probe sides under independent random sharded
+      permutations (rounds fused), carrying each side's payload columns;
+    + open both fingerprint columns in one fused round and match them
+      with a plaintext hash table — the only plaintext work, on values
+      whose joint distribution is the declared LINQ profile;
+    + assemble the output locally: public match indices gather the build
+      payload; the probe validity column is AND-masked with the public
+      matched (inner) or unmatched (anti) pattern. *)
+
+open Orq_proto
+module Ring = Orq_util.Ring
+module Permops = Orq_shuffle.Permops
+
+let sum_widths (left : Table.t) (right : Table.t) (on : string list) =
+  List.fold_left
+    (fun acc k -> acc + max (Table.width left k) (Table.width right k))
+    0 on
+
+let packable (ctx : Ctx.t) ~(left : Table.t) ~(right : Table.t)
+    ~(on : string list) =
+  let wk = sum_widths left right on in
+  on <> [] && wk >= 1 && wk <= ctx.Ctx.ell - 1
+
+(* Pack a table's join-key columns into one boolean-shared ring word per
+   row: column k shifted to its offset, all xored (local, linear). *)
+let pack_keys (ctx : Ctx.t) (t : Table.t) ~(on : string list)
+    ~(widths : int list) : Share.shared =
+  let packed, _ =
+    List.fold_left2
+      (fun (acc, off) k w ->
+        let c = Mpc.and_mask (Column.as_bool ctx (Table.find t k)) (Ring.mask w) in
+        let c = if off = 0 then c else Mpc.lshift c off in
+        ((match acc with None -> Some c | Some a -> Some (Mpc.xor a c)), off + w))
+      (None, 0) on widths
+  in
+  Option.get packed
+
+(* Broadcast element [i] of a (short) shared vector across n rows — share
+   replication is linear. *)
+let broadcast_elt (s : Share.shared) i n =
+  Share.map_vectors (fun vk -> Array.make n vk.(i)) s
+
+let join (ctx : Ctx.t) (variant : [ `Inner | `Anti ])
+    ?(copy : string list = []) ~(left : Table.t) ~(right : Table.t)
+    ~(on : string list) () : Table.t =
+  Ctx.with_label ctx "linjoin" @@ fun () ->
+  let n = Table.nrows left and m = Table.nrows right in
+  if n = 0 || m = 0 then invalid_arg "Linjoin.join: empty input";
+  if variant = `Anti && copy <> [] then
+    invalid_arg "Linjoin.join: anti join carries no copy columns";
+  if not (packable ctx ~left ~right ~on) then
+    invalid_arg "Linjoin.join: composite key does not pack into one word";
+  let widths =
+    List.map (fun k -> max (Table.width left k) (Table.width right k)) on
+  in
+  let wk = List.fold_left ( + ) 0 widths in
+  let nm = n + m in
+  (* --- 1-2: pack keys, concatenate sides, convert in one fused round --- *)
+  let kcat =
+    Share.append
+      (pack_keys ctx left ~on ~widths)
+      (pack_keys ctx right ~on ~widths)
+  in
+  let vcat = Share.append left.Table.valid right.Table.valid in
+  let conv =
+    Mpc.fuse_rounds ctx
+      [|
+        (fun () -> Orq_circuits.Convert.b2a ~w:wk ctx kcat);
+        (fun () -> Orq_circuits.Convert.bit_b2a ctx vcat);
+      |]
+  in
+  let x = conv.(0) and va = conv.(1) in
+  (* --- 3: fingerprint under secret constants and per-row masks --- *)
+  let rc = Dealer.random_shared ctx Share.Arith 3 in
+  let u = Dealer.random_shared ctx Share.Arith nm in
+  let t = Mpc.add_pub (Mpc.neg va) 1 in
+  let prods = Mpc.mul_many ctx [| x; t |] [| broadcast_elt rc 0 nm; u |] in
+  let s1 = Mpc.add prods.(0) (broadcast_elt rc 1 nm) in
+  let y = Mpc.mul ctx s1 s1 in
+  let s2 = Mpc.add y (broadcast_elt rc 2 nm) in
+  let z = Mpc.mul ctx s2 s2 in
+  let f = Mpc.add z prods.(1) in
+  (* --- 4-5: split sides, shuffle independently (rounds fused),
+         carrying each side's payload --- *)
+  let f_build, f_probe = Share.split2 f n in
+  let copy_cols =
+    List.map (fun c -> Column.as_bool ctx (Table.find left c)) copy
+  in
+  let probe_data =
+    List.map (fun (_, c) -> Column.as_bool ctx c) right.Table.cols
+  in
+  let shuffled =
+    Mpc.fuse_rounds ctx
+      [|
+        (fun () -> Permops.shuffle_table ctx (f_build :: copy_cols));
+        (fun () ->
+          Permops.shuffle_table ctx (f_probe :: right.Table.valid :: probe_data));
+      |]
+  in
+  let build', probe' = (shuffled.(0), shuffled.(1)) in
+  let fb' = List.hd build' and copied' = List.tl build' in
+  let fp', pvalid', probe_data' =
+    match probe' with
+    | fp :: v :: rest -> (fp, v, rest)
+    | _ -> assert false
+  in
+  (* --- 6: open both fingerprint columns in one fused round --- *)
+  let opened = Mpc.open_many ctx [| fb'; fp' |] in
+  let ob = opened.(0) and op = opened.(1) in
+  (* --- 7: plaintext matching on the opened fingerprints. Duplicate
+         build fingerprints keep the first hit: valid build keys are
+         unique by contract and invalid rows are uniformly displaced, so
+         ties only arise from negligible-probability collisions. --- *)
+  let tbl = Hashtbl.create (2 * n) in
+  for i = n - 1 downto 0 do
+    Hashtbl.replace tbl ob.(i) i
+  done;
+  let gidx = Array.make m 0 in
+  let matched = Array.make m 0 in
+  for j = 0 to m - 1 do
+    match Hashtbl.find_opt tbl op.(j) with
+    | Some i ->
+        gidx.(j) <- i;
+        matched.(j) <- 1
+    | None -> ()
+  done;
+  (* --- 8: output validity — a local AND with the public match pattern.
+         A matched probe row's build partner is valid with overwhelming
+         probability (invalid fingerprints are uniform), so no secure AND
+         with the build validity is needed. --- *)
+  let mask =
+    match variant with
+    | `Inner -> matched
+    | `Anti -> Array.map (fun b -> 1 - b) matched
+  in
+  let valid_out = Mpc.and_mask_vec pvalid' mask in
+  (* --- 9: assemble — probe columns pass through; copy columns gather
+         the matching build rows by public index (garbage on unmatched
+         rows, which are invalid) --- *)
+  let key_w = List.combine on widths in
+  let out_cols =
+    List.map2
+      (fun (name, c) d ->
+        let w =
+          match List.assoc_opt name key_w with
+          | Some w -> w
+          | None -> c.Column.width
+        in
+        (name, Column.of_shared ~width:w d))
+      right.Table.cols probe_data'
+  in
+  let key_cols, pay_cols =
+    List.partition (fun (name, _) -> List.mem name on) out_cols
+  in
+  let key_cols = List.map (fun k -> (k, List.assoc k key_cols)) on in
+  let copy_out =
+    List.map2
+      (fun name d ->
+        let w = (Table.find left name).Column.width in
+        (name, Column.of_shared ~width:w (Share.gather d gidx)))
+      copy copied'
+  in
+  Table.of_columns ctx
+    (left.Table.name ^ "_join_" ^ right.Table.name)
+    ~valid:valid_out
+    (key_cols @ pay_cols @ copy_out)
+
+(* ------------------------------------------------------------------ *)
+(* The quadratic candidate                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quad (ctx : Ctx.t) ?(copy : string list = []) ~(left : Table.t)
+    ~(right : Table.t) ~(on : string list) () : Table.t =
+  Ctx.with_label ctx "quadjoin" @@ fun () ->
+  let n = Table.nrows left and m = Table.nrows right in
+  if n = 0 || m = 0 then invalid_arg "Linjoin.quad: empty input";
+  let p = n * m in
+  let li = Array.init p (fun t -> t / m) and ri = Array.init p (fun t -> t mod m) in
+  let widths =
+    List.map (fun k -> max (Table.width left k) (Table.width right k)) on
+  in
+  let eq =
+    Orq_circuits.Compare.eq_composite ctx
+      (List.map2
+         (fun k w ->
+           ( Share.gather (Column.as_bool ctx (Table.find left k)) li,
+             Share.gather (Column.as_bool ctx (Table.find right k)) ri,
+             w ))
+         on widths)
+  in
+  let vv =
+    Mpc.band1 ctx
+      (Share.gather left.Table.valid li)
+      (Share.gather right.Table.valid ri)
+  in
+  let valid_out = Mpc.band1 ctx vv eq in
+  let key_w = List.combine on widths in
+  let right_cols =
+    List.map
+      (fun (name, c) ->
+        let w =
+          match List.assoc_opt name key_w with
+          | Some w -> w
+          | None -> c.Column.width
+        in
+        (name, Column.of_shared ~width:w (Share.gather (Column.as_bool ctx c) ri)))
+      right.Table.cols
+  in
+  let key_cols, pay_cols =
+    List.partition (fun (name, _) -> List.mem name on) right_cols
+  in
+  let key_cols = List.map (fun k -> (k, List.assoc k key_cols)) on in
+  let copy_out =
+    List.map
+      (fun name ->
+        let c = Table.find left name in
+        ( name,
+          Column.of_shared ~width:c.Column.width
+            (Share.gather (Column.as_bool ctx c) li) ))
+      copy
+  in
+  Table.of_columns ctx
+    (left.Table.name ^ "_join_" ^ right.Table.name)
+    ~valid:valid_out
+    (key_cols @ pay_cols @ copy_out)

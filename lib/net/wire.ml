@@ -10,7 +10,7 @@ let max_frame = 16 * 1024 * 1024
 (* Compat guard for future wire changes: [Hello] carries the client's
    protocol version; the server rejects a mismatch with a clear error
    instead of mis-decoding later frames. Bump on any frame-layout change. *)
-let protocol_version = 2
+let protocol_version = 3
 
 type err_code = Bad_request | Busy | Too_large | Internal
 
@@ -60,6 +60,31 @@ type net_stats = {
   n_wall_s : float;  (** coordinator wall-clock of the last query *)
 }
 
+type join_cand = {
+  jc_op : string;  (** "sort" | "linear" | "quad" *)
+  jc_rounds : int;
+  jc_bits : int;
+  jc_messages : int;
+  jc_est_s : float;  (** modeled network seconds under the active profile *)
+}
+
+type join_decision = {
+  je_node : string;  (** "left ⋈ right" *)
+  je_variant : string;  (** inner | semi | anti | outer *)
+  je_n : int;  (** build-side physical rows *)
+  je_m : int;  (** probe-side physical rows *)
+  je_chosen : string;
+  je_forced : bool;  (** chosen by a forced mode, not by price *)
+  je_cands : join_cand list;
+}
+
+type explain = {
+  e_mode : string;  (** active ORQ_JOIN mode: auto | sort | linear | quad *)
+  e_profile : string;  (** pacing profile costs were compared under *)
+  e_fallbacks : int;  (** out-of-class quadratic fallbacks *)
+  e_joins : join_decision list;
+}
+
 type request =
   | Hello of { h_version : int; h_proto : string; h_client : string }
   | Query of string
@@ -68,6 +93,9 @@ type request =
   | Stats_req
   | Set_workers of int
   | Net_stats_req
+  | Explain of string
+      (** execute the SQL cold (bypassing the plan cache) and return the
+          per-join-node physical-operator decisions *)
 
 type response =
   | Hello_ok of { session : int; proto : string }
@@ -76,6 +104,7 @@ type response =
   | Pong
   | Stats_r of stats
   | Net_stats_r of net_stats
+  | Explain_r of explain
 
 (* ------------------------------------------------------------------ *)
 (* Encoding primitives                                                 *)
@@ -206,6 +235,7 @@ and tag_stats_req = 0x04
 and tag_query_p = 0x05
 and tag_set_workers = 0x06
 and tag_net_stats_req = 0x07
+and tag_explain = 0x08
 
 let tag_hello_ok = 0x81
 and tag_result = 0x82
@@ -213,6 +243,7 @@ and tag_error = 0x83
 and tag_pong = 0x84
 and tag_stats = 0x85
 and tag_net_stats = 0x86
+and tag_explain_r = 0x87
 
 let encode_request (r : request) : bytes =
   let b = Buffer.create 64 in
@@ -234,7 +265,10 @@ let encode_request (r : request) : bytes =
   | Set_workers n ->
       put_u8 b tag_set_workers;
       put_u32 b n
-  | Net_stats_req -> put_u8 b tag_net_stats_req);
+  | Net_stats_req -> put_u8 b tag_net_stats_req
+  | Explain sql ->
+      put_u8 b tag_explain;
+      put_string b sql);
   Buffer.to_bytes b
 
 let code_of_int = function
@@ -298,7 +332,29 @@ let encode_response (r : response) : bytes =
       put_f64 b s.s_wait_p50_ms;
       put_f64 b s.s_wait_p95_ms;
       put_f64 b s.s_exec_p50_ms;
-      put_f64 b s.s_exec_p95_ms);
+      put_f64 b s.s_exec_p95_ms
+  | Explain_r e ->
+      put_u8 b tag_explain_r;
+      put_string b e.e_mode;
+      put_string b e.e_profile;
+      put_i64 b e.e_fallbacks;
+      put_list b
+        (fun b (j : join_decision) ->
+          put_string b j.je_node;
+          put_string b j.je_variant;
+          put_i64 b j.je_n;
+          put_i64 b j.je_m;
+          put_string b j.je_chosen;
+          put_bool b j.je_forced;
+          put_list b
+            (fun b (cand : join_cand) ->
+              put_string b cand.jc_op;
+              put_i64 b cand.jc_rounds;
+              put_i64 b cand.jc_bits;
+              put_i64 b cand.jc_messages;
+              put_f64 b cand.jc_est_s)
+            j.je_cands)
+        e.e_joins);
   Buffer.to_bytes b
 
 let decode_request (body : bytes) : request =
@@ -319,6 +375,7 @@ let decode_request (body : bytes) : request =
     | t when t = tag_stats_req -> Stats_req
     | t when t = tag_set_workers -> Set_workers (get_u32 c)
     | t when t = tag_net_stats_req -> Net_stats_req
+    | t when t = tag_explain -> Explain (get_string c)
     | t -> fail "unknown request tag 0x%02x" t
   in
   finish c;
@@ -411,6 +468,30 @@ let decode_response (body : bytes) : response =
             s_exec_p50_ms;
             s_exec_p95_ms;
           }
+    | t when t = tag_explain_r ->
+        let e_mode = get_string c in
+        let e_profile = get_string c in
+        let e_fallbacks = get_i64 c in
+        let e_joins =
+          get_list c (fun c ->
+              let je_node = get_string c in
+              let je_variant = get_string c in
+              let je_n = get_i64 c in
+              let je_m = get_i64 c in
+              let je_chosen = get_string c in
+              let je_forced = get_bool c in
+              let je_cands =
+                get_list c (fun c ->
+                    let jc_op = get_string c in
+                    let jc_rounds = get_i64 c in
+                    let jc_bits = get_i64 c in
+                    let jc_messages = get_i64 c in
+                    let jc_est_s = get_f64 c in
+                    { jc_op; jc_rounds; jc_bits; jc_messages; jc_est_s })
+              in
+              { je_node; je_variant; je_n; je_m; je_chosen; je_forced; je_cands })
+        in
+        Explain_r { e_mode; e_profile; e_fallbacks; e_joins }
     | t -> fail "unknown response tag 0x%02x" t
   in
   finish c;

@@ -85,6 +85,36 @@ type net_stats = {
     {!Comm} tallies. Served only by party clusters ({!request.Net_stats_req}
     against the plain in-process service yields [Error_r]). *)
 
+type join_cand = {
+  jc_op : string;  (** "sort" | "linear" | "quad" *)
+  jc_rounds : int;
+  jc_bits : int;
+  jc_messages : int;
+  jc_est_s : float;  (** modeled network seconds under the active profile *)
+}
+(** One priced physical-join candidate from the cost model
+    ({!Orq_core.Joincost}). *)
+
+type join_decision = {
+  je_node : string;  (** "left ⋈ right" *)
+  je_variant : string;  (** inner | semi | anti | outer *)
+  je_n : int;  (** build-side physical rows *)
+  je_m : int;  (** probe-side physical rows *)
+  je_chosen : string;
+  je_forced : bool;  (** chosen by a forced mode, not by price *)
+  je_cands : join_cand list;
+}
+(** The physical-operator decision at one join node. *)
+
+type explain = {
+  e_mode : string;  (** active ORQ_JOIN mode: auto | sort | linear | quad *)
+  e_profile : string;  (** pacing profile costs were compared under *)
+  e_fallbacks : int;  (** out-of-class quadratic fallbacks *)
+  e_joins : join_decision list;
+}
+(** The response body of {!request.Explain}: every join node's physical
+    operator choice with all candidates' predicted costs. *)
+
 type request =
   | Hello of { h_version : int; h_proto : string; h_client : string }
       (** [h_version] is the client's {!protocol_version} (mismatches are
@@ -104,6 +134,9 @@ type request =
   | Net_stats_req
       (** measured mesh traffic of the cluster's last query (party
           clusters only) *)
+  | Explain of string
+      (** execute the SQL cold (bypassing the plan cache) and return the
+          per-join-node physical-operator decisions *)
 
 type response =
   | Hello_ok of { session : int; proto : string }
@@ -112,6 +145,7 @@ type response =
   | Pong
   | Stats_r of stats
   | Net_stats_r of net_stats
+  | Explain_r of explain
 
 (** {2 Framed I/O} *)
 

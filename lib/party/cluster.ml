@@ -385,6 +385,17 @@ let handle_client_request (cfg : config) (b : backend) (ex : Exchange.t)
   | Wire.Query_p { q_sql; q_prio = _ } ->
       (* the mesh is one lane: priorities would have nothing to reorder *)
       run q_sql
+  | Wire.Explain sql -> (
+      (* the coordinator executes its own share of the query on this
+         domain, so its decision log is the cluster's (every party makes
+         the identical shape-deterministic choice) *)
+      Orq_core.Joincost.reset_log ();
+      match run sql with
+      | Wire.Result r ->
+          Wire.Explain_r
+            (Service.explain_of_log ~fallbacks:r.Wire.r_fallbacks
+               (Orq_core.Joincost.log ()))
+      | other -> other)
   | Wire.Net_stats_req -> (
       match co.c_last with
       | Some s -> Wire.Net_stats_r s

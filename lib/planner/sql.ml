@@ -18,8 +18,10 @@
     where [item] is a column, [expr AS name], or
     [SUM|COUNT|MIN|MAX|AVG(col) AS name], predicates are boolean
     combinations of comparisons over integer expressions, and join
-    conditions are equalities over same-named columns (the natural-join
-    convention of the engine). Parsed queries become {!Plan} trees; the
+    conditions are column equalities: [USING] follows the engine's
+    natural-join convention, while [ON a = b] with distinct names
+    renames the right table's column into the left's, so
+    differently-prefixed schemas (TPC-H) join directly. Parsed queries become {!Plan} trees; the
     optimizer and compiler then apply the paper's rewrites, including the
     automatic §3.6 pre-aggregation for many-to-many joins. *)
 
@@ -303,7 +305,12 @@ let parse_query (cat : catalog) (sql : string) : Plan.node * string list =
   in
   let plan = ref (scan_of (ident st)) in
   while accept_kw st "JOIN" do
-    let right = scan_of (ident st) in
+    let rname = ident st in
+    let rtbl, rkeys =
+      match cat rname with
+      | t, keys -> (ref t, ref keys)
+      | exception Not_found -> fail "unknown table: %s" rname
+    in
     let cols = ref [] in
     if accept_kw st "USING" then begin
       expect_sym st "(";
@@ -319,16 +326,46 @@ let parse_query (cat : catalog) (sql : string) : Plan.node * string list =
         let a = ident st in
         expect_sym st "=";
         let b = ident st in
-        if a <> b then
-          fail "ON %s = %s: join columns must share a name (rename first)" a b;
-        a
+        (a, b)
       in
-      cols := [ eq () ];
+      let pairs = ref [ eq () ] in
       while accept_kw st "AND" do
-        cols := eq () :: !cols
-      done
+        pairs := eq () :: !pairs
+      done;
+      (* [ON a = b] with distinct names renames the right side's column
+         into the left's (either written order), so differently-prefixed
+         schemas like TPC-H join without a rename view; the engine's
+         natural-join convention is restored underneath. *)
+      List.iter
+        (fun (a, b) ->
+          if a = b then cols := a :: !cols
+          else begin
+            let lcols = (Plan.infer !plan).Plan.i_cols in
+            let rcols = Table.col_names !rtbl in
+            let lname, rcol =
+              if List.mem a lcols && List.mem b rcols then (a, b)
+              else if List.mem b lcols && List.mem a rcols then (b, a)
+              else
+                fail
+                  "ON %s = %s: one side must name a column of the tables \
+                   joined so far, the other a column of %s"
+                  a b rname
+            in
+            if List.mem lname (Table.col_names !rtbl) then
+              fail
+                "ON %s = %s: %s already has a column named %s — the rename \
+                 would be ambiguous (use USING (%s))"
+                a b rname lname lname;
+            rtbl := Table.rename_col !rtbl ~from:rcol ~into:lname;
+            rkeys :=
+              List.map
+                (List.map (fun k -> if k = rcol then lname else k))
+                !rkeys;
+            cols := lname :: !cols
+          end)
+        !pairs
     end;
-    plan := Plan.join !plan right ~on:(List.rev !cols)
+    plan := Plan.join !plan (Plan.scan ~keys:!rkeys !rtbl) ~on:(List.rev !cols)
   done;
   if accept_kw st "WHERE" then plan := Plan.filter (parse_pred st) !plan;
   (* derived columns materialize before grouping *)

@@ -77,6 +77,12 @@ let query ?prio t sql =
   | Wire.Error_r { code; msg } -> Error (code, msg)
   | _ -> raise (Service_error "unexpected response to Query")
 
+let explain t sql =
+  match rpc t (Wire.Explain sql) with
+  | Wire.Explain_r e -> Ok e
+  | Wire.Error_r { code; msg } -> Error (code, msg)
+  | _ -> raise (Service_error "unexpected response to Explain")
+
 let ping t = match rpc t Wire.Ping with Wire.Pong -> true | _ -> false
 
 let stats t =

@@ -35,6 +35,13 @@ val query :
     is a priority class (0 = high, 1 = normal, 2 = low; default
     normal). *)
 
+val explain :
+  t -> string -> (Orq_net.Wire.explain, Orq_net.Wire.err_code * string) result
+(** Execute one SQL query cold (bypassing the server's plan cache) and
+    return the per-join-node physical-operator decisions: the chosen
+    operator plus every applicable candidate's predicted rounds, bits,
+    messages, and modeled seconds under the server's active profile. *)
+
 val ping : t -> bool
 val stats : t -> Orq_net.Wire.stats
 

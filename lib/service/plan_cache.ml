@@ -1,4 +1,5 @@
 module Sql = Orq_planner.Sql
+module Joincost = Orq_core.Joincost
 
 (* A single-flight ticket: the first thread to miss on a key becomes the
    leader and executes; followers park on the condition until the leader
@@ -55,8 +56,13 @@ let normalize (sql : string) : string =
            | Sql.Eof -> None)
       |> String.concat " "
 
+(* The physical-plan configuration (ORQ_JOIN mode + pacing profile) is a
+   key component: two configurations that could pick different physical
+   join operators for the same SQL never alias to one cached response. *)
 let key ~proto ~version ~sql =
-  Printf.sprintf "%s|%d|%s" proto version (normalize sql)
+  Printf.sprintf "%s|%d|%s|%s" proto version
+    (Joincost.cache_tag ())
+    (normalize sql)
 
 let find t ~proto ~version ~sql =
   let k = key ~proto ~version ~sql in

@@ -4,6 +4,7 @@ module Comm = Orq_net.Comm
 module Netsim = Orq_net.Netsim
 module Sql = Orq_planner.Sql
 module Table = Orq_core.Table
+module Joincost = Orq_core.Joincost
 module Tpch_gen = Orq_workloads.Tpch_gen
 module Parallel = Orq_util.Parallel
 
@@ -79,6 +80,9 @@ type job = {
   j_sql : string;
   j_proto : Ctx.kind;
   j_qseed : int;  (** per-query session seed: derived, deterministic *)
+  j_explain : bool;
+      (** capture the per-join physical-operator decision log and answer
+          with [Explain_r] instead of [Result] *)
   mutable j_reply : Wire.response option;
   j_m : Mutex.t;
   j_c : Condition.t;
@@ -204,10 +208,52 @@ let execute_sql ~(ctx : Ctx.t) ~(db : Tpch_gen.mpc) ~qseed ~max_rows sql :
           r_wan_s = Netsim.network_time Netsim.wan r_tally;
         }
 
+(* Render the worker domain's Joincost decision log as the Explain wire
+   body. Must run on the domain that executed the query — the log is
+   domain-local state. *)
+let explain_of_log ~fallbacks (ds : Joincost.decision list) : Wire.explain =
+  let cand (op, tally, est) =
+    {
+      Wire.jc_op = Joincost.op_label op;
+      jc_rounds = tally.Comm.t_rounds;
+      jc_bits = tally.Comm.t_bits;
+      jc_messages = tally.Comm.t_messages;
+      jc_est_s = est;
+    }
+  in
+  let dec (d : Joincost.decision) =
+    {
+      Wire.je_node = d.Joincost.jd_node;
+      je_variant = Joincost.variant_label d.jd_shape.Joincost.j_variant;
+      je_n = d.jd_shape.Joincost.j_n;
+      je_m = d.jd_shape.Joincost.j_m;
+      je_chosen = Joincost.op_label d.jd_chosen;
+      je_forced = d.jd_forced;
+      je_cands = List.map cand d.jd_cands;
+    }
+  in
+  {
+    Wire.e_mode = Joincost.mode_label (Joincost.mode ());
+    e_profile = (Joincost.profile ()).Netsim.label;
+    e_fallbacks = fallbacks;
+    e_joins = List.map dec ds;
+  }
+
 let execute t backends (j : job) : Wire.response =
   let b = backend t backends j.j_proto in
-  execute_sql ~ctx:b.b_ctx ~db:b.b_db ~qseed:j.j_qseed ~max_rows:t.cfg.max_rows
-    j.j_sql
+  let run () =
+    execute_sql ~ctx:b.b_ctx ~db:b.b_db ~qseed:j.j_qseed
+      ~max_rows:t.cfg.max_rows j.j_sql
+  in
+  if not j.j_explain then run ()
+  else begin
+    Joincost.reset_log ();
+    match run () with
+    | Wire.Result r ->
+        Wire.Explain_r
+          (explain_of_log ~fallbacks:r.Wire.r_fallbacks (Joincost.log ()))
+    | other -> other
+  end
 
 let deliver (j : job) (reply : Wire.response) =
   Mutex.lock j.j_m;
@@ -374,6 +420,7 @@ let rec submit t (s : session) ~prio proto sql : Wire.response =
             j_sql = sql;
             j_proto = proto;
             j_qseed = query_seed t ~proto_label ~sql;
+            j_explain = false;
             j_reply = None;
             j_m = Mutex.create ();
             j_c = Condition.create ();
@@ -403,6 +450,43 @@ let rec submit t (s : session) ~prio proto sql : Wire.response =
           | _ -> resolve None);
           r
         end
+
+(* Explain always executes cold — the decision log is a property of an
+   actual execution, and a cached response carries none — so it bypasses
+   the plan cache entirely (no lookup, no store, no single-flight). *)
+let submit_explain t (s : session) proto sql : Wire.response =
+  if not (with_lock t (fun () -> t.running)) then
+    Wire.Error_r { code = Wire.Busy; msg = "server shutting down" }
+  else
+    let proto_label = Ctx.kind_label proto in
+    let j =
+      {
+        j_sql = sql;
+        j_proto = proto;
+        j_qseed = query_seed t ~proto_label ~sql;
+        j_explain = true;
+        j_reply = None;
+        j_m = Mutex.create ();
+        j_c = Condition.create ();
+      }
+    in
+    if
+      not
+        (Jobqueue.push t.jobs ~group:s.s_group ~prio:Jobqueue.Normal
+           ~timeout_s:t.cfg.admit_timeout_s j)
+    then begin
+      with_lock t (fun () -> t.rejected <- t.rejected + 1);
+      busy_frame t
+    end
+    else begin
+      Mutex.lock j.j_m;
+      while j.j_reply = None do
+        Condition.wait j.j_c j.j_m
+      done;
+      let r = Option.get j.j_reply in
+      Mutex.unlock j.j_m;
+      r
+    end
 
 let handle_session t (s : session) =
   let proto = ref Ctx.Sh_hm in
@@ -462,6 +546,10 @@ let handle_session t (s : session) =
                set_workers t n;
                Wire.send_response s.s_fd (Wire.Stats_r (stats t))
            | Wire.Query sql -> run_query sql Jobqueue.Normal
+           | Wire.Explain sql ->
+               logf t "session %d: explain under %s: %s" s.s_id
+                 (Ctx.kind_label !proto) sql;
+               Wire.send_response s.s_fd (submit_explain t s !proto sql)
            | Wire.Query_p { q_sql; q_prio } -> (
                match Jobqueue.prio_of_int q_prio with
                | Some prio -> run_query q_sql prio

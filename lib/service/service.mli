@@ -124,3 +124,9 @@ val execute_sql :
 
 val pace_of_label : string -> (Orq_net.Netsim.profile option, string) result
 (** "off" | "none" | "" | "lan" | "wan" | "geo". *)
+
+val explain_of_log :
+  fallbacks:int -> Orq_core.Joincost.decision list -> Orq_net.Wire.explain
+(** Render a {!Orq_core.Joincost} decision log as the [Explain_r] wire
+    body. Must be called on the domain that executed the query — the
+    decision log is domain-local state. *)

@@ -709,7 +709,12 @@ let test_join_unique () =
         (Table.valid_rows_sorted j [ "k"; "lv"; "rv" ]))
 
 let test_join_unique_cheaper () =
-  (* skipping the aggregation network must save bytes vs the general join *)
+  (* skipping the aggregation network must save bytes vs the general
+     sort-based join — pin the physical operator so the cost-based
+     dispatch doesn't swap in the (cheaper still) linear join *)
+  let saved = Joincost.mode () in
+  Joincost.set_mode (Joincost.Force Joincost.Sort);
+  Fun.protect ~finally:(fun () -> Joincost.set_mode saved) @@ fun () ->
   let run f =
     let ctx = hm () in
     let l = Table.create ctx "L" [ ("k", 16, Array.init 64 (fun i -> i)) ] in

@@ -67,6 +67,20 @@ let test_join_on_syntax () =
   in
   Alcotest.(check rows_t) "ON join" [ [ 1; 2 ]; [ 3; 4 ] ] rows
 
+let test_join_on_rename () =
+  (* ON with distinct names renames the right column into the left's:
+     cust(1..4) against vb.pid(1,2,2) — TPC-H-style prefixed schemas
+     join without a rename view *)
+  let rows, fb = run "SELECT cust, cost FROM customers JOIN vb ON cust = pid" in
+  Alcotest.(check int) "no fallback" 0 fb;
+  Alcotest.(check rows_t) "renamed ON join"
+    [ [ 1; 5 ]; [ 2; 7 ]; [ 2; 9 ] ]
+    rows;
+  (* renaming onto a name the right table already carries is ambiguous *)
+  match run "SELECT cust FROM customers JOIN orders ON cust = oid" with
+  | exception Sql.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected ambiguity error for ON cust = oid"
+
 let test_order_limit () =
   let ctx = hm () in
   let t, _, _ =
@@ -108,7 +122,7 @@ let test_parse_errors () =
   expect_err "SELECT x FROM t LIMIT 3";
   expect_err "SELECT SUM(x) AS s FROM orders";
   expect_err "SELECT x FROM orders WHERE price !";
-  expect_err "SELECT cust FROM customers JOIN orders ON cust = oid"
+  expect_err "SELECT cust FROM customers JOIN orders ON zzz = qqq"
 
 let test_unknown_table () =
   (* a catalog miss (raw [Not_found]) must surface as a clean
@@ -148,6 +162,7 @@ let suite =
     Alcotest.test_case "derived columns (AS)" `Quick test_derived_column;
     Alcotest.test_case "join + group by" `Quick test_join_group;
     Alcotest.test_case "ON join syntax" `Quick test_join_on_syntax;
+    Alcotest.test_case "ON join rename" `Quick test_join_on_rename;
     Alcotest.test_case "order by + limit" `Quick test_order_limit;
     Alcotest.test_case "min/max/avg" `Quick test_min_max_avg;
     Alcotest.test_case "many-to-many via SQL" `Quick test_many_to_many_from_sql;
