@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-join bench-join-quick bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
+.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-join bench-join-quick bench-scale bench-scale-quick bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -25,8 +25,13 @@ lint:
 # twin) vs measured structural transcripts for the 31-query suite under
 # all three protocols; writes CERTIFICATE.json. ~2 min; `--quick` or
 # ORQ_CERTIFY_QUICK=1 runs a representative subset in seconds.
+# The second pass re-certifies with out-of-core streaming forced on
+# (small chunks, tight budget): all (query, protocol) pairs must still
+# certify, i.e. chunked execution leaves the oblivious transcript and
+# the cost model's prediction untouched.
 certify:
 	dune exec bin/orq_lint.exe -- certify
+	ORQ_CHUNK_ROWS=512 ORQ_MEM_BUDGET=4M dune exec bin/orq_lint.exe -- certify --out CERTIFICATE_chunked.json
 
 # Quick micro-kernel benchmark at 2 domains: exercises the pool dispatch
 # path end to end and refreshes BENCH_kernels.json (quick sizes, ~10s).
@@ -59,6 +64,18 @@ bench-join:
 
 bench-join-quick:
 	ORQ_JOIN_QUICK=1 dune exec bench/main.exe -- join --sf 0.0002
+
+# Out-of-core scaling audit: chunked streaming overhead vs monolithic
+# (<= 1.3x), an SF 0.1 run completing under a budget clamped to 1/4 of
+# its own unlimited peak (with real spills and identical tallies), and
+# the SF ladder behind EXPERIMENTS.md; refreshes BENCH_scale.json.
+# ORQ_SCALE_QUICK=1 shrinks the big run to SF 0.02 (~5 min);
+# ORQ_SCALE_SF overrides the big-run scale factor.
+bench-scale:
+	dune exec bench/main.exe -- scale
+
+bench-scale-quick:
+	ORQ_SCALE_QUICK=1 dune exec bench/main.exe -- scale
 
 # Foreground query service on $(ORQ_SOCKET); query it with
 #   dune exec bin/orq_cli.exe -- query --socket $(ORQ_SOCKET) "SELECT ..."

@@ -12,6 +12,11 @@ type measurement = {
   online : Comm.tally;
   preproc : Comm.tally;
   parties : int;
+  peak_chunk_bytes : int;
+      (** high-water mark of resident share-chunk bytes during the run
+          (0 unless out-of-core streaming is on) *)
+  spills : int;  (** chunk spills to disk during the run *)
+  rss_peak_kb : int;  (** process VmHWM after the run, KiB *)
 }
 
 (** Run [f] under [ctx], measuring wall time and online/preprocessing
@@ -19,6 +24,8 @@ type measurement = {
 let measure (ctx : Ctx.t) (f : unit -> 'a) : 'a * measurement =
   let b_on = Comm.snapshot ctx.Ctx.comm in
   let b_pre = Comm.snapshot ctx.Ctx.preproc in
+  Orq_util.Chunkvec.reset_peak ();
+  let m0 = (Orq_util.Chunkvec.stats ()).Orq_util.Chunkvec.st_spills in
   let t0 = Unix.gettimeofday () in
   let x = f () in
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -28,6 +35,9 @@ let measure (ctx : Ctx.t) (f : unit -> 'a) : 'a * measurement =
       online = Comm.since ctx.Ctx.comm b_on;
       preproc = Comm.since ctx.Ctx.preproc b_pre;
       parties = ctx.Ctx.parties;
+      peak_chunk_bytes = Orq_util.Chunkvec.peak_live_bytes ();
+      spills = (Orq_util.Chunkvec.stats ()).Orq_util.Chunkvec.st_spills - m0;
+      rss_peak_kb = Orq_util.Chunkvec.rss_peak_kb ();
     } )
 
 (** Estimated end-to-end time in a network profile: measured compute plus

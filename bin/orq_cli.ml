@@ -31,6 +31,23 @@ module Cluster = Orq_party.Cluster
 let rounds_label () =
   if Mpc.fusion_enabled () then "rounds (fused)" else "rounds (unfused)"
 
+(* Out-of-core accounting for batch runs: printed only when streaming is
+   on, since otherwise share vectors are untracked monolithic arrays. *)
+let print_local_memory () =
+  if Orq_util.Chunkvec.streaming_enabled () then begin
+    let m = Orq_util.Chunkvec.stats () in
+    Printf.printf
+      "memory: peak %.2f MiB chunked (budget %s) | %d spills, %.2f MiB to \
+       disk | rss peak %d KiB\n"
+      (float_of_int m.Orq_util.Chunkvec.st_peak_live_bytes /. 1024. /. 1024.)
+      (match Orq_util.Chunkvec.budget () with
+      | 0 -> "unlimited"
+      | b -> Printf.sprintf "%.2f MiB" (float_of_int b /. 1024. /. 1024.))
+      m.Orq_util.Chunkvec.st_spills
+      (float_of_int m.Orq_util.Chunkvec.st_spilled_bytes /. 1024. /. 1024.)
+      (Orq_util.Chunkvec.rss_peak_kb ())
+  end
+
 type runnable = {
   r_name : string;
   r_run : Ctx.t -> float -> int -> Orq_core.Table.t * (unit -> bool);
@@ -152,6 +169,7 @@ let run_sql sql proto sf profile =
         (float_of_int tally.Orq_net.Comm.t_bits /. 8. /. 1024. /. 1024.)
         profile.Netsim.label
         (Netsim.network_time profile tally);
+      print_local_memory ();
       dump_trace ctx;
       0
 
@@ -191,6 +209,7 @@ let run_registered query proto sf n profile validate =
         Printf.printf "simulation compute: %.2fs | estimated %s end-to-end: %.2fs\n"
           compute profile.Netsim.label
           (compute +. Netsim.network_time profile tally);
+        print_local_memory ();
         dump_trace ctx;
         if validate then
           if check () then begin
@@ -450,6 +469,10 @@ let client_query socket proto prio timeout_ms set_workers net_stats explain sql
                 (float_of_int r.Wire.r_pre.Orq_net.Comm.t_bits /. 8. /. 1024.
                /. 1024.)
                 r.Wire.r_lan_s r.Wire.r_wan_s;
+              if r.Wire.r_peak_bytes > 0 then
+                Printf.printf "memory: peak %.2f MiB chunked | %d spills\n"
+                  (float_of_int r.Wire.r_peak_bytes /. 1024. /. 1024.)
+                  r.Wire.r_spills;
               (if net_stats then
                  match Client.net_stats c with
                  | Ok s -> print_net_stats s

@@ -72,6 +72,10 @@ let all : entry list =
     ok "Permops.apply_elementwise_table" Declass "open_"
       "multi-column Protocol 5; the single opened vector is uniform as in \
        apply_elementwise";
+    ok "Permops.apply_elementwise_table_c" Declass "open_"
+      "chunked multi-column Protocol 5; rho's shuffle-then-open is the \
+       same single monolithic opening as apply_elementwise_table — only \
+       the data columns stream chunk-at-a-time";
     ok "Permops.compose" Declass "open_"
       "Protocol 6: opens sigma behind a fresh sharded permutation; uniform \
        (Appendix A.4)";

@@ -49,19 +49,19 @@ let inner_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
     List.map
       (fun k ->
         let c = Table.find right k in
-        (k, { c with Column.data = Share.gather (Column.as_bool ctx c) ri }))
+        (k, Column.with_data c (Share.gather (Column.as_bool ctx c) ri)))
       on
     @ List.filter_map
         (fun (name, c) ->
           if List.mem name on then None
           else
             Some
-              (name, { c with Column.data = Share.gather (Column.as_bool ctx c) ri }))
+              (name, Column.with_data c (Share.gather (Column.as_bool ctx c) ri)))
         right.Table.cols
     @ List.map
         (fun name ->
           let c = Table.find left name in
-          (name, { c with Column.data = Share.gather (Column.as_bool ctx c) li }))
+          (name, Column.with_data c (Share.gather (Column.as_bool ctx c) li)))
         copy
   in
   if n_out = 0 then
@@ -70,7 +70,7 @@ let inner_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
       ~valid:(Share.public ctx Share.Bool 1 0)
       (List.map
          (fun (name, c) ->
-           (name, { c with Column.data = Share.public ctx Share.Bool 1 0 }))
+           (name, Column.with_data c (Share.public ctx Share.Bool 1 0)))
          cols)
   else
     Table.of_columns ctx "leaky_join"

@@ -50,19 +50,19 @@ let nested_join (ctx : Ctx.t) (left : Table.t) (right : Table.t)
     List.map
       (fun k ->
         let c = Table.find left k in
-        (k, { c with Column.data = expand_l (Column.as_bool ctx c) }))
+        (k, Column.with_data c (expand_l (Column.as_bool ctx c))))
       on
     @ List.filter_map
         (fun (name, c) ->
           if List.mem name on then None
           else
-            Some (name, { c with Column.data = expand_l (Column.as_bool ctx c) }))
+            Some (name, Column.with_data c (expand_l (Column.as_bool ctx c))))
         left.Table.cols
     @ List.filter_map
         (fun (name, c) ->
           if List.mem name on then None
           else
-            Some (name, { c with Column.data = expand_r (Column.as_bool ctx c) }))
+            Some (name, Column.with_data c (expand_r (Column.as_bool ctx c))))
         right.Table.cols
   in
   Table.of_columns ctx "nested_join" ~valid cols
@@ -152,7 +152,7 @@ let bitonic_sort (t : Table.t) (specs : (string * Tablesort.order) list) :
     List.map
       (fun (name, c) ->
         match List.assoc_opt name key_cols with
-        | Some data -> (name, { c with Column.data })
+        | Some data -> (name, Column.with_data c data)
         | None ->
             let data =
               List.assoc name
@@ -160,7 +160,7 @@ let bitonic_sort (t : Table.t) (specs : (string * Tablesort.order) list) :
                    (fun (nme, _) s -> (nme, Share.sub_range s 0 n))
                    others sorted_others)
             in
-            (name, { c with Column.data }))
+            (name, Column.with_data c data))
       t.Table.cols
   in
   Table.of_columns ctx t.Table.name ~valid cols

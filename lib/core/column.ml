@@ -6,37 +6,99 @@
     sharing on demand (sums, products, averages), mirroring §2.3's dual
     representation with on-the-fly conversion. A [signed] column holds
     two's-complement values at its width (e.g. a profit computed by
-    subtraction); conversions and comparisons respect the flag. *)
+    subtraction); conversions and comparisons respect the flag.
+
+    A column's payload lives in one of two representations: [Live] — the
+    classic monolithic {!Share.shared}; [Parked] — chunks owned by the
+    budget-managed {!Orq_util.Chunkvec} store, evictable to disk.
+    {!data} materializes a parked column (and caches the result);
+    chunk-aware operators use {!chunked}, under which a live column flows
+    through as a single zero-copy chunk. *)
 
 open Orq_proto
 
-type t = { data : Share.shared; width : int; signed : bool }
+type repr = Live of Share.shared | Parked of Share.chunked
 
-let length c = Share.length c.data
-let enc c = c.data.Share.enc
+type t = { mutable repr : repr; width : int; signed : bool }
+
+let length c =
+  match c.repr with
+  | Live s -> Share.length s
+  | Parked ck -> Share.chunked_length ck
+
+let enc c =
+  match c.repr with
+  | Live s -> s.Share.enc
+  | Parked ck -> ck.Share.cenc
 
 let of_plaintext (ctx : Ctx.t) ~width (values : int array) : t =
-  { data = Share.share ctx Bool values; width; signed = false }
+  { repr = Live (Share.share ctx Bool values); width; signed = false }
 
 let of_public (ctx : Ctx.t) ~width (values : int array) : t =
-  { data = Share.public_vec ctx Bool values; width; signed = false }
+  { repr = Live (Share.public_vec ctx Bool values); width; signed = false }
 
-let of_shared ?(signed = false) ~width data : t = { data; width; signed }
+let of_shared ?(signed = false) ~width data : t =
+  { repr = Live data; width; signed }
+
+let of_chunked ?(signed = false) ~width ck : t =
+  { repr = Parked ck; width; signed }
+
+(** The monolithic sharing: materializes a parked column (caching the
+    result, so repeated access pays the faults once). *)
+let data c =
+  match c.repr with
+  | Live s -> s
+  | Parked ck ->
+      let s = Share.unpark ck in
+      c.repr <- Live s;
+      s
+
+(** Functional payload replacement, preserving width/signedness. *)
+let with_data c s = { c with repr = Live s }
+
+(** Chunked view: a parked column's chunks, or a live column wrapped as a
+    single untracked chunk (zero copy). *)
+let chunked c =
+  match c.repr with Parked ck -> ck | Live s -> Share.wrap s
+
+let is_parked c = match c.repr with Parked _ -> true | Live _ -> false
+
+(** Move a live column into budget-managed (evictable) chunks in place. *)
+let park c =
+  match c.repr with
+  | Parked _ -> ()
+  | Live s -> c.repr <- Parked (Share.park s)
 
 (** Boolean view of a column (identity for boolean-encoded columns). *)
 let as_bool (ctx : Ctx.t) (c : t) : Share.shared =
-  match c.data.Share.enc with
-  | Bool -> c.data
-  | Arith -> Orq_circuits.Convert.a2b ~w:c.width ctx c.data
+  match enc c with
+  | Bool -> data c
+  | Arith -> Orq_circuits.Convert.a2b ~w:c.width ctx (data c)
 
 (** Arithmetic view of a column, honouring its signedness. *)
 let as_arith (ctx : Ctx.t) (c : t) : Share.shared =
-  match c.data.Share.enc with
-  | Arith -> c.data
-  | Bool -> Orq_circuits.Convert.b2a ~w:c.width ~signed:c.signed ctx c.data
+  match enc c with
+  | Arith -> data c
+  | Bool -> Orq_circuits.Convert.b2a ~w:c.width ~signed:c.signed ctx (data c)
 
-let reconstruct c = Share.reconstruct c.data
+let reconstruct c =
+  match c.repr with
+  | Live s -> Share.reconstruct s
+  | Parked ck -> Share.reconstruct_c ck
 
-let gather c idx = { c with data = Share.gather c.data idx }
-let sub_range c pos len = { c with data = Share.sub_range c.data pos len }
-let append a b = { a with data = Share.append a.data b.data }
+let gather c idx =
+  match c.repr with
+  | Live s -> { c with repr = Live (Share.gather s idx) }
+  | Parked ck -> { c with repr = Parked (Share.gather_c ck idx) }
+
+let sub_range c pos len =
+  match c.repr with
+  | Live s -> { c with repr = Live (Share.sub_range s pos len) }
+  | Parked ck -> { c with repr = Parked (Share.sub_range_c ck pos len) }
+
+(* Appending parked columns reuses aligned chunks (refcounted) instead of
+   copying, keeping incremental table building linear. *)
+let append a b =
+  match (a.repr, b.repr) with
+  | Live sa, Live sb -> { a with repr = Live (Share.append sa sb) }
+  | _ -> { a with repr = Parked (Share.append_c (chunked a) (chunked b)) }

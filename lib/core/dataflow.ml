@@ -7,6 +7,14 @@ open Orq_proto
 
 type order = Tablesort.order = Asc | Desc
 
+(* Streaming operator boundary: when out-of-core execution is on, park the
+   result's live columns into the budget-managed store so tables at rest
+   stay evictable between operators; monolithic per-operator working sets
+   ride above the budget only transiently. No-op when streaming is off. *)
+let parked (t : Table.t) : Table.t =
+  if Orq_util.Chunkvec.streaming_enabled () then Table.park t;
+  t
+
 (* ------------------------------------------------------------------ *)
 (* Row-local operators                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -15,13 +23,13 @@ type order = Tablesort.order = Asc | Desc
     the validity column. *)
 let filter (t : Table.t) (p : Expr.pred) : Table.t =
   Ctx.with_label (Table.ctx t) "filter" @@ fun () ->
-  Table.and_valid t (Expr.eval_pred t p)
+  parked (Table.and_valid t (Expr.eval_pred t p))
 
 (** Attach a derived column (e.g. Revenue = Price * (100 - Discount) / 100). *)
 let map (t : Table.t) ~dst ?width (e : Expr.num) : Table.t =
   let c = Expr.eval_col t e in
   let c = match width with Some w -> { c with Column.width = w } | None -> c in
-  Table.set_col t dst c
+  parked (Table.set_col t dst c)
 
 let project = Table.project
 
@@ -33,7 +41,7 @@ let project = Table.project
     key), then the user keys apply. *)
 let order_by (t : Table.t) (specs : (string * order) list) : Table.t =
   Ctx.with_label (Table.ctx t) "orderby" @@ fun () ->
-  Tablesort.sort ~lead:[ (t.Table.valid, 1, Tablesort.Desc) ] t specs
+  parked (Tablesort.sort ~lead:[ (t.Table.valid, 1, Tablesort.Desc) ] t specs)
 
 (** LIMIT k (after an ORDER BY): keep the first k physical rows. *)
 let limit (t : Table.t) k : Table.t = Table.take_rows t k
@@ -53,7 +61,7 @@ let distinct (t : Table.t) (keys : string list) : Table.t =
     :: List.map (fun k -> (Table.column t k, Table.width t k)) keys
   in
   let dist = Aggnet.distinct_bits ctx ~keys:key_shares in
-  Table.and_valid t dist
+  parked (Table.and_valid t dist)
 
 (* ------------------------------------------------------------------ *)
 (* GROUP BY aggregation                                                *)
@@ -228,7 +236,7 @@ let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
             let c = Table.find t (a.dst ^ "#count") in
             let w = s.Column.width in
             let q, _ =
-              Orq_circuits.Divide.udiv ctx ~w s.Column.data
+              Orq_circuits.Divide.udiv ctx ~w (Column.data s)
                 (Column.as_bool ctx c)
             in
             Table.drop_cols
@@ -238,7 +246,7 @@ let aggregate (t : Table.t) ~(keys : string list) ~(aggs : agg list) : Table.t =
       t aggs
   in
   let last = Aggnet.last_of_group_bits ctx ~keys:key_shares in
-  Table.and_valid t last
+  parked (Table.and_valid t last)
 
 (* ------------------------------------------------------------------ *)
 (* Global (whole-table) aggregation                                    *)
@@ -422,9 +430,11 @@ let with_scalar (t : Table.t) ~(scalar : Table.t) ~(src : string)
   let c = Table.find scalar src in
   if Column.length c <> 1 then invalid_arg "with_scalar: not a scalar";
   let data =
-    Share.map_vectors (fun vk -> Array.make (Table.nrows t) vk.(0)) c.Column.data
+    Share.map_vectors
+      (fun vk -> Array.make (Table.nrows t) vk.(0))
+      (Column.data c)
   in
-  Table.set_col t dst { c with Column.data }
+  Table.set_col t dst (Column.with_data c data)
 
 (* ------------------------------------------------------------------ *)
 (* Joins                                                               *)
@@ -482,26 +492,30 @@ let inner_join ?copy ?aggs ?trim (left : Table.t) (right : Table.t)
   let node =
     Printf.sprintf "%s \xe2\x8b\x88 %s" left.Table.name right.Table.name
   in
-  match Joincost.choose_logged ctx ~node shape with
-  | Joincost.Linear -> Linjoin.join ctx `Inner ?copy ~left ~right ~on ()
-  | Joincost.Quad -> Linjoin.quad ctx ?copy ~left ~right ~on ()
-  | Joincost.Sort ->
-      Joinagg.join ctx Joinagg.V_inner ?copy ?aggs ?trim ~left ~right ~on ()
+  parked
+    (match Joincost.choose_logged ctx ~node shape with
+    | Joincost.Linear -> Linjoin.join ctx `Inner ?copy ~left ~right ~on ()
+    | Joincost.Quad -> Linjoin.quad ctx ?copy ~left ~right ~on ()
+    | Joincost.Sort ->
+        Joinagg.join ctx Joinagg.V_inner ?copy ?aggs ?trim ~left ~right ~on ())
 
 let left_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
     ~(on : string list) : Table.t =
-  Joinagg.join (Table.ctx left) Joinagg.V_left_outer ?copy ?aggs ~left ~right
-    ~on ()
+  parked
+    (Joinagg.join (Table.ctx left) Joinagg.V_left_outer ?copy ?aggs ~left
+       ~right ~on ())
 
 let right_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
     ~(on : string list) : Table.t =
-  Joinagg.join (Table.ctx left) Joinagg.V_right_outer ?copy ?aggs ~left ~right
-    ~on ()
+  parked
+    (Joinagg.join (Table.ctx left) Joinagg.V_right_outer ?copy ?aggs ~left
+       ~right ~on ())
 
 let full_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
     ~(on : string list) : Table.t =
-  Joinagg.join (Table.ctx left) Joinagg.V_full_outer ?copy ?aggs ~left ~right
-    ~on ()
+  parked
+    (Joinagg.join (Table.ctx left) Joinagg.V_full_outer ?copy ?aggs ~left
+       ~right ~on ())
 
 (** Unique-key inner join (Appendix C): both sides' keys are unique in the
     public schema, so the aggregation network is skipped — an oblivious
@@ -509,7 +523,7 @@ let full_outer_join ?copy ?aggs (left : Table.t) (right : Table.t)
     comparison, whose join requires unique keys. *)
 let inner_join_unique ?copy ?trim (left : Table.t) (right : Table.t)
     ~(on : string list) : Table.t =
-  Joinagg.join_unique (Table.ctx left) ?copy ?trim ~left ~right ~on ()
+  parked (Joinagg.join_unique (Table.ctx left) ?copy ?trim ~left ~right ~on ())
 
 (** COUNT(DISTINCT over) per group: DISTINCT on (keys, over) followed by a
     grouped count — the §3.6 pattern ORQ uses to evaluate count-distinct
@@ -551,7 +565,7 @@ let semi_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
     | Joincost.Quad | Joincost.Sort ->
         Joinagg.join ctx Joinagg.V_inner ?trim ~left:right' ~right:left ~on ()
   in
-  Table.rename (Table.project joined (Table.col_names left)) left.Table.name
+  parked (Table.rename (Table.project joined (Table.col_names left)) left.Table.name)
 
 (** ANTI JOIN — keep left rows with no match in right (swapped right-outer
     with cross-table valid propagation, Appendix C.1). *)
@@ -572,7 +586,7 @@ let anti_join ?trim (left : Table.t) (right : Table.t) ~(on : string list) :
     | Joincost.Quad | Joincost.Sort ->
         Joinagg.join ctx Joinagg.V_anti ?trim ~left:right' ~right:left ~on ()
   in
-  Table.rename (Table.project joined (Table.col_names left)) left.Table.name
+  parked (Table.rename (Table.project joined (Table.col_names left)) left.Table.name)
 
 (* ------------------------------------------------------------------ *)
 (* Set operations                                                      *)
@@ -587,10 +601,11 @@ let concat_tables (a : Table.t) (b : Table.t) : Table.t =
     (List.map
        (fun (n, ca) ->
          let cb = Table.find b n in
+         let joined = Column.append ca cb in
          ( n,
            {
-             Column.data = Share.append ca.Column.data cb.Column.data;
-             width = max ca.Column.width cb.Column.width;
+             joined with
+             Column.width = max ca.Column.width cb.Column.width;
              signed = ca.Column.signed || cb.Column.signed;
            } ))
        a.Table.cols)

@@ -86,7 +86,7 @@ let rec eval_num (t : Table.t) (e : num) : value =
   match e with
   | Col n ->
       let c = Table.find t n in
-      { data = c.Column.data; width = c.Column.width; signed = c.Column.signed }
+      { data = Column.data c; width = c.Column.width; signed = c.Column.signed }
   | Const c ->
       let w = max 1 (Orq_util.Ring.log2_ceil (abs c + 1) + 1) in
       {
@@ -306,8 +306,4 @@ let eval_col (t : Table.t) (e : num) : Column.t =
   let v = eval_num t e in
   let ctx = Table.ctx t in
   let w = cap_width v.width in
-  {
-    Column.data = as_bool_at ctx v w;
-    width = w;
-    signed = v.signed;
-  }
+  Column.of_shared ~signed:v.signed ~width:w (as_bool_at ctx v w)

@@ -199,7 +199,7 @@ let finalize (ctx : Ctx.t) ~name ~(valid : Share.shared)
   if not do_trim then result
   else begin
     (* single-bit valid sort (descending) then drop the spare rows *)
-    let data_cols = List.map (fun (_, c) -> c.Column.data) result.Table.cols in
+    let data_cols = List.map (fun (_, c) -> Column.data c) result.Table.cols in
     let sorted_v, sorted_data =
       Tablesort.sort_cols ctx
         ~keys:[ (result.Table.valid, 1, Tablesort.Desc) ]
@@ -209,7 +209,7 @@ let finalize (ctx : Ctx.t) ~name ~(valid : Share.shared)
     let cols =
       List.map2
         (fun (name, c) d ->
-          (name, { c with Column.data = Share.sub_range d 0 bound }))
+          (name, Column.with_data c (Share.sub_range d 0 bound)))
         result.Table.cols sorted_data
     in
     Table.of_columns ctx result.Table.name

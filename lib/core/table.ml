@@ -29,7 +29,7 @@ let find t name =
            (String.concat ", " (col_names t)))
 
 let width t name = (find t name).Column.width
-let column t name = (find t name).Column.data
+let column t name = Column.data (find t name)
 
 let mem t name = List.mem_assoc name t.cols
 
@@ -111,17 +111,21 @@ let pad_rows (t : t) extra : t =
       cols =
         List.map
           (fun (n, c) ->
-            ( n,
-              {
-                c with
-                Column.data =
-                  Share.append c.Column.data
-                    (Share.public t.ctx c.Column.data.Share.enc extra 0);
-              } ))
+            let pad =
+              Column.of_shared ~signed:c.Column.signed ~width:c.Column.width
+                (Share.public t.ctx (Column.enc c) extra 0)
+            in
+            (* Column.append reuses a parked column's chunks *)
+            (n, Column.append c pad))
           t.cols;
       valid = Share.append t.valid (Share.public t.ctx Share.Bool extra 0);
       nrows = t.nrows + extra;
     }
+
+(** Park every data column into budget-managed chunks (a streaming
+    operator boundary; no-op for already-parked columns). The validity
+    column stays monolithic — it is a single bit per row. *)
+let park (t : t) : unit = List.iter (fun (_, c) -> Column.park c) t.cols
 
 (** AND a predicate bit-vector into the validity column (oblivious filter:
     physical size unchanged, selectivity hidden). Both operands are

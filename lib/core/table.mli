@@ -50,6 +50,10 @@ val pad_rows : t -> int -> t
 (** Data-owner padding (§3.1): append invalid zero-valued dummy rows,
     hiding the true input cardinality. *)
 
+val park : t -> unit
+(** Park every data column into budget-managed chunks (streaming operator
+    boundary; no-op when already parked). Validity stays monolithic. *)
+
 val and_valid : t -> Share.shared -> t
 (** AND a predicate bit-vector into the validity column (the oblivious
     filter: physical size unchanged, selectivity hidden). *)

@@ -15,8 +15,16 @@ val sort_cols :
 (** Sort rows lexicographically by the key columns (width and direction
     each); returns (sorted keys, sorted others). *)
 
+val sort_cols_c :
+  Ctx.t -> keys:(Share.chunked * int * order) list -> Share.chunked list ->
+  Share.chunked list * Share.chunked list
+(** Chunked {!sort_cols}: columns stream chunk-at-a-time; wire cost
+    identical. *)
+
 val sort :
   ?lead:(Share.shared * int * order) list -> Table.t ->
   (string * order) list -> Table.t
 (** Sort a table by named columns; [lead] prepends extra key columns
-    (e.g. the validity bit). *)
+    (e.g. the validity bit). Runs on the chunked core — parked columns
+    stream, live columns are single zero-copy chunks with identical
+    values, PRG order and metering. *)

@@ -10,7 +10,7 @@ let max_frame = 16 * 1024 * 1024
 (* Compat guard for future wire changes: [Hello] carries the client's
    protocol version; the server rejects a mismatch with a clear error
    instead of mis-decoding later frames. Bump on any frame-layout change. *)
-let protocol_version = 3
+let protocol_version = 4
 
 type err_code = Bad_request | Busy | Too_large | Internal
 
@@ -30,6 +30,8 @@ type query_result = {
   r_pre : Comm.tally;
   r_lan_s : float;
   r_wan_s : float;
+  r_peak_bytes : int;
+  r_spills : int;
 }
 
 type stats = {
@@ -46,6 +48,10 @@ type stats = {
   s_wait_p95_ms : float;
   s_exec_p50_ms : float;
   s_exec_p95_ms : float;
+  s_mem_live_bytes : int;
+  s_mem_peak_bytes : int;
+  s_mem_spilled_bytes : int;
+  s_rss_peak_kb : int;
 }
 
 type net_stats = {
@@ -301,7 +307,9 @@ let encode_response (r : response) : bytes =
       put_tally b q.r_tally;
       put_tally b q.r_pre;
       put_f64 b q.r_lan_s;
-      put_f64 b q.r_wan_s
+      put_f64 b q.r_wan_s;
+      put_i64 b q.r_peak_bytes;
+      put_i64 b q.r_spills
   | Error_r { code; msg } ->
       put_u8 b tag_error;
       put_u8 b (int_of_code code);
@@ -332,7 +340,11 @@ let encode_response (r : response) : bytes =
       put_f64 b s.s_wait_p50_ms;
       put_f64 b s.s_wait_p95_ms;
       put_f64 b s.s_exec_p50_ms;
-      put_f64 b s.s_exec_p95_ms
+      put_f64 b s.s_exec_p95_ms;
+      put_i64 b s.s_mem_live_bytes;
+      put_i64 b s.s_mem_peak_bytes;
+      put_i64 b s.s_mem_spilled_bytes;
+      put_i64 b s.s_rss_peak_kb
   | Explain_r e ->
       put_u8 b tag_explain_r;
       put_string b e.e_mode;
@@ -399,6 +411,8 @@ let decode_response (body : bytes) : response =
         let r_pre = get_tally c in
         let r_lan_s = get_f64 c in
         let r_wan_s = get_f64 c in
+        let r_peak_bytes = get_i64 c in
+        let r_spills = get_i64 c in
         Result
           {
             r_cols;
@@ -410,6 +424,8 @@ let decode_response (body : bytes) : response =
             r_pre;
             r_lan_s;
             r_wan_s;
+            r_peak_bytes;
+            r_spills;
           }
     | t when t = tag_error ->
         let code = code_of_int (get_u8 c) in
@@ -452,6 +468,10 @@ let decode_response (body : bytes) : response =
         let s_wait_p95_ms = get_f64 c in
         let s_exec_p50_ms = get_f64 c in
         let s_exec_p95_ms = get_f64 c in
+        let s_mem_live_bytes = get_i64 c in
+        let s_mem_peak_bytes = get_i64 c in
+        let s_mem_spilled_bytes = get_i64 c in
+        let s_rss_peak_kb = get_i64 c in
         Stats_r
           {
             s_sessions;
@@ -467,6 +487,10 @@ let decode_response (body : bytes) : response =
             s_wait_p95_ms;
             s_exec_p50_ms;
             s_exec_p95_ms;
+            s_mem_live_bytes;
+            s_mem_peak_bytes;
+            s_mem_spilled_bytes;
+            s_rss_peak_kb;
           }
     | t when t = tag_explain_r ->
         let e_mode = get_string c in

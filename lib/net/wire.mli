@@ -46,6 +46,12 @@ type query_result = {
   r_pre : Comm.tally;  (** preprocessing traffic scoped to this query *)
   r_lan_s : float;  (** modeled LAN network time for [r_tally] *)
   r_wan_s : float;  (** modeled WAN network time for [r_tally] *)
+  r_peak_bytes : int;
+      (** peak resident share-chunk bytes while this query executed (0
+          when out-of-core streaming is off; approximate when several
+          queries execute concurrently — the store's accounting is
+          process-wide) *)
+  r_spills : int;  (** chunk spills to disk while this query executed *)
 }
 (** A completed query: the opened result plus its own mini §5 report —
     scoped communication tallies and modeled LAN/WAN times. *)
@@ -64,6 +70,10 @@ type stats = {
   s_wait_p95_ms : float;
   s_exec_p50_ms : float;  (** recent execution-time percentiles *)
   s_exec_p95_ms : float;
+  s_mem_live_bytes : int;  (** share-chunk bytes resident right now *)
+  s_mem_peak_bytes : int;  (** high-water mark of resident chunk bytes *)
+  s_mem_spilled_bytes : int;  (** total chunk bytes spilled to disk *)
+  s_rss_peak_kb : int;  (** process VmHWM in KiB (0 where unavailable) *)
 }
 (** Scheduler observability: queue depth and latency percentiles travel
     with every stats frame, so clients see *how* saturated the server is

@@ -261,3 +261,158 @@ let update_rows (dst : shared) (idx : int array) (src : shared) : shared =
       dst.v
   in
   { dst with v }
+
+(* ------------------------------------------------------------------ *)
+(* Chunked (out-of-core) sharings                                      *)
+(* ------------------------------------------------------------------ *)
+
+type chunked = { cenc : enc; cn : int; cv : Chunkvec.t array }
+
+let chunked_length c = c.cn
+let chunked_enc c = c.cenc
+let chunked_nvec c = Array.length c.cv
+let chunked_nchunks c = if c.cn = 0 then 0 else Chunkvec.nchunks c.cv.(0)
+let chunked_tracked c = c.cn > 0 && Chunkvec.tracked c.cv.(0)
+let chunked_chunk_len c i = Chunkvec.chunk_len c.cv.(0) i
+let chunked_chunk_base c i = Chunkvec.chunk_base c.cv.(0) i
+
+let check_enc_c e c =
+  if c.cenc <> e then
+    invalid_arg
+      (Printf.sprintf "expected %s-shared value, got %s" (enc_label e)
+         (enc_label c.cenc))
+
+(** Wrap a monolithic sharing as one untracked chunk — no copy, no store
+    accounting. A wrapped sharing visits every chunk-aware kernel exactly
+    once, so the monolithic code path is a special case of the chunked
+    one (identical values, PRG draw order and metered traffic). *)
+let wrap (s : shared) : chunked =
+  { cenc = s.enc; cn = length s; cv = Array.map Chunkvec.alias s.v }
+
+(** Copy a monolithic sharing into budget-managed chunks. *)
+let park (s : shared) : chunked =
+  let n = length s in
+  let cv =
+    Array.map (fun vk -> Chunkvec.of_array vk) s.v
+  in
+  { cenc = s.enc; cn = n; cv }
+
+(** Materialize a chunked sharing as monolithic vectors (zero-copy when
+    the input is a single untracked chunk, i.e. a {!wrap} round trip). *)
+let unpark (c : chunked) : shared =
+  { enc = c.cenc; v = Array.map Chunkvec.to_array c.cv }
+
+(** Pinned access to chunk [i] as an ordinary [shared] (the callback must
+    treat it as read-only; every protocol kernel allocates its output). *)
+let with_chunk_c (c : chunked) i (f : shared -> 'a) : 'a =
+  let nv = Array.length c.cv in
+  let rec go k acc =
+    if k = nv then f { enc = c.cenc; v = Array.of_list (List.rev acc) }
+    else Chunkvec.with_chunk c.cv.(k) i (fun a -> go (k + 1) (a :: acc))
+  in
+  go 0 []
+
+(** [build_chunked ~like f] builds a chunked sharing with [like]'s length,
+    chunk granularity and tracking; [f base len] must return a fresh
+    [shared] of length [len] whose vectors are consumed as chunk payloads.
+    Chunks become evictable as soon as they are produced. *)
+let build_chunked ~(like : chunked) (f : int -> int -> shared) : chunked =
+  let n = like.cn in
+  let nv = Array.length like.cv in
+  let rows = if n = 0 then 1 else Chunkvec.rows_of like.cv.(0) in
+  let tracked = chunked_tracked like in
+  let builders =
+    Array.init nv (fun _ -> Chunkvec.Builder.create ~rows ~tracked n)
+  in
+  let step = if tracked then rows else max 1 n in
+  let enc_ref = ref like.cenc in
+  let pos = ref 0 in
+  while !pos < n do
+    let l = min step (n - !pos) in
+    let s = f !pos l in
+    if length s <> l then invalid_arg "Share.build_chunked: chunk length";
+    enc_ref := s.enc;
+    Array.iteri (fun k vk -> Chunkvec.Builder.push builders.(k) vk) s.v;
+    pos := !pos + l
+  done;
+  { cenc = !enc_ref; cn = n; cv = Array.map Chunkvec.Builder.finish builders }
+
+(** Chunkwise local map (e.g. a public xor): [f] must preserve length and
+    must not communicate. *)
+let map_chunks (f : shared -> shared) (c : chunked) : chunked =
+  build_chunked ~like:c (fun pos len ->
+      ignore pos;
+      let i = pos / (if chunked_tracked c then Chunkvec.rows_of c.cv.(0) else max 1 c.cn) in
+      with_chunk_c c i (fun s ->
+          let o = f s in
+          if length o <> len then invalid_arg "Share.map_chunks: length";
+          o))
+
+(** Secret-share a stream of plaintext chunks into budget-managed chunks:
+    [get pos len] returns the plaintext slice. Sharing draws are
+    element-major, so the result is byte-identical to sharing the whole
+    vector at once. *)
+let share_chunked (ctx : Ctx.t) enc ~n (get : int -> int -> Vec.t) : chunked =
+  let rows = Chunkvec.chunk_rows () in
+  let nv = ctx.Ctx.nvec in
+  let builders =
+    Array.init nv (fun _ -> Chunkvec.Builder.create ~rows ~tracked:true n)
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    let l = min rows (n - !pos) in
+    let s = share ctx enc (get !pos l) in
+    Array.iteri (fun k vk -> Chunkvec.Builder.push builders.(k) vk) s.v;
+    pos := !pos + l
+  done;
+  { cenc = enc; cn = n; cv = Array.map Chunkvec.Builder.finish builders }
+
+(** Tracked sharing of a public value stream (no randomness). *)
+let public_chunked (ctx : Ctx.t) enc ~n (get : int -> int -> Vec.t) : chunked =
+  let rows = Chunkvec.chunk_rows () in
+  let nv = ctx.Ctx.nvec in
+  let builders =
+    Array.init nv (fun _ -> Chunkvec.Builder.create ~rows ~tracked:true n)
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    let l = min rows (n - !pos) in
+    let s = public_vec ctx enc (get !pos l) in
+    Array.iteri (fun k vk -> Chunkvec.Builder.push builders.(k) vk) s.v;
+    pos := !pos + l
+  done;
+  { cenc = enc; cn = n; cv = Array.map Chunkvec.Builder.finish builders }
+
+let append_c (a : chunked) (b : chunked) : chunked =
+  if a.cenc <> b.cenc then invalid_arg "Share.append_c: encoding mismatch";
+  {
+    cenc = a.cenc;
+    cn = a.cn + b.cn;
+    cv = Array.init (Array.length a.cv) (fun k -> Chunkvec.append a.cv.(k) b.cv.(k));
+  }
+
+let sub_range_c (c : chunked) pos len : chunked =
+  { c with cn = len; cv = Array.map (fun v -> Chunkvec.sub v pos len) c.cv }
+
+let gather_c (c : chunked) (idx : int array) : chunked =
+  {
+    c with
+    cn = Array.length idx;
+    cv = Array.map (fun v -> Chunkvec.gather v idx) c.cv;
+  }
+
+let scatter_c (c : chunked) (idx : int array) : chunked =
+  { c with cv = Array.map (fun v -> Chunkvec.scatter v idx) c.cv }
+
+(** Deterministically release a chunked intermediate's store bytes and
+    disk slots (the GC finalizer would get there eventually; hot loops
+    should not wait for it). *)
+let dispose_c (c : chunked) = Array.iter Chunkvec.dispose c.cv
+
+let reconstruct_c (c : chunked) : Vec.t =
+  let out = Array.make c.cn 0 in
+  for i = 0 to chunked_nchunks c - 1 do
+    with_chunk_c c i (fun s ->
+        Array.blit (reconstruct s) 0 out (chunked_chunk_base c i) (length s))
+  done;
+  out

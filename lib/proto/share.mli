@@ -115,3 +115,63 @@ val flags_concat_many : flags array -> flags
 val flags_sub_range : flags -> int -> int -> flags
 val flags_gather : flags -> int array -> flags
 val flags_scatter : flags -> int array -> flags
+
+(** {2 Chunked (out-of-core) sharings}
+
+    A [chunked] value stores each share vector as an {!Orq_util.Chunkvec}:
+    fixed-size chunks owned by the process-wide budget-managed store,
+    spilled to disk under memory pressure. {!wrap} lifts a monolithic
+    sharing into the chunked world as a single untracked chunk with no
+    copy — the monolithic engine is the single-chunk special case of every
+    chunk-aware operator, with identical values, PRG draw order and
+    metered traffic. *)
+
+type chunked = { cenc : enc; cn : int; cv : Orq_util.Chunkvec.t array }
+
+val chunked_length : chunked -> int
+val chunked_enc : chunked -> enc
+val chunked_nvec : chunked -> int
+val chunked_nchunks : chunked -> int
+val chunked_tracked : chunked -> bool
+val chunked_chunk_len : chunked -> int -> int
+val chunked_chunk_base : chunked -> int -> int
+val check_enc_c : enc -> chunked -> unit
+
+val wrap : shared -> chunked
+(** One untracked chunk, no copy (the monolithic fast path). *)
+
+val park : shared -> chunked
+(** Copy into budget-managed (evictable) chunks. *)
+
+val unpark : chunked -> shared
+(** Materialize monolithic vectors (zero-copy for a {!wrap} round trip). *)
+
+val with_chunk_c : chunked -> int -> (shared -> 'a) -> 'a
+(** Pinned read-only access to one chunk as an ordinary [shared]. *)
+
+val build_chunked : like:chunked -> (int -> int -> shared) -> chunked
+(** Build with [like]'s length/granularity/tracking from fresh per-chunk
+    sharings [f base len]; chunks become evictable as produced. *)
+
+val map_chunks : (shared -> shared) -> chunked -> chunked
+(** Chunkwise local map ([f] must preserve length and not communicate). *)
+
+val share_chunked : Ctx.t -> enc -> n:int -> (int -> int -> Orq_util.Vec.t) -> chunked
+(** Secret-share a plaintext chunk stream; draws are element-major, so the
+    shares are byte-identical to sharing the whole vector at once. *)
+
+val public_chunked : Ctx.t -> enc -> n:int -> (int -> int -> Orq_util.Vec.t) -> chunked
+
+val append_c : chunked -> chunked -> chunked
+(** Chunk-reusing concatenation: aligned input chunks are shared, not
+    copied (see {!Orq_util.Chunkvec.append}). *)
+
+val sub_range_c : chunked -> int -> int -> chunked
+val gather_c : chunked -> int array -> chunked
+val scatter_c : chunked -> int array -> chunked
+
+val dispose_c : chunked -> unit
+(** Deterministically release store bytes and disk slots of an
+    intermediate (ahead of the GC finalizer). *)
+
+val reconstruct_c : chunked -> Orq_util.Vec.t

@@ -179,6 +179,11 @@ let execute_sql ~(ctx : Ctx.t) ~(db : Tpch_gen.mpc) ~qseed ~max_rows sql :
   Ctx.reseed ctx qseed;
   let c0 = Comm.snapshot ctx.Ctx.comm in
   let p0 = Comm.snapshot ctx.Ctx.preproc in
+  (* Chunk-store accounting is process-wide: the peak and spill counts are
+     exact for a lone query and approximate (an upper bound) when several
+     workers execute concurrently. *)
+  Orq_util.Chunkvec.reset_peak ();
+  let m0 = (Orq_util.Chunkvec.stats ()).Orq_util.Chunkvec.st_spills in
   match Sql.run (Tpch_gen.catalog db) sql with
   | exception Sql.Parse_error msg ->
       Wire.Error_r { code = Wire.Bad_request; msg }
@@ -206,6 +211,8 @@ let execute_sql ~(ctx : Ctx.t) ~(db : Tpch_gen.mpc) ~qseed ~max_rows sql :
           r_pre;
           r_lan_s = Netsim.network_time Netsim.lan r_tally;
           r_wan_s = Netsim.network_time Netsim.wan r_tally;
+          r_peak_bytes = Orq_util.Chunkvec.peak_live_bytes ();
+          r_spills = (Orq_util.Chunkvec.stats ()).Orq_util.Chunkvec.st_spills - m0;
         }
 
 (* Render the worker domain's Joincost decision log as the Explain wire
@@ -365,6 +372,7 @@ let percentiles samples n =
 let stats t : Wire.stats =
   let qc = Jobqueue.counts t.jobs in
   let w50, w95 = Jobqueue.wait_percentiles t.jobs in
+  let m = Orq_util.Chunkvec.stats () in
   with_lock t (fun () ->
       let e50, e95 = percentiles t.execs t.nexecs in
       {
@@ -381,6 +389,10 @@ let stats t : Wire.stats =
         s_wait_p95_ms = w95 *. 1e3;
         s_exec_p50_ms = e50 *. 1e3;
         s_exec_p95_ms = e95 *. 1e3;
+        s_mem_live_bytes = m.Orq_util.Chunkvec.st_live_bytes;
+        s_mem_peak_bytes = m.Orq_util.Chunkvec.st_peak_live_bytes;
+        s_mem_spilled_bytes = m.Orq_util.Chunkvec.st_spilled_bytes;
+        s_rss_peak_kb = Orq_util.Chunkvec.rss_peak_kb ();
       })
 
 let busy_frame t =

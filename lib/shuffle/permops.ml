@@ -30,6 +30,18 @@ let shuffle_table ?width (ctx : Ctx.t) (cols : Share.shared list) :
       let p = Permmgr.gen ctx (Share.length c) in
       Shardedperm.apply_table ?width ctx cols p
 
+(** Chunked Protocol 4 over a table: columns stream chunk-at-a-time
+    through the sharded application; metering identical to
+    {!shuffle_table}. *)
+let shuffle_table_c ?width (ctx : Ctx.t) (cols : Share.chunked list) :
+    Share.chunked list =
+  match cols with
+  | [] -> []
+  | c :: _ ->
+      Ctx.with_label ctx "shuffle" @@ fun () ->
+      let p = Permmgr.gen ctx (Share.chunked_length c) in
+      Shardedperm.apply_table_c ?width ctx cols p
+
 (** Protocol 5: apply a secret elementwise permutation [rho] to [x]. The
     two sharded applications act on independent inputs under independent
     permutations, so their rounds are fused (their traffic is untouched). *)
@@ -99,6 +111,38 @@ let apply_elementwise_table ?width (ctx : Ctx.t) (cols : Share.shared list)
       let rs = match pair.(1) with [ rs ] -> rs | _ -> assert false in
       let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
       List.map (fun x -> Share.scatter x c) pair.(0)
+
+(** Chunked Protocol 5 over a table: the data columns stream chunk-at-a-
+    time (sharded application and final scatter both chunk-aware); [rho]
+    itself stays monolithic — it is a single index column, and its shuffle
+    and opening are paid once for all columns exactly as in
+    {!apply_elementwise_table}. *)
+let apply_elementwise_table_c ?width (ctx : Ctx.t) (cols : Share.chunked list)
+    (rho : Share.shared) : Share.chunked list =
+  match cols with
+  | [] -> []
+  | c0 :: _ ->
+      Ctx.with_label ctx "applyperm" @@ fun () ->
+      let n = Share.chunked_length c0 in
+      if Share.length rho <> n then invalid_arg "apply_elementwise: length";
+      let p1, p2 = Permmgr.gen_pair ctx n in
+      let pair =
+        Mpc.fuse_rounds ctx
+          [|
+            (fun () -> `C (Shardedperm.apply_table_c ?width ctx cols p1));
+            (fun () ->
+              `S (Shardedperm.apply ~width:(perm_width ctx) ctx rho p2));
+          |]
+      in
+      let cs = match pair.(0) with `C l -> l | `S _ -> assert false in
+      let rs = match pair.(1) with `S s -> s | `C _ -> assert false in
+      let c = Mpc.open_ ~width:(perm_width ctx) ctx rs in
+      List.map
+        (fun x ->
+          let out = Share.scatter_c x c in
+          Share.dispose_c x;
+          out)
+        cs
 
 (** Protocol 6: compose two secret elementwise permutations, returning
     [rho o sigma] (apply [sigma] first). *)

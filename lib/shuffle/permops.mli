@@ -28,6 +28,17 @@ val apply_elementwise_table :
 (** Protocol 5 over a table: the shuffle of [rho] and its opening are paid
     once for all columns (radixsort's carry). *)
 
+val shuffle_table_c :
+  ?width:int -> Ctx.t -> Share.chunked list -> Share.chunked list
+(** Chunked Protocol 4 over a table — columns stream chunk-at-a-time;
+    metering identical to {!shuffle_table}. *)
+
+val apply_elementwise_table_c :
+  ?width:int -> Ctx.t -> Share.chunked list -> Share.shared -> Share.chunked list
+(** Chunked Protocol 5 over a table — the data columns stream, the index
+    column [rho] stays monolithic; wire cost identical to
+    {!apply_elementwise_table}. *)
+
 val compose : Ctx.t -> Share.shared -> Share.shared -> Share.shared
 (** Protocol 6: [compose sigma rho] = [rho ∘ sigma] (apply [sigma] first). *)
 

@@ -28,3 +28,15 @@ val sort :
   Share.shared list -> Share.shared * Share.shared list
 (** As above without extracting the permutation (single-key sorts that
     carry all their columns need none). *)
+
+val sort_with_perm_c :
+  Ctx.t -> ?algo:algo -> dir:dir -> w:int -> Share.chunked ->
+  Share.chunked list -> Share.chunked * Share.chunked list * Share.shared
+(** Chunked {!sort_with_perm}: radixsort streams the columns
+    chunk-at-a-time; quicksort is a monolithic fallback (columns unparked
+    around it). Sigma stays monolithic. Wire cost identical. *)
+
+val sort_c :
+  Ctx.t -> ?algo:algo -> dir:dir -> w:int -> Share.chunked ->
+  Share.chunked list -> Share.chunked * Share.chunked list
+(** Chunked {!sort}. *)

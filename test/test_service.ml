@@ -74,6 +74,8 @@ let test_wire_responses () =
         (* >= 2.0 exercises the full-64-bit float path (sign-bit bug) *)
         r_lan_s = 3.875;
         r_wan_s = 0.0125;
+        r_peak_bytes = 123_456_789;
+        r_spills = 11;
       }
   in
   List.iter
@@ -98,6 +100,10 @@ let test_wire_responses () =
           s_wait_p95_ms = 12.25;
           s_exec_p50_ms = 3.875;
           s_exec_p95_ms = 100.0625;
+          s_mem_live_bytes = 10_485_760;
+          s_mem_peak_bytes = 1 lsl 40;
+          s_mem_spilled_bytes = 987_654_321;
+          s_rss_peak_kb = 204_800;
         };
     ]
 
