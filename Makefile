@@ -1,6 +1,6 @@
 # Convenience wrapper; everything below is plain dune.
 
-.PHONY: check build test lint certify kernels-smoke bench bench-rounds bench-bitpack bench-join bench-join-quick bench-scale bench-scale-quick bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
+.PHONY: check build test test-checked lint certify kernels-smoke bench bench-rounds bench-bitpack bench-join bench-join-quick bench-scale bench-scale-quick bench-service bench-service-quick bench-net bench-net-quick serve party-demo clean
 
 # Query-service knobs (flags win; see DESIGN.md "Query service")
 ORQ_SOCKET ?= /tmp/orq-service.sock
@@ -14,12 +14,22 @@ build:
 test:
 	dune runtest
 
-# Static leakage lint (see DESIGN.md "Leakage analysis"): the audited tree
-# must be clean, and the deliberately-leaky fixture must trip both core
-# rules (self-test that the lint still catches what it claims to).
+# Static lints (see DESIGN.md "Leakage analysis" and "Concurrency
+# discipline"): the audited tree must be clean under both the leakage
+# lint and the concurrency-discipline lint, and each deliberately-bad
+# fixture must trip its pass's rules (self-tests that the lints still
+# catch what they claim to).
 lint:
 	dune exec bin/orq_lint.exe -- lint lib
 	dune exec bin/orq_lint.exe -- lint --expect-violations test/lint_fixtures
+	dune exec bin/orq_lint.exe -- concur lib
+	dune exec bin/orq_lint.exe -- concur --expect-violations test/lint_fixtures
+
+# Full test suite with the runtime lock checker on: every Locked
+# acquisition the tests perform is checked against the declared rank
+# order, wait discipline, and the no-locks-in-finalisers rule.
+test-checked:
+	ORQ_DEBUG_CHECKS=1 dune runtest --force
 
 # Oblivious-transcript certificate: predicted (cost model over a shape
 # twin) vs measured structural transcripts for the 31-query suite under

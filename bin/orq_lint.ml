@@ -1,20 +1,58 @@
-(* Leakage lint + oblivious-transcript certifier driver.
+(* Static-analysis + oblivious-transcript certifier driver.
 
-     orq_lint lint [paths...]            static lint (default path: lib)
-     orq_lint lint --expect-violations p self-test: fixture must trip rules
-     orq_lint certify [options]          predicted-vs-measured transcripts
+     orq_lint lint   [--json] [paths...]   leakage lint (default path: lib)
+     orq_lint lint   --expect-violations p self-test: fixture must trip rules
+     orq_lint concur [--json] [paths...]   concurrency-discipline lint
+     orq_lint concur --expect-violations p self-test: fixture must trip rules
+     orq_lint certify [options]            predicted-vs-measured transcripts
 
-   Exit status is the certificate: 0 = clean/certified, 1 = leakage. *)
+   Exit codes (both lint passes and certify):
+     0  clean — no violations / all pairs certified
+     1  violations found (or, with --expect-violations, expected
+        violations missing)
+     2  usage error or unreadable input *)
 
 module Lint = Orq_analysis.Lint
 module Declass = Orq_analysis.Declass
+module Concur = Orq_analysis.Concur
+module Lockmap = Orq_analysis.Lockmap
 module Certify = Orq_analysis.Certify
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
-(* ---------------- lint ---------------- *)
+(* ---------------- JSON rendering (hand-rolled; no dependency) -------- *)
 
-let run_lint ~expect_violations paths =
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_finding ~pass ~file ~line ~rule ~site ~detail =
+  Printf.sprintf
+    "{\"pass\":\"%s\",\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"site\":\"%s\",\"detail\":\"%s\"}"
+    pass (json_escape file) line (json_escape rule) (json_escape site)
+    (json_escape detail)
+
+let emit_json ~pass items =
+  print_string "{\"pass\":\"";
+  print_string pass;
+  print_string "\",\"violations\":[";
+  print_string (String.concat "," items);
+  Printf.printf "],\"count\":%d}\n" (List.length items)
+
+(* ---------------- leakage lint ---------------- *)
+
+let run_lint ~expect_violations ~json paths =
   let paths = if paths = [] then [ "lib" ] else paths in
   let findings =
     try Lint.lint_paths paths
@@ -48,6 +86,16 @@ let run_lint ~expect_violations paths =
       exit 1
     end
   end
+  else if json then begin
+    emit_json ~pass:"leakage"
+      (List.map
+         (fun (f : Lint.finding) ->
+           json_finding ~pass:"leakage" ~file:f.Lint.f_file ~line:f.Lint.f_line
+             ~rule:(Declass.rule_label f.Lint.f_rule)
+             ~site:f.Lint.f_site ~detail:("uses " ^ f.Lint.f_callee))
+         violations);
+    exit (if violations = [] then 0 else 1)
+  end
   else begin
     List.iter
       (fun (f : Lint.finding) ->
@@ -62,6 +110,66 @@ let run_lint ~expect_violations paths =
        baseline sites, %d violations"
       (List.length findings) (List.length allowed) (List.length leaky)
       (List.length violations);
+    exit (if violations = [] then 0 else 1)
+  end
+
+(* ---------------- concurrency lint ---------------- *)
+
+let run_concur ~expect_violations ~json paths =
+  let paths = if paths = [] then [ "lib" ] else paths in
+  let violations =
+    try Concur.lint_paths paths
+    with Sys_error e ->
+      say "orq_lint: %s" e;
+      exit 2
+  in
+  if expect_violations then begin
+    (* self-test over the seeded fixture: every rule must fire *)
+    let has rule =
+      List.exists
+        (fun (f : Concur.finding) -> f.Concur.c_rule = rule)
+        violations
+    in
+    List.iter (fun f -> say "seeded: %a" Concur.pp_finding f) violations;
+    let missing =
+      List.filter
+        (fun r -> not (has r))
+        [
+          Lockmap.Registry;
+          Lockmap.Order;
+          Lockmap.Blocking;
+          Lockmap.Shared;
+          Lockmap.Finaliser;
+        ]
+    in
+    if missing = [] then begin
+      say
+        "concur self-test: fixture trips all five rules (%d findings)"
+        (List.length violations);
+      exit 0
+    end
+    else begin
+      say "concur self-test FAILED: rule(s) %s not tripped in %s"
+        (String.concat ", " (List.map Lockmap.rule_label missing))
+        (String.concat " " paths);
+      exit 1
+    end
+  end
+  else if json then begin
+    emit_json ~pass:"concur"
+      (List.map
+         (fun (f : Concur.finding) ->
+           json_finding ~pass:"concur" ~file:f.Concur.c_file
+             ~line:f.Concur.c_line
+             ~rule:(Lockmap.rule_label f.Concur.c_rule)
+             ~site:f.Concur.c_site ~detail:f.Concur.c_detail)
+         violations);
+    exit (if violations = [] then 0 else 1)
+  end
+  else begin
+    List.iter (fun f -> say "VIOLATION: %a" Concur.pp_finding f) violations;
+    say "concur: %d registered locks, %d violations"
+      (List.length Lockmap.locks) (List.length violations);
     exit (if violations = [] then 0 else 1)
   end
 
@@ -100,9 +208,21 @@ let run_certify ~quick ~sf ~other_n ~out =
 
 let usage () =
   say
-    "usage: orq_lint [lint [--expect-violations] [paths...]]\n\
-    \       orq_lint certify [--quick] [--sf F] [--n N] [--out FILE]";
+    "usage: orq_lint [lint [--json] [--expect-violations] [paths...]]\n\
+    \       orq_lint concur [--json] [--expect-violations] [paths...]\n\
+    \       orq_lint certify [--quick] [--sf F] [--n N] [--out FILE]\n\
+     exit codes: 0 clean, 1 violations, 2 usage/input error";
   exit 2
+
+let lint_flags rest =
+  let expect = List.mem "--expect-violations" rest in
+  let json = List.mem "--json" rest in
+  let paths =
+    List.filter (fun a -> a <> "--expect-violations" && a <> "--json") rest
+  in
+  if List.exists (fun a -> String.length a > 0 && a.[0] = '-') paths then
+    usage ();
+  (expect, json, paths)
 
 let () =
   match Array.to_list Sys.argv with
@@ -119,6 +239,12 @@ let () =
       in
       parse rest;
       run_certify ~quick:!quick ~sf:!sf ~other_n:!n ~out:!out
+  | _ :: "concur" :: rest -> (
+      match rest with
+      | "--help" :: _ | "-h" :: _ -> usage ()
+      | _ ->
+          let expect, json, paths = lint_flags rest in
+          run_concur ~expect_violations:expect ~json paths)
   | argv -> (
       let rest =
         match argv with _ :: "lint" :: r -> r | _ :: r -> r | [] -> []
@@ -126,10 +252,5 @@ let () =
       match rest with
       | "--help" :: _ | "-h" :: _ -> usage ()
       | _ ->
-          let expect = List.mem "--expect-violations" rest in
-          let paths =
-            List.filter (fun a -> a <> "--expect-violations") rest
-          in
-          if List.exists (fun a -> String.length a > 0 && a.[0] = '-') paths
-          then usage ();
-          run_lint ~expect_violations:expect paths)
+          let expect, json, paths = lint_flags rest in
+          run_lint ~expect_violations:expect ~json paths)

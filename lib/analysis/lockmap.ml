@@ -1,0 +1,189 @@
+(** The audited lock registry: the written half of the concurrency
+    discipline (see DESIGN.md "Concurrency discipline").
+
+    Every mutex in the engine is a {!Orq_util.Locked.t} created with a
+    [name] and a [rank] that must match an entry here, or {!Concur}
+    fails the build. Ranks declare a {e total lock order}: while any
+    registered lock is held, only locks of strictly {e higher} rank may
+    be acquired. The static lint checks syntactic nesting against the
+    declared ranks; the runtime checker ([ORQ_DEBUG_CHECKS=1]) checks
+    every acquisition order the test suite actually performs. Lower
+    rank = outer layer: the service front door sits at 10, the chunk
+    store — entered from every kernel, so it must be a leaf — at 70.
+
+    The registry is deliberately small. A new lock means a new entry
+    with a written justification of (a) why the state cannot be
+    [Atomic] or domain-local and (b) why its rank slot is correct with
+    respect to every lock its regions can reach. *)
+
+type lock = {
+  lk_name : string;  (** the literal passed to [Locked.create ~name] *)
+  lk_rank : int;  (** total-order position; strictly increasing inward *)
+  lk_site : string;  (** ["Module.binding"] expected to create it *)
+  lk_why : string;  (** the written safety argument *)
+}
+
+let locks : lock list =
+  [
+    {
+      lk_name = "service";
+      lk_rank = 10;
+      lk_site = "Service.start";
+      lk_why =
+        "guards the service control plane (sessions, counters, worker \
+         list, running flag); outermost because session and lifecycle \
+         code calls into the queue, cache and chunk store while \
+         logically inside a service operation, never the reverse";
+    };
+    {
+      lk_name = "jobqueue";
+      lk_rank = 20;
+      lk_site = "Jobqueue.create";
+      lk_why =
+        "guards the prioritized admission queue (per-group FIFOs, \
+         rings, wait samples); sits inside the service lock because \
+         service handlers push/pop jobs, and outside the cache and \
+         store because queue regions only mutate queue state";
+    };
+    {
+      lk_name = "plan_cache";
+      lk_rank = 30;
+      lk_site = "Plan_cache.create";
+      lk_why =
+        "guards the response cache and the single-flight ticket table; \
+         regions are pure table updates — they never execute queries \
+         or touch the store — so every deeper lock outranks it";
+    };
+    {
+      lk_name = "plan_flight";
+      lk_rank = 35;
+      lk_site = "Plan_cache.fresh_flight";
+      lk_why =
+        "per-flight leader/follower handoff (done flag + value); ranks \
+         just above the cache lock so a resolving leader that has just \
+         left the cache region can take it, while a follower parked on \
+         it holds nothing else";
+    };
+    {
+      lk_name = "service_job";
+      lk_rank = 40;
+      lk_site = "Service.fresh_job";
+      lk_why =
+        "per-job reply slot between a worker domain and the waiting \
+         session thread; taken with nothing else held on both sides, \
+         ranked inside the queue/cache layer it is reached from";
+    };
+    {
+      lk_name = "exchange";
+      lk_rank = 50;
+      lk_site = "Exchange.create";
+      lk_why =
+        "per-peer inbox between a receiver thread and the execution \
+         thread; regions are queue push/pop only (frame I/O happens \
+         outside), and execution holds no outer engine lock while \
+         blocked on a peer";
+    };
+    {
+      lk_name = "parallel";
+      lk_rank = 60;
+      lk_site = "Parallel.ensure_pool";
+      lk_why =
+        "per-domain worker-pool dispatch lock (span queue, pending \
+         count, failure slot); span bodies run outside it, so the only \
+         lock reachable from a region is nothing at all — ranked just \
+         outside the chunk store, which span bodies do enter";
+    };
+    {
+      lk_name = "chunkvec";
+      lk_rank = 70;
+      lk_site = "Chunkvec.mutex";
+      lk_why =
+        "the chunk-store accounting lock, entered from operator \
+         kernels, pool workers and session threads alike; the \
+         innermost leaf: no region may acquire anything (GC finalisers \
+         hand dead chunks off through the lock-free graveyard instead \
+         of locking — the PR 9 deadlock class)";
+    };
+  ]
+
+let find_name name = List.find_opt (fun l -> l.lk_name = name) locks
+let rank_of name = Option.map (fun l -> l.lk_rank) (find_name name)
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type rule =
+  | Registry  (** unregistered / misdeclared lock creation *)
+  | Order  (** syntactic nesting violating the declared total order *)
+  | Blocking  (** blocking call inside a held-lock region *)
+  | Shared  (** top-level mutable state reaching another domain/thread *)
+  | Finaliser  (** a [Gc.finalise] callback that can take a registered lock *)
+
+let rule_label = function
+  | Registry -> "registry"
+  | Order -> "order"
+  | Blocking -> "blocking"
+  | Shared -> "shared"
+  | Finaliser -> "finaliser"
+
+(* ------------------------------------------------------------------ *)
+(* Audited exemptions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Blocking-under-lock exemptions: sites allowed to perform the named
+   blocking call inside a held-lock region, each with the argument for
+   why the block is bounded and deadlock-free. *)
+type blocking_exempt = {
+  ex_site : string;  (** ["Module.function"] containing the call *)
+  ex_callee : string;  (** the blocking callee, e.g. ["Unix.write"] *)
+  ex_why : string;
+}
+
+let blocking_exempts : blocking_exempt list =
+  [
+    {
+      ex_site = "Chunkvec.write_slot";
+      ex_callee = "Unix.write";
+      ex_why =
+        "spill-slot writes go to an unlinked tempfile through one \
+         shared fd with lseek, so they must serialize under the store \
+         lock; local disk I/O is bounded and depends on no other lock \
+         or thread (chunkvec is the leaf rank, so nothing can wait on \
+         us while we wait on the disk)";
+    };
+    {
+      ex_site = "Chunkvec.read_slot";
+      ex_callee = "Unix.read";
+      ex_why =
+        "faulting a spilled chunk back in reads the private unlinked \
+         tempfile under the store lock for the same single-fd/lseek \
+         reason as write_slot; bounded local disk I/O at the leaf rank";
+    };
+    {
+      ex_site = "Chunkvec.spill_channels";
+      ex_callee = "Unix.openfile";
+      ex_why =
+        "one-time lazy creation of the unlinked spill tempfile, under \
+         the store lock so exactly one fd ever exists; a single local \
+         open at the leaf rank";
+    };
+  ]
+
+let find_blocking_exempt ~site ~callee =
+  List.find_opt
+    (fun e -> e.ex_site = site && e.ex_callee = callee)
+    blocking_exempts
+
+(* Domain-shared mutable state exemptions: top-level mutable bindings
+   that escape into another domain's or thread's closure yet are safe,
+   with the argument why. *)
+type shared_exempt = {
+  sh_site : string;  (** ["Module.binding"] of the mutable top-level *)
+  sh_why : string;
+}
+
+let shared_exempts : shared_exempt list = []
+
+let find_shared_exempt ~site =
+  List.find_opt (fun e -> e.sh_site = site) shared_exempts

@@ -34,6 +34,7 @@
     its predecessor's queue. *)
 
 module Comm = Orq_net.Comm
+module Locked = Orq_util.Locked
 
 exception Exchange_error = Pwire.Party_error
 
@@ -45,7 +46,7 @@ type peer = {
   pr_id : int;
   pr_fd : Unix.file_descr;
   pr_q : Pwire.msg Queue.t;
-  pr_m : Mutex.t;
+  pr_m : Locked.t;
   pr_c : Condition.t;
   mutable pr_dead : string option;  (** reason, once the peer is gone *)
   mutable pr_thread : Thread.t option;
@@ -86,41 +87,36 @@ let logf t fmt =
 (* ------------------------------------------------------------------ *)
 
 let peer_mark_dead (p : peer) reason =
-  Mutex.lock p.pr_m;
-  if p.pr_dead = None then p.pr_dead <- Some reason;
-  Condition.broadcast p.pr_c;
-  Mutex.unlock p.pr_m
+  Locked.with_lock p.pr_m (fun () ->
+      if p.pr_dead = None then p.pr_dead <- Some reason;
+      Condition.broadcast p.pr_c)
 
 let receiver_loop (p : peer) () =
   let rec loop () =
     match Pwire.recv p.pr_fd with
     | None -> peer_mark_dead p "peer closed the connection"
     | Some m ->
-        Mutex.lock p.pr_m;
-        Queue.push m p.pr_q;
-        Condition.broadcast p.pr_c;
-        Mutex.unlock p.pr_m;
+        Locked.with_lock p.pr_m (fun () ->
+            Queue.push m p.pr_q;
+            Condition.broadcast p.pr_c);
         loop ()
     | exception e -> peer_mark_dead p (Printexc.to_string e)
   in
   loop ()
 
+(* The [fail] inside the region is fine: [with_lock] releases on raise. *)
 let pop_msg (p : peer) : Pwire.msg =
-  Mutex.lock p.pr_m;
-  let rec wait () =
-    if not (Queue.is_empty p.pr_q) then Queue.pop p.pr_q
-    else
-      match p.pr_dead with
-      | Some reason ->
-          Mutex.unlock p.pr_m;
-          fail "lost peer %d: %s" p.pr_id reason
-      | None ->
-          Condition.wait p.pr_c p.pr_m;
-          wait ()
-  in
-  let m = wait () in
-  Mutex.unlock p.pr_m;
-  m
+  Locked.with_lock p.pr_m (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty p.pr_q) then Queue.pop p.pr_q
+        else
+          match p.pr_dead with
+          | Some reason -> fail "lost peer %d: %s" p.pr_id reason
+          | None ->
+              Locked.wait p.pr_m p.pr_c;
+              wait ()
+      in
+      wait ())
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -142,7 +138,7 @@ let create ~party ~parties ?(verbose = false)
           pr_id = id;
           pr_fd = fd;
           pr_q = Queue.create ();
-          pr_m = Mutex.create ();
+          pr_m = Locked.create ~name:"exchange" ~rank:50 ();
           pr_c = Condition.create ();
           pr_dead = None;
           pr_thread = None;

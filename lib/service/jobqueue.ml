@@ -6,6 +6,8 @@
     groups within a class in ring order, so no group can starve another
     within its class. *)
 
+module Locked = Orq_util.Locked
+
 type prio = High | Normal | Low
 
 let prio_index = function High -> 0 | Normal -> 1 | Low -> 2
@@ -36,7 +38,7 @@ type 'a t = {
   mutable closed : bool;
   waits : float array;  (** ring of recent queue-wait samples, seconds *)
   mutable nwaits : int;  (** total samples ever recorded *)
-  m : Mutex.t;
+  m : Locked.t;
   nonempty : Condition.t;  (** work arrived, [close] or [wake] *)
 }
 
@@ -57,13 +59,11 @@ let create ~capacity =
     closed = false;
     waits = Array.make wait_ring_size 0.;
     nwaits = 0;
-    m = Mutex.create ();
+    m = Locked.create ~name:"jobqueue" ~rank:20 ();
     nonempty = Condition.create ();
   }
 
-let with_lock t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let with_lock t f = Locked.with_lock t.m f
 
 let depth_unlocked t =
   t.classes.(0).cls_depth + t.classes.(1).cls_depth + t.classes.(2).cls_depth
@@ -94,24 +94,30 @@ let try_push t ~group ~prio x =
 (* Blocking admission: wait up to [timeout_s] for an in-flight slot. The
    stdlib [Condition] has no timed wait, so saturation is polled on a
    short period — the poll only runs while the server is at capacity, so
-   it costs nothing on the fast path. *)
+   it costs nothing on the fast path. Each probe is its own locked
+   region and the sleep happens unlocked (the discipline forbids
+   blocking calls under a held lock). *)
 let push t ~group ~prio ~timeout_s x =
   let deadline = Unix.gettimeofday () +. Float.max 0. timeout_s in
-  let rec wait () =
-    if t.closed then false
-    else if depth_unlocked t + t.running < t.capacity then begin
-      enqueue_unlocked t ~group ~prio x;
-      true
-    end
-    else if Unix.gettimeofday () >= deadline then false
-    else begin
-      Mutex.unlock t.m;
-      Unix.sleepf 0.002;
-      Mutex.lock t.m;
-      wait ()
-    end
+  let rec attempt () =
+    let r =
+      with_lock t (fun () ->
+          if t.closed then `Fail
+          else if depth_unlocked t + t.running < t.capacity then begin
+            enqueue_unlocked t ~group ~prio x;
+            `Ok
+          end
+          else if Unix.gettimeofday () >= deadline then `Fail
+          else `Retry)
+    in
+    match r with
+    | `Ok -> true
+    | `Fail -> false
+    | `Retry ->
+        Unix.sleepf 0.002;
+        attempt ()
   in
-  with_lock t wait
+  attempt ()
 
 (* Pop the next item honoring priority order and the per-group ring. *)
 let take_unlocked t =
@@ -149,7 +155,7 @@ let pop ?(should_stop = fun () -> false) t =
           | None ->
               if t.closed then None
               else begin
-                Condition.wait t.nonempty t.m;
+                Locked.wait t.m t.nonempty;
                 wait ()
               end
       in

@@ -1,11 +1,14 @@
 module Sql = Orq_planner.Sql
 module Joincost = Orq_core.Joincost
+module Locked = Orq_util.Locked
 
 (* A single-flight ticket: the first thread to miss on a key becomes the
    leader and executes; followers park on the condition until the leader
-   resolves with a value (replayed to them) or aborts (they retry). *)
+   resolves with a value (replayed to them) or aborts (they retry). The
+   flight lock ranks just above the cache lock, so a leader may publish
+   under the cache lock and then wake followers — never the reverse. *)
 type 'a flight = {
-  f_m : Mutex.t;
+  f_m : Locked.t;
   f_c : Condition.t;
   mutable f_done : bool;
   mutable f_value : 'a option;  (** [None] after an aborted flight *)
@@ -19,7 +22,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable coalesced : int;
-  m : Mutex.t;
+  m : Locked.t;
 }
 
 type 'a acquire =
@@ -36,12 +39,18 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     coalesced = 0;
-    m = Mutex.create ();
+    m = Locked.create ~name:"plan_cache" ~rank:30 ();
   }
 
-let with_lock t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let with_lock t f = Locked.with_lock t.m f
+
+let fresh_flight () =
+  {
+    f_m = Locked.create ~name:"plan_flight" ~rank:35 ();
+    f_c = Condition.create ();
+    f_done = false;
+    f_value = None;
+  }
 
 let normalize (sql : string) : string =
   match Sql.lex sql with
@@ -95,13 +104,7 @@ let add t ~proto ~version ~sql v =
 let acquire t ~proto ~version ~sql : 'a acquire =
   if t.capacity = 0 then begin
     with_lock t (fun () -> t.misses <- t.misses + 1);
-    Execute
-      {
-        f_m = Mutex.create ();
-        f_c = Condition.create ();
-        f_done = false;
-        f_value = None;
-      }
+    Execute (fresh_flight ())
   end
   else
     let k = key ~proto ~version ~sql in
@@ -116,14 +119,7 @@ let acquire t ~proto ~version ~sql : 'a acquire =
               | Some f -> `Wait f
               | None ->
                   t.misses <- t.misses + 1;
-                  let f =
-                    {
-                      f_m = Mutex.create ();
-                      f_c = Condition.create ();
-                      f_done = false;
-                      f_value = None;
-                    }
-                  in
+                  let f = fresh_flight () in
                   Hashtbl.replace t.flights k f;
                   `Lead f))
     in
@@ -131,12 +127,13 @@ let acquire t ~proto ~version ~sql : 'a acquire =
     | `Hit v -> Cached v
     | `Lead f -> Execute f
     | `Wait f ->
-        Mutex.lock f.f_m;
-        while not f.f_done do
-          Condition.wait f.f_c f.f_m
-        done;
-        let v = f.f_value in
-        Mutex.unlock f.f_m;
+        let v =
+          Locked.with_lock f.f_m (fun () ->
+              while not f.f_done do
+                Locked.wait f.f_m f.f_c
+              done;
+              f.f_value)
+        in
         with_lock t (fun () ->
             match v with
             | Some _ -> t.coalesced <- t.coalesced + 1
@@ -155,11 +152,10 @@ let resolve t ~proto ~version ~sql (f : 'a flight) (v : 'a option) =
          match Hashtbl.find_opt t.flights k with
          | Some f' when f' == f -> Hashtbl.remove t.flights k
          | _ -> ()));
-  Mutex.lock f.f_m;
-  f.f_value <- v;
-  f.f_done <- true;
-  Condition.broadcast f.f_c;
-  Mutex.unlock f.f_m
+  Locked.with_lock f.f_m (fun () ->
+      f.f_value <- v;
+      f.f_done <- true;
+      Condition.broadcast f.f_c)
 
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)

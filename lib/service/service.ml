@@ -7,6 +7,7 @@ module Table = Orq_core.Table
 module Joincost = Orq_core.Joincost
 module Tpch_gen = Orq_workloads.Tpch_gen
 module Parallel = Orq_util.Parallel
+module Locked = Orq_util.Locked
 
 type config = {
   socket_path : string;
@@ -84,9 +85,23 @@ type job = {
       (** capture the per-join physical-operator decision log and answer
           with [Explain_r] instead of [Result] *)
   mutable j_reply : Wire.response option;
-  j_m : Mutex.t;
+  j_m : Locked.t;
   j_c : Condition.t;
 }
+
+(* Per-job reply lock: ranks above the queue and cache locks because a
+   worker delivers while holding nothing, and a session thread waits on
+   it having released everything else. *)
+let fresh_job ~sql ~proto ~qseed ~explain =
+  {
+    j_sql = sql;
+    j_proto = proto;
+    j_qseed = qseed;
+    j_explain = explain;
+    j_reply = None;
+    j_m = Locked.create ~name:"service_job" ~rank:40 ();
+    j_c = Condition.create ();
+  }
 
 type session = { s_id : int; s_fd : Unix.file_descr; mutable s_group : int }
 
@@ -114,14 +129,12 @@ type t = {
   mutable domains : unit Domain.t list;  (** every worker domain spawned *)
   execs : float array;  (** ring of recent execution times, seconds *)
   mutable nexecs : int;
-  m : Mutex.t;  (** sessions / counters / workers / running *)
+  m : Locked.t;  (** sessions / counters / workers / running *)
   mutable session_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
 }
 
-let with_lock t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let with_lock t f = Locked.with_lock t.m f
 
 let logf t fmt =
   Printf.ksprintf
@@ -263,10 +276,16 @@ let execute t backends (j : job) : Wire.response =
   end
 
 let deliver (j : job) (reply : Wire.response) =
-  Mutex.lock j.j_m;
-  j.j_reply <- Some reply;
-  Condition.signal j.j_c;
-  Mutex.unlock j.j_m
+  Locked.with_lock j.j_m (fun () ->
+      j.j_reply <- Some reply;
+      Condition.signal j.j_c)
+
+let await_reply (j : job) : Wire.response =
+  Locked.with_lock j.j_m (fun () ->
+      while j.j_reply = None do
+        Locked.wait j.j_m j.j_c
+      done;
+      Option.get j.j_reply)
 
 (* Partition the global data-parallel lane budget across the execution
    workers: inter-query concurrency times intra-query data parallelism
@@ -428,15 +447,9 @@ let rec submit t (s : session) ~prio proto sql : Wire.response =
         submit t s ~prio proto sql
     | Plan_cache.Execute flight ->
         let j =
-          {
-            j_sql = sql;
-            j_proto = proto;
-            j_qseed = query_seed t ~proto_label ~sql;
-            j_explain = false;
-            j_reply = None;
-            j_m = Mutex.create ();
-            j_c = Condition.create ();
-          }
+          fresh_job ~sql ~proto
+            ~qseed:(query_seed t ~proto_label ~sql)
+            ~explain:false
         in
         let resolve v =
           Plan_cache.resolve t.cache ~proto:proto_label ~version ~sql flight v
@@ -451,12 +464,7 @@ let rec submit t (s : session) ~prio proto sql : Wire.response =
           busy_frame t
         end
         else begin
-          Mutex.lock j.j_m;
-          while j.j_reply = None do
-            Condition.wait j.j_c j.j_m
-          done;
-          let r = Option.get j.j_reply in
-          Mutex.unlock j.j_m;
+          let r = await_reply j in
           (match r with
           | Wire.Result res -> resolve (Some res)
           | _ -> resolve None);
@@ -472,15 +480,9 @@ let submit_explain t (s : session) proto sql : Wire.response =
   else
     let proto_label = Ctx.kind_label proto in
     let j =
-      {
-        j_sql = sql;
-        j_proto = proto;
-        j_qseed = query_seed t ~proto_label ~sql;
-        j_explain = true;
-        j_reply = None;
-        j_m = Mutex.create ();
-        j_c = Condition.create ();
-      }
+      fresh_job ~sql ~proto
+        ~qseed:(query_seed t ~proto_label ~sql)
+        ~explain:true
     in
     if
       not
@@ -490,15 +492,7 @@ let submit_explain t (s : session) proto sql : Wire.response =
       with_lock t (fun () -> t.rejected <- t.rejected + 1);
       busy_frame t
     end
-    else begin
-      Mutex.lock j.j_m;
-      while j.j_reply = None do
-        Condition.wait j.j_c j.j_m
-      done;
-      let r = Option.get j.j_reply in
-      Mutex.unlock j.j_m;
-      r
-    end
+    else await_reply j
 
 let handle_session t (s : session) =
   let proto = ref Ctx.Sh_hm in
@@ -644,7 +638,7 @@ let start (cfg : config) : t =
       domains = [];
       execs = Array.make exec_ring_size 0.;
       nexecs = 0;
-      m = Mutex.create ();
+      m = Locked.create ~name:"service" ~rank:10 ();
       session_threads = [];
       accept_thread = None;
     }
@@ -697,12 +691,13 @@ let stop t =
     (* 4. workers exit on the closed queue once their current job is done *)
     List.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
     (* 5. sessions: end the read side only — in-flight replies and error
-       frames still go out on the write side — then join the handlers *)
-    with_lock t (fun () ->
-        List.iter
-          (fun s ->
-            try Unix.shutdown s.s_fd Unix.SHUTDOWN_RECEIVE with _ -> ())
-          t.sessions);
+       frames still go out on the write side — then join the handlers.
+       Snapshot under the lock, shut down outside it (no syscalls under
+       a held lock). *)
+    let sess = with_lock t (fun () -> t.sessions) in
+    List.iter
+      (fun s -> try Unix.shutdown s.s_fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      sess;
     let ths = with_lock t (fun () -> t.session_threads) in
     List.iter (fun th -> try Thread.join th with _ -> ()) ths;
     try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()

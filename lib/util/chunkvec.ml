@@ -100,7 +100,11 @@ type t = {
   mutable disposed : bool;
 }
 
-let mutex = Mutex.create ()
+(* Innermost lock in the registry: the store is entered from operator
+   kernels, worker domains and session threads alike, so nothing may be
+   acquired while it is held (see lib/analysis/lockmap.ml). *)
+let mutex = Locked.create ~name:"chunkvec" ~rank:70 ()
+
 (* GC finalisers can fire at any allocation point, including while this
    very thread holds the store mutex — so they must never lock. Instead
    they park dead chunks on a lock-free graveyard (see [bury] below),
@@ -108,10 +112,7 @@ let mutex = Mutex.create ()
 let reap_hook : (unit -> unit) ref = ref (fun () -> ())
 
 let locked f =
-  Mutex.lock mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock mutex)
-    (fun () ->
+  Locked.with_lock mutex (fun () ->
       !reap_hook ();
       f ())
 
@@ -351,7 +352,10 @@ let finalise_vec t =
 
 let mk ~rows ~tracked chunks n =
   let t = { n; rows = max 1 rows; vtracked = tracked; chunks; disposed = false } in
-  if tracked then Gc.finalise finalise_vec t;
+  (* finaliser_guard: under ORQ_DEBUG_CHECKS any registered-lock
+     acquisition inside the finaliser fails fast — the mechanical check
+     that the graveyard handoff stays lock-free *)
+  if tracked then Gc.finalise (Locked.finaliser_guard finalise_vec) t;
   t
 
 (** Incremental constructor: chunks are pushed in order and become

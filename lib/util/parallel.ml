@@ -77,7 +77,7 @@ let effective_lanes () =
 (* ------------------------------------------------------------------ *)
 
 type pool = {
-  m : Mutex.t;
+  m : Locked.t;
   ready : Condition.t;  (** work arrived, or shutdown requested *)
   finished : Condition.t;  (** all spans of the current dispatch completed *)
   mutable job : int -> int -> unit;
@@ -98,39 +98,42 @@ let pool_key : pool option ref Domain.DLS.key =
 let busy_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 let record_failure p e =
-  Mutex.lock p.m;
-  if p.failed = None then p.failed <- Some e;
-  Mutex.unlock p.m
+  Locked.with_lock p.m (fun () ->
+      if p.failed = None then p.failed <- Some e)
+
+(* One span completed (under the pool lock). *)
+let span_done p =
+  p.pending <- p.pending - 1;
+  if p.pending = 0 then Condition.broadcast p.finished
 
 let rec worker p =
-  Mutex.lock p.m;
-  while p.queue = [] && not p.stop do
-    Condition.wait p.ready p.m
-  done;
-  match p.queue with
-  | (pos, len) :: rest ->
-      p.queue <- rest;
-      let f = p.job in
-      Mutex.unlock p.m;
+  let task =
+    Locked.with_lock p.m (fun () ->
+        while p.queue = [] && not p.stop do
+          Locked.wait p.m p.ready
+        done;
+        match p.queue with
+        | (pos, len) :: rest ->
+            p.queue <- rest;
+            Some (p.job, pos, len)
+        | [] -> None (* stop requested and the queue is drained *))
+  in
+  match task with
+  | Some (f, pos, len) ->
       (try f pos len with e -> record_failure p e);
-      Mutex.lock p.m;
-      p.pending <- p.pending - 1;
-      if p.pending = 0 then Condition.broadcast p.finished;
-      Mutex.unlock p.m;
+      Locked.with_lock p.m (fun () -> span_done p);
       worker p
-  | [] ->
-      (* stop requested and the queue is drained *)
-      Mutex.unlock p.m
+  | None -> ()
 
 let shutdown_pool () =
   let slot = Domain.DLS.get pool_key in
   match !slot with
   | None -> ()
   | Some p ->
-      Mutex.lock p.m;
-      p.stop <- true;
-      Condition.broadcast p.ready;
-      Mutex.unlock p.m;
+      Locked.with_lock p.m (fun () ->
+          p.stop <- true;
+          Condition.broadcast p.ready);
+      (* join outside the lock: never block on a domain while holding it *)
       List.iter Domain.join p.workers;
       slot := None
 
@@ -151,7 +154,7 @@ let ensure_pool () =
       shutdown_pool ();
       let p =
         {
-          m = Mutex.create ();
+          m = Locked.create ~name:"parallel" ~rank:60 ();
           ready = Condition.create ();
           finished = Condition.create ();
           job = (fun _ _ -> ());
@@ -208,30 +211,38 @@ let init_from_env () =
 let dispatch p spans f =
   let busy = Domain.DLS.get busy_key in
   busy := true;
-  Mutex.lock p.m;
-  p.job <- f;
-  p.queue <- spans;
-  p.pending <- List.length spans;
-  Condition.broadcast p.ready;
+  Locked.with_lock p.m (fun () ->
+      p.job <- f;
+      p.queue <- spans;
+      p.pending <- List.length spans;
+      Condition.broadcast p.ready);
   let rec drain () =
-    match p.queue with
-    | (pos, len) :: rest ->
-        p.queue <- rest;
-        Mutex.unlock p.m;
+    let claimed =
+      Locked.with_lock p.m (fun () ->
+          match p.queue with
+          | (pos, len) :: rest ->
+              p.queue <- rest;
+              Some (pos, len)
+          | [] -> None)
+    in
+    match claimed with
+    | Some (pos, len) ->
         (try f pos len with e -> record_failure p e);
-        Mutex.lock p.m;
-        p.pending <- p.pending - 1;
-        if p.pending = 0 then Condition.broadcast p.finished;
+        Locked.with_lock p.m (fun () -> span_done p);
         drain ()
-    | [] ->
-        while p.pending > 0 do
-          Condition.wait p.finished p.m
-        done
+    | None ->
+        Locked.with_lock p.m (fun () ->
+            while p.pending > 0 do
+              Locked.wait p.m p.finished
+            done)
   in
   drain ();
-  let fail = p.failed in
-  p.failed <- None;
-  Mutex.unlock p.m;
+  let fail =
+    Locked.with_lock p.m (fun () ->
+        let e = p.failed in
+        p.failed <- None;
+        e)
+  in
   busy := false;
   match fail with Some e -> raise e | None -> ()
 

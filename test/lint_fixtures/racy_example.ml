@@ -1,0 +1,44 @@
+(* Seeded concurrency-discipline violations for the lint self-test
+   (orq_lint concur --expect-violations test/lint_fixtures).
+
+   This file is parsed, never compiled. Each function below trips one
+   rule of lib/analysis/concur.ml; the expected findings are asserted
+   in test/test_concur.ml and by `make lint`. It must stay clean under
+   the *leakage* lint (no open_/Mpc calls), just as leaky_example.ml
+   stays clean under the concur lint. *)
+
+(* registry: raw mutexes are forbidden outside lib/util/locked.ml *)
+let raw_mutex = Mutex.create ()
+
+(* registry: a lock name absent from lockmap.ml *)
+let rogue = Locked.create ~name:"rogue" ~rank:99 ()
+
+(* registry: a registered name created with the wrong rank *)
+let misranked = Locked.create ~name:"chunkvec" ~rank:10 ()
+
+(* two correctly registered locks for the rules below *)
+let inner = Locked.create ~name:"parallel" ~rank:60 ()
+let outer = Locked.create ~name:"jobqueue" ~rank:20 ()
+
+(* order: acquiring a lower-rank lock while a higher rank is held *)
+let lock_order_inversion () =
+  Locked.with_lock inner (fun () -> Locked.with_lock outer (fun () -> 0))
+
+(* blocking: syscall sleep inside a held-lock region *)
+let sleep_under_lock () =
+  Locked.with_lock outer (fun () -> Unix.sleepf 0.01)
+
+(* blocking, transitively: the helper blocks, the region calls it *)
+let slow_helper fd buf = Unix.read fd buf 0 (Bytes.length buf)
+
+let read_under_lock fd buf =
+  Locked.with_lock outer (fun () -> slow_helper fd buf)
+
+(* shared: top-level mutable state captured by a cross-domain closure *)
+let hits = ref 0
+
+let racy_spawn () = Domain.spawn (fun () -> hits := !hits + 1)
+
+(* finaliser: a Gc.finalise callback that takes a registered lock *)
+let finaliser_locks v =
+  Gc.finalise (fun r -> Locked.with_lock inner (fun () -> ignore r)) v

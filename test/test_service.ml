@@ -462,6 +462,59 @@ let test_single_flight () =
         (r.Wire.r_tally = first.Wire.r_tally))
     out
 
+(* Single-flight under repeated racing: every round, N threads race the
+   same *cold* query (a fresh WHERE literal per round keeps the cache
+   out of play), and each round must coalesce to exactly one execution
+   with identical replies. This hammers the flight-ticket create/park/
+   resolve handoff in Plan_cache — the exact path the lock-order
+   migration restructured — round after round rather than once. *)
+let test_single_flight_race () =
+  let executions = Atomic.make 0 in
+  with_server ~workers:4 ~max_jobs:16
+    ~job_hook:(fun () ->
+      Atomic.incr executions;
+      Thread.delay 0.12)
+  @@ fun _ socket ->
+  let n = 6 and rounds = 5 in
+  for round = 1 to rounds do
+    let sql =
+      Printf.sprintf
+        "SELECT o_orderpriority, COUNT(*) AS n FROM orders WHERE o_orderkey \
+         < %d GROUP BY o_orderpriority"
+        (100 + round)
+    in
+    let before = Atomic.get executions in
+    let out = Array.make n None in
+    let threads =
+      List.init n (fun i ->
+          Thread.create
+            (fun () ->
+              let c = Client.connect socket in
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              out.(i) <- Some (query_ok c sql))
+            ())
+    in
+    List.iter Thread.join threads;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: exactly one execution" round)
+      1
+      (Atomic.get executions - before);
+    let first = Option.get out.(0) in
+    Array.iteri
+      (fun i r ->
+        let r = Option.get r in
+        Alcotest.(check rows_t)
+          (Printf.sprintf "round %d client %d rows" round i)
+          first.Wire.r_rows r.Wire.r_rows;
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d client %d tally identical" round i)
+          true
+          (r.Wire.r_tally = first.Wire.r_tally))
+      out
+  done;
+  Alcotest.(check int) "total executions = rounds" rounds
+    (Atomic.get executions)
+
 (* Satellite 3c: one session's flood cannot starve another session beyond
    a bounded delay — the solo client finishes while the flood still has
    backlog. *)
@@ -687,6 +740,8 @@ let () =
             test_tallies_workers_1_vs_8;
           Alcotest.test_case "single-flight coalescing" `Quick
             test_single_flight;
+          Alcotest.test_case "single-flight race, repeated rounds" `Quick
+            test_single_flight_race;
           Alcotest.test_case "fairness under flood" `Quick
             test_fairness_under_flood;
           Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
